@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of full forward+backward passes through the
+//! autodiff tape for representative architectures, plus optimizer steps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mamdr_data::{make_batch, DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr_models::{build_model, loss_and_grads, FeatureConfig, ModelConfig, ModelKind};
+use mamdr_nn::{ForwardCtx, OptimizerKind};
+use mamdr_tensor::rng::seeded;
+
+fn dataset() -> MdrDataset {
+    let mut cfg = GeneratorConfig::base("bench", 2_000, 800, 5);
+    cfg.dense_dim = 8;
+    cfg.domains = vec![DomainSpec::new("a", 2_000, 0.3)];
+    cfg.generate()
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let ds = dataset();
+    let fc = FeatureConfig::from_dataset(&ds);
+    let mc = ModelConfig::default();
+    let batch = make_batch(&ds, 0, &ds.domains[0].train[..128]);
+    let mut group = c.benchmark_group("fwd_bwd_batch128");
+    for kind in [ModelKind::Mlp, ModelKind::DeepFm, ModelKind::AutoInt, ModelKind::Star] {
+        let built = build_model(kind, &fc, &mc, 1, 7);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut rng = seeded(9);
+                let mut ctx = ForwardCtx::train(&mut rng);
+                black_box(loss_and_grads(built.model.as_ref(), &built.params, &batch, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let n = 100_000;
+    let grads: Vec<f32> = (0..n).map(|i| (i as f32 * 0.001).sin()).collect();
+    let mut group = c.benchmark_group("optimizer_step_100k");
+    for (name, kind) in [
+        ("sgd", OptimizerKind::Sgd { lr: 0.01, momentum: 0.0 }),
+        ("adam", OptimizerKind::Adam { lr: 0.001 }),
+        ("adagrad", OptimizerKind::Adagrad { lr: 0.01 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut opt = kind.build(n);
+            let mut params = vec![0.0f32; n];
+            b.iter(|| {
+                opt.step(&mut params, &grads);
+                black_box(params[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_backward, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! The §III-C complexity claim, measured: one training round of Domain
+//! Negotiation costs O(n) in the number of domains while PCGrad costs
+//! O(n²) (n gradients plus n² pairwise projections). Wall-clock per round
+//! is benchmarked at n ∈ {4, 8, 16} domains.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mamdr_core::env::TrainEnv;
+use mamdr_core::frameworks::mamdr::domain_negotiation_epoch;
+use mamdr_core::TrainConfig;
+use mamdr_data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr_models::{build_model, BuiltModel, FeatureConfig, ModelConfig, ModelKind};
+use mamdr_nn::vecmath;
+
+fn dataset(n_domains: usize) -> MdrDataset {
+    let mut cfg = GeneratorConfig::base("scal", 300, 150, 3);
+    // Fixed per-domain size so total work scales linearly with n for DN.
+    cfg.domains = (0..n_domains)
+        .map(|i| DomainSpec::new(format!("d{i}"), 256, 0.3))
+        .collect();
+    cfg.generate()
+}
+
+fn built_for(ds: &MdrDataset) -> BuiltModel {
+    let fc = FeatureConfig::from_dataset(ds);
+    build_model(ModelKind::Mlp, &fc, &ModelConfig::tiny(), ds.n_domains(), 1)
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_cost_vs_domains");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let ds = dataset(n);
+        let built = built_for(&ds);
+        let mut cfg = TrainConfig::quick();
+        cfg.batch_size = 256; // one batch per domain per round
+
+        group.bench_with_input(BenchmarkId::new("dn", n), &n, |b, _| {
+            b.iter(|| {
+                let mut env =
+                    TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+                let mut shared = env.init_flat();
+                domain_negotiation_epoch(&mut env, &mut shared);
+                black_box(shared[0])
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("pcgrad", n), &n, |b, _| {
+            b.iter(|| {
+                let mut env =
+                    TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+                let theta = env.init_flat();
+                // One PCGrad round: n gradients + n*(n-1) projections.
+                let grads: Vec<Vec<f32>> = (0..n)
+                    .map(|d| {
+                        let batch = env.sample_train_batch(d);
+                        env.grad(&theta, &batch, true).1
+                    })
+                    .collect();
+                let mut total = vec![0.0f32; theta.len()];
+                for i in 0..n {
+                    let mut gi = grads[i].clone();
+                    for (j, gj) in grads.iter().enumerate() {
+                        if i != j {
+                            vecmath::project_conflict(&mut gi, gj);
+                        }
+                    }
+                    vecmath::axpy(&mut total, 1.0, &gi);
+                }
+                black_box(total[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

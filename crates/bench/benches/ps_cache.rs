@@ -1,0 +1,48 @@
+//! Criterion benchmark of the §IV-E embedding cache: wall-clock of one
+//! distributed outer round with and without the static/dynamic cache, and
+//! the raw KV-store operation costs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mamdr_data::presets;
+use mamdr_ps::{DistributedConfig, DistributedMamdr, ParamKey, ParameterServer, SyncMode};
+
+fn bench_distributed_round(c: &mut Criterion) {
+    let ds = presets::industry(12, 800, 7);
+    let mut group = c.benchmark_group("distributed_round");
+    group.sample_size(10);
+    for (name, mode) in [("cached", SyncMode::Cached), ("no_cache", SyncMode::NoCache)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = DistributedConfig { mode, n_workers: 4, epochs: 1, ..Default::default() };
+                let trainer = DistributedMamdr::new(&ds, cfg);
+                black_box(trainer.train(&ds).total_bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kv_ops(c: &mut Criterion) {
+    let ps = ParameterServer::new(8, 16);
+    for r in 0..10_000u32 {
+        ps.init_row(ParamKey::new(0, r), vec![0.0; 16]);
+    }
+    c.bench_function("ps_pull", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 37) % 10_000;
+            black_box(ps.pull(ParamKey::new(0, i)))
+        })
+    });
+    c.bench_function("ps_push_delta", |b| {
+        let delta = vec![0.01f32; 16];
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 37) % 10_000;
+            ps.push_delta(ParamKey::new(0, i), &delta);
+        })
+    });
+}
+
+criterion_group!(benches, bench_distributed_round, bench_kv_ops);
+criterion_main!(benches);

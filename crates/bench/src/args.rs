@@ -1,0 +1,98 @@
+//! Minimal command-line parsing shared by the table binaries.
+
+/// Common knobs for every benchmark binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Dataset size multiplier relative to the preset defaults.
+    pub scale: f64,
+    /// Training epochs (0 = keep the binary's default).
+    pub epochs: usize,
+    /// Worker threads for independent runs.
+    pub threads: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { scale: 1.0, epochs: 0, threads: default_threads(), seed: 42 }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl BenchArgs {
+    /// Parses `--scale`, `--epochs`, `--threads` and `--seed` from an
+    /// argument iterator (unknown flags abort with a usage message).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut take = |name: &str| -> f64 {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = take("--scale"),
+                "--epochs" => out.epochs = take("--epochs") as usize,
+                "--threads" => out.threads = (take("--threads") as usize).max(1),
+                "--seed" => out.seed = take("--seed") as u64,
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n>"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Epochs to use given a binary default.
+    pub fn epochs_or(&self, default: usize) -> usize {
+        if self.epochs == 0 {
+            default
+        } else {
+            self.epochs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> BenchArgs {
+        BenchArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.epochs, 0);
+        let a = parse(&["--scale", "0.25", "--epochs", "3", "--seed", "9"]);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.epochs_or(10), 3);
+        assert_eq!(parse(&[]).epochs_or(10), 10);
+    }
+
+    #[test]
+    fn threads_floor_is_one() {
+        let a = parse(&["--threads", "0"]);
+        assert_eq!(a.threads, 1);
+    }
+}

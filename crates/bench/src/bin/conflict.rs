@@ -1,0 +1,76 @@
+//! The motivation measurement behind **paper Figure 3 / §III-B**: pairwise
+//! gradient conflict across domains, at the initialization and after
+//! training under Alternate vs Domain Negotiation, for increasing
+//! ground-truth conflict strength.
+//!
+//! ```sh
+//! cargo run --release -p mamdr-bench --bin conflict
+//! ```
+
+use mamdr_bench::{BenchArgs, TableBuilder};
+use mamdr_core::conflict::measure_conflict;
+use mamdr_core::env::TrainEnv;
+use mamdr_core::{FrameworkKind, TrainConfig};
+use mamdr_data::{DomainSpec, GeneratorConfig};
+use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
+
+fn dataset(conflict: f32, seed: u64) -> mamdr_data::MdrDataset {
+    let mut cfg = GeneratorConfig::base("conflict-sweep", 400, 200, seed);
+    cfg.conflict = conflict;
+    cfg.domains = (0..6)
+        .map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3))
+        .collect();
+    cfg.generate()
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let mut cfg = TrainConfig::bench();
+    cfg.epochs = args.epochs_or(8);
+    cfg.outer_lr = 0.5;
+    cfg.seed = args.seed;
+    let model_cfg = ModelConfig::default();
+
+    let mut table = TableBuilder::new(&[
+        "ground-truth conflict",
+        "init cos",
+        "Alt cos",
+        "Alt conflict%",
+        "Alt AUC",
+        "DN cos",
+        "DN conflict%",
+        "DN AUC",
+    ]);
+    for knob in [0.0f32, 0.3, 0.6, 0.9] {
+        eprintln!("[conflict] knob = {knob} ...");
+        let ds = dataset(knob, args.seed);
+        let fc = FeatureConfig::from_dataset(&ds);
+
+        let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds.n_domains(), cfg.seed);
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+        let init = env.init_flat();
+        let r0 = measure_conflict(&mut env, &init);
+
+        let mut row = vec![format!("{knob:.1}"), format!("{:.3}", r0.mean_cosine)];
+        for fk in [FrameworkKind::Alternate, FrameworkKind::Dn] {
+            let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds.n_domains(), cfg.seed);
+            let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params, cfg);
+            let tm = fk.build().train(&mut env);
+            let r = measure_conflict(&mut env, &tm.shared);
+            let auc = mamdr_core::metrics::mean(&env.evaluate(&tm, mamdr_data::Split::Test));
+            row.push(format!("{:.3}", r.mean_cosine));
+            row.push(format!("{:.0}%", 100.0 * r.conflict_rate));
+            row.push(format!("{auc:.4}"));
+        }
+        table.row(row);
+    }
+    println!("\n=== Paper Fig. 3 / §III-B: gradient conflict across domains ===");
+    println!("(6 domains x 2000 interactions, MLP, {} epochs, seed {})\n", cfg.epochs, args.seed);
+    println!("{}", table.render());
+    println!(
+        "expected shape: gradients agree at the random init (cos ~ 1); conflict\n\
+         (negative pairwise inner products) emerges as shared training converges;\n\
+         DN ends at points with better AUC than the Alternate compromise as the\n\
+         ground-truth conflict grows."
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates **paper Table VI**: the DN/DR ablation of MAMDR on the five
+//! benchmark datasets (MLP base model).
+//!
+//! Rows: full MAMDR (DN+DR), `w/o DN` (DR only), `w/o DR` (DN only),
+//! `w/o DN+DR` (plain Alternate). RANK is computed within these four
+//! variants per domain.
+//!
+//! ```sh
+//! cargo run --release -p mamdr-bench --bin table6
+//! ```
+
+use mamdr_bench::runner::{benchmark_datasets, table_config};
+use mamdr_bench::{BenchArgs, TableBuilder};
+use mamdr_core::experiment::run_many;
+use mamdr_core::metrics::average_rank;
+use mamdr_core::FrameworkKind;
+use mamdr_models::{ModelConfig, ModelKind};
+
+const VARIANTS: &[(&str, FrameworkKind)] = &[
+    ("MLP+MAMDR (DN+DR)", FrameworkKind::Mamdr),
+    ("w/o DN", FrameworkKind::Dr),
+    ("w/o DR", FrameworkKind::Dn),
+    ("w/o DN+DR", FrameworkKind::Alternate),
+];
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let cfg = table_config(&args, 20);
+    let model_cfg = ModelConfig::default();
+    let datasets = benchmark_datasets(&args);
+
+    let mut table = TableBuilder::new(&[
+        "Variant",
+        "Am-6 AUC", "Am-6 RANK",
+        "Am-13 AUC", "Am-13 RANK",
+        "Tb-10 AUC", "Tb-10 RANK",
+        "Tb-20 AUC", "Tb-20 RANK",
+        "Tb-30 AUC", "Tb-30 RANK",
+    ]);
+    let mut cells: Vec<Vec<String>> = VARIANTS
+        .iter()
+        .map(|(label, _)| vec![label.to_string()])
+        .collect();
+
+    for ds in &datasets {
+        eprintln!("[table6] ablation on {} ...", ds.name);
+        let jobs: Vec<(ModelKind, FrameworkKind)> =
+            VARIANTS.iter().map(|&(_, f)| (ModelKind::Mlp, f)).collect();
+        let results = run_many(ds, &jobs, &model_cfg, cfg, args.threads);
+        let auc_matrix: Vec<Vec<f64>> = results.iter().map(|r| r.domain_auc.clone()).collect();
+        let ranks = average_rank(&auc_matrix);
+        for (i, r) in results.iter().enumerate() {
+            cells[i].push(format!("{:.4}", r.mean_auc));
+            cells[i].push(format!("{:.1}", ranks[i]));
+        }
+    }
+    for row in cells {
+        table.row(row);
+    }
+    println!("\n=== Paper Table VI: ablation study of DN and DR (MLP base model) ===");
+    println!(
+        "(datasets at scale {:.2}, {} epochs, seed {}; RANK within the 4 variants)\n",
+        mamdr_bench::runner::effective_scale(&args),
+        cfg.epochs,
+        args.seed
+    );
+    println!("{}", table.render());
+    println!(
+        "expected shape (paper): both components help; removing DR hurts most on the\n\
+         sparse-domain dataset (Amazon-13); removing DN hurts more as the domain\n\
+         count grows (Taobao-30); removing both is worst everywhere."
+    );
+}

@@ -1,0 +1,59 @@
+//! Hyper-parameter probe: sweeps Domain Regularization strength for MAMDR
+//! on Taobao-30 (where the paper's Fig. 8 lives) so the table defaults can
+//! be chosen on evidence. Not a paper artifact — a development tool.
+
+use mamdr_bench::BenchArgs;
+use mamdr_bench::TableBuilder;
+use mamdr_core::experiment::run;
+use mamdr_core::{FrameworkKind, TrainConfig};
+use mamdr_data::presets;
+use mamdr_models::{ModelConfig, ModelKind};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let ds = presets::taobao(30, args.seed, args.scale * 0.4);
+    let mc = ModelConfig::default();
+
+    let mut base = TrainConfig::bench();
+    base.epochs = args.epochs_or(25);
+    base.outer_lr = 0.5;
+    base.seed = args.seed;
+
+    // Baselines once.
+    let mut table = TableBuilder::new(&["config", "AUC"]);
+    for fk in [FrameworkKind::Alternate, FrameworkKind::Dn] {
+        let r = run(&ds, ModelKind::Mlp, &mc, fk, base);
+        table.metric_row(fk.name(), &[r.mean_auc]);
+        println!("{}", table.render());
+    }
+
+    // MAMDR DR-strength grid.
+    let grid: Vec<(f32, usize, usize)> = vec![
+        (0.8, 16, 5),
+        (0.5, 8, 5),
+        (0.3, 8, 5),
+        (0.2, 4, 5),
+        (0.2, 8, 3),
+    ];
+    let results: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = grid
+            .iter()
+            .map(|&(gamma, look, k)| {
+                let ds = &ds;
+                let mc = &mc;
+                s.spawn(move || {
+                    let mut cfg = base;
+                    cfg.dr_lr = gamma;
+                    cfg.dr_lookahead_batches = look;
+                    cfg.dr_samples = k;
+                    run(ds, ModelKind::Mlp, mc, FrameworkKind::Mamdr, cfg).mean_auc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (&(gamma, look, k), auc) in grid.iter().zip(&results) {
+        table.metric_row(&format!("MAMDR g{gamma} L{look} k{k}"), &[*auc]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! # mamdr-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! MAMDR paper's evaluation (§V). Each binary prints one artifact:
+//!
+//! | binary      | paper artifact |
+//! |-------------|----------------|
+//! | `table5`    | Table V — main comparison on the 5 benchmark datasets |
+//! | `table6`    | Table VI — DN/DR ablation |
+//! | `table7`    | Table VII — per-domain ablation on Amazon-6 |
+//! | `table8`    | Table VIII — industry dataset, method comparison |
+//! | `table9`    | Table IX — top-10 industry domains |
+//! | `table10`   | Table X — frameworks × models on Taobao-10 |
+//! | `fig8`      | Fig. 8 — AUC vs DR sample count k |
+//! | `fig9`      | Fig. 9 — AUC vs inner/outer learning rates |
+//! | `conflict`  | Fig. 3 motivation — gradient-conflict measurements |
+//! | `pscache`   | §IV-E — embedding-cache traffic ablation |
+//!
+//! Criterion micro-benches (`cargo bench`) cover tensor/autodiff kernel
+//! throughput, O(n)-vs-O(n²) framework scaling, and PS cache overhead.
+//!
+//! All binaries accept `--scale <f64>` (dataset size multiplier) and
+//! `--epochs <usize>` so a fast smoke run and a full reproduction use the
+//! same code path.
+
+pub mod args;
+pub mod runner;
+pub mod table;
+
+pub use args::BenchArgs;
+pub use table::TableBuilder;

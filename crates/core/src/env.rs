@@ -1,0 +1,245 @@
+//! The training environment and the trained-model artifact.
+//!
+//! `TrainEnv` is the *only* window a learning framework has onto a model:
+//! flat parameter vectors in, `(loss, flat gradient)` out. This enforces the
+//! model-agnosticism the paper claims — no framework in this crate can even
+//! name an architecture.
+
+use crate::config::TrainConfig;
+use crate::metrics::auc;
+use mamdr_data::{batches_for_domain, Batch, BatchPlan, MdrDataset, Split};
+use mamdr_models::{eval_logits, loss_and_grads, CtrModel};
+use mamdr_nn::{ForwardCtx, ParamStore};
+use mamdr_tensor::rng::{derive_seed, seeded};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Everything a framework needs to train one model on one dataset.
+pub struct TrainEnv<'a> {
+    /// The dataset.
+    pub ds: &'a MdrDataset,
+    /// The architecture being trained (opaque to frameworks).
+    pub model: &'a dyn CtrModel,
+    /// Training hyper-parameters.
+    pub cfg: TrainConfig,
+    /// RNG for shuffling, sampling and dropout.
+    pub rng: StdRng,
+    init_flat: Vec<f32>,
+    scratch: ParamStore,
+}
+
+impl<'a> TrainEnv<'a> {
+    /// Builds an environment around a freshly initialized model.
+    pub fn new(
+        ds: &'a MdrDataset,
+        model: &'a dyn CtrModel,
+        init: ParamStore,
+        cfg: TrainConfig,
+    ) -> Self {
+        let init_flat = init.to_flat();
+        TrainEnv {
+            ds,
+            model,
+            cfg,
+            rng: seeded(derive_seed(cfg.seed, 0xE17)),
+            init_flat,
+            scratch: init,
+        }
+    }
+
+    /// The initialization point Θ₀ (copied).
+    pub fn init_flat(&self) -> Vec<f32> {
+        self.init_flat.clone()
+    }
+
+    /// Flat parameter-vector length.
+    pub fn n_params(&self) -> usize {
+        self.init_flat.len()
+    }
+
+    /// Number of domains in the dataset.
+    pub fn n_domains(&self) -> usize {
+        self.ds.n_domains()
+    }
+
+    /// Loss and flat gradient of the model at `flat` on one batch.
+    ///
+    /// `training` enables dropout (fresh mask per call, drawn from the env
+    /// RNG).
+    pub fn grad(&mut self, flat: &[f32], batch: &Batch, training: bool) -> (f32, Vec<f32>) {
+        self.scratch.load_flat(flat);
+        let mut ctx = if training {
+            ForwardCtx::train(&mut self.rng)
+        } else {
+            ForwardCtx::eval(&mut self.rng)
+        };
+        let (loss, grads) = loss_and_grads(self.model, &self.scratch, batch, &mut ctx);
+        (loss, self.scratch.grads_to_flat(&grads))
+    }
+
+    /// All training batches of one domain, shuffled.
+    pub fn train_batches(&mut self, domain: usize) -> Vec<Batch> {
+        batches_for_domain(
+            self.ds,
+            domain,
+            Split::Train,
+            BatchPlan::train(self.cfg.batch_size),
+            &mut self.rng,
+        )
+    }
+
+    /// One random training batch from a domain.
+    pub fn sample_train_batch(&mut self, domain: usize) -> Batch {
+        let interactions = self.ds.domains[domain].split(Split::Train);
+        assert!(!interactions.is_empty(), "domain {} has no training data", domain);
+        let bs = self.cfg.batch_size.min(interactions.len());
+        let start_max = interactions.len() - bs;
+        let start = if start_max == 0 { 0 } else { self.rng.gen_range(0..=start_max) };
+        mamdr_data::make_batch(self.ds, domain, &interactions[start..start + bs])
+    }
+
+    /// A shuffled domain visit order (fresh each call, as DN requires).
+    pub fn shuffled_domains(&mut self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_domains()).collect();
+        mamdr_tensor::rng::shuffle(&mut self.rng, &mut order);
+        order
+    }
+
+    /// Per-domain AUC of a trained model on `split`.
+    pub fn evaluate(&mut self, trained: &TrainedModel, split: Split) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_domains());
+        for d in 0..self.n_domains() {
+            let flat = trained.flat_for(d);
+            self.scratch.load_flat(&flat);
+            let plan = BatchPlan::eval(self.cfg.batch_size.max(256));
+            let mut rng = seeded(0);
+            let batches = batches_for_domain(self.ds, d, split, plan, &mut rng);
+            let mut labels = Vec::new();
+            let mut scores = Vec::new();
+            for b in &batches {
+                scores.extend(eval_logits(self.model, &self.scratch, b));
+                labels.extend_from_slice(&b.labels);
+            }
+            out.push(auc(&labels, &scores));
+        }
+        out
+    }
+}
+
+/// How a trained model materializes parameters per domain.
+#[derive(Debug, Clone)]
+pub enum DomainParams {
+    /// Every domain is served by the shared parameters alone.
+    SharedOnly,
+    /// Per-domain *deltas*: Θ_d = θS + θ_d (paper Eq. 4 — MAMDR, DR,
+    /// Alternate+Finetune expressed as a delta).
+    Deltas(Vec<Vec<f32>>),
+    /// Per-domain *full* parameter vectors (Separate training).
+    Full(Vec<Vec<f32>>),
+}
+
+/// The artifact a framework produces: shared parameters plus (optionally)
+/// per-domain specializations.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// Shared parameters θS as a flat vector.
+    pub shared: Vec<f32>,
+    /// Per-domain parameterization.
+    pub domains: DomainParams,
+}
+
+impl TrainedModel {
+    /// A model served purely from shared parameters.
+    pub fn shared_only(shared: Vec<f32>) -> Self {
+        TrainedModel { shared, domains: DomainParams::SharedOnly }
+    }
+
+    /// The effective flat parameters for `domain`.
+    pub fn flat_for(&self, domain: usize) -> Vec<f32> {
+        match &self.domains {
+            DomainParams::SharedOnly => self.shared.clone(),
+            DomainParams::Deltas(deltas) => {
+                let mut flat = self.shared.clone();
+                mamdr_nn::vecmath::axpy(&mut flat, 1.0, &deltas[domain]);
+                flat
+            }
+            DomainParams::Full(full) => full[domain].clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamdr_data::{DomainSpec, GeneratorConfig};
+    use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
+
+    fn fixture() -> (MdrDataset, mamdr_models::BuiltModel) {
+        let mut cfg = GeneratorConfig::base("t", 40, 25, 77);
+        cfg.domains = vec![DomainSpec::new("a", 300, 0.3), DomainSpec::new("b", 200, 0.4)];
+        let ds = cfg.generate();
+        let fc = FeatureConfig::from_dataset(&ds);
+        let built = build_model(ModelKind::Mlp, &fc, &ModelConfig::tiny(), 2, 1);
+        (ds, built)
+    }
+
+    #[test]
+    fn grad_is_deterministic_in_eval_mode() {
+        let (ds, built) = fixture();
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let flat = env.init_flat();
+        let batch = mamdr_data::make_batch(&ds, 0, &ds.domains[0].train[..16]);
+        let (l1, g1) = env.grad(&flat, &batch, false);
+        let (l2, g2) = env.grad(&flat, &batch, false);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn sample_train_batch_has_config_size() {
+        let (ds, built) = fixture();
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let b = env.sample_train_batch(1);
+        assert_eq!(b.len(), TrainConfig::quick().batch_size.min(ds.domains[1].train.len()));
+        assert_eq!(b.domain, 1);
+    }
+
+    #[test]
+    fn shuffled_domains_is_permutation() {
+        let (ds, built) = fixture();
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let mut order = env.shuffled_domains();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn trained_model_composition() {
+        let shared = vec![1.0, 2.0, 3.0];
+        let tm = TrainedModel::shared_only(shared.clone());
+        assert_eq!(tm.flat_for(0), shared);
+        let tm = TrainedModel {
+            shared: shared.clone(),
+            domains: DomainParams::Deltas(vec![vec![0.5, 0.0, -1.0], vec![0.0; 3]]),
+        };
+        assert_eq!(tm.flat_for(0), vec![1.5, 2.0, 2.0]);
+        assert_eq!(tm.flat_for(1), shared);
+        let tm = TrainedModel {
+            shared,
+            domains: DomainParams::Full(vec![vec![9.0, 9.0, 9.0], vec![0.0; 3]]),
+        };
+        assert_eq!(tm.flat_for(0), vec![9.0; 3]);
+    }
+
+    #[test]
+    fn evaluate_returns_per_domain_auc() {
+        let (ds, built) = fixture();
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let tm = TrainedModel::shared_only(env.init_flat());
+        let aucs = env.evaluate(&tm, Split::Test);
+        assert_eq!(aucs.len(), 2);
+        for a in aucs {
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Traditional learning frameworks: Alternate, Alternate+Finetune and
+//! per-domain Separate training (paper §V-B "Traditional Learning
+//! Frameworks" plus the `RAW+Separate` industry baseline).
+
+use crate::env::{DomainParams, TrainEnv, TrainedModel};
+use crate::frameworks::Framework;
+use mamdr_nn::vecmath;
+
+/// One Alternate-training epoch: a full pass over every domain's batches in
+/// a shuffled domain order, stepping `opt` on `theta` in place.
+///
+/// Shared by several frameworks (Alternate itself, the shared-parameter
+/// phase of DR-only MAMDR, and finetuning bases).
+pub fn alternate_epoch(
+    env: &mut TrainEnv,
+    theta: &mut Vec<f32>,
+    opt: &mut dyn mamdr_nn::Optimizer,
+) -> f32 {
+    let mut total_loss = 0.0f32;
+    let mut n_batches = 0usize;
+    for d in env.shuffled_domains() {
+        for batch in env.train_batches(d) {
+            let (loss, grad) = env.grad(theta, &batch, true);
+            opt.step(theta, &grad);
+            total_loss += loss;
+            n_batches += 1;
+        }
+    }
+    if n_batches == 0 {
+        0.0
+    } else {
+        total_loss / n_batches as f32
+    }
+}
+
+/// Runs `epochs` passes over a single domain's data, stepping `opt`.
+pub fn domain_epochs(
+    env: &mut TrainEnv,
+    theta: &mut Vec<f32>,
+    opt: &mut dyn mamdr_nn::Optimizer,
+    domain: usize,
+    epochs: usize,
+) {
+    for _ in 0..epochs {
+        for batch in env.train_batches(domain) {
+            let (_, grad) = env.grad(theta, &batch, true);
+            opt.step(theta, &grad);
+        }
+    }
+}
+
+/// Alternate training: one model, domains visited one after another.
+///
+/// The conventional baseline — and exactly what Domain Negotiation degrades
+/// to at β = 1 (verified by a unit test in `mamdr.rs`).
+pub struct Alternate;
+
+impl Framework for Alternate {
+    fn name(&self) -> &'static str {
+        "Alternate"
+    }
+
+    fn train(&self, env: &mut TrainEnv) -> TrainedModel {
+        let mut theta = env.init_flat();
+        let mut opt = env.cfg.inner.build(theta.len());
+        for _ in 0..env.cfg.epochs {
+            alternate_epoch(env, &mut theta, opt.as_mut());
+        }
+        TrainedModel::shared_only(theta)
+    }
+}
+
+/// Alternate training followed by per-domain finetuning: the classic way to
+/// obtain domain-specific models, prone to overfitting on sparse domains
+/// (which DR fixes).
+pub struct AlternateFinetune;
+
+impl Framework for AlternateFinetune {
+    fn name(&self) -> &'static str {
+        "Alternate+Finetune"
+    }
+
+    fn train(&self, env: &mut TrainEnv) -> TrainedModel {
+        let mut shared = env.init_flat();
+        let mut opt = env.cfg.inner.build(shared.len());
+        for _ in 0..env.cfg.epochs {
+            alternate_epoch(env, &mut shared, opt.as_mut());
+        }
+        let mut deltas = Vec::with_capacity(env.n_domains());
+        for d in 0..env.n_domains() {
+            let mut theta = shared.clone();
+            let mut fopt = env.cfg.inner.build(theta.len());
+            domain_epochs(env, &mut theta, fopt.as_mut(), d, env.cfg.finetune_epochs);
+            deltas.push(vecmath::sub(&theta, &shared));
+        }
+        TrainedModel { shared, domains: DomainParams::Deltas(deltas) }
+    }
+}
+
+/// One independent model per domain (paper Fig. 1b / `RAW+Separate`): no
+/// knowledge sharing at all, so sparse domains overfit badly.
+pub struct Separate;
+
+impl Framework for Separate {
+    fn name(&self) -> &'static str {
+        "Separate"
+    }
+
+    fn train(&self, env: &mut TrainEnv) -> TrainedModel {
+        let init = env.init_flat();
+        let mut full = Vec::with_capacity(env.n_domains());
+        for d in 0..env.n_domains() {
+            let mut theta = init.clone();
+            let mut opt = env.cfg.inner.build(theta.len());
+            domain_epochs(env, &mut theta, opt.as_mut(), d, env.cfg.epochs);
+            full.push(theta);
+        }
+        TrainedModel { shared: init, domains: DomainParams::Full(full) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::test_support::{fixture_env, train_loss};
+
+    #[test]
+    fn alternate_reduces_training_loss() {
+        let (ds, built) = crate::test_support::fixture();
+        let mut env = fixture_env(&ds, &built, TrainConfig::quick().with_epochs(4));
+        let init = env.init_flat();
+        let before = train_loss(&mut env, &init);
+        let tm = Alternate.train(&mut env);
+        let after = train_loss(&mut env, &tm.shared);
+        assert!(after < before, "loss {} -> {}", before, after);
+    }
+
+    #[test]
+    fn finetune_produces_nonzero_deltas() {
+        let (ds, built) = crate::test_support::fixture();
+        let mut env = fixture_env(&ds, &built, TrainConfig::quick());
+        let tm = AlternateFinetune.train(&mut env);
+        match &tm.domains {
+            DomainParams::Deltas(deltas) => {
+                assert_eq!(deltas.len(), ds.n_domains());
+                for d in deltas {
+                    assert!(vecmath::norm(d) > 0.0, "finetune delta is zero");
+                }
+            }
+            other => panic!("expected deltas, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn separate_models_differ_across_domains() {
+        let (ds, built) = crate::test_support::fixture();
+        let mut env = fixture_env(&ds, &built, TrainConfig::quick());
+        let tm = Separate.train(&mut env);
+        let f0 = tm.flat_for(0);
+        let f1 = tm.flat_for(1);
+        assert_ne!(f0, f1);
+    }
+}

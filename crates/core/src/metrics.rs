@@ -1,0 +1,174 @@
+//! Evaluation metrics: AUC, logloss and the paper's average-RANK.
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U), with
+/// average ranks for tied scores.
+///
+/// Returns 0.5 when either class is absent (an undefined AUC is scored as
+/// chance, which keeps per-domain averages well-defined for tiny domains).
+pub fn auc(labels: &[f32], scores: &[f32]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score ascending; assign average ranks to ties.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 share the average rank
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Mean binary cross-entropy of probabilities against {0,1} labels,
+/// clamped away from 0/1 for numerical safety.
+pub fn logloss(labels: &[f32], probs: &[f32]) -> f64 {
+    assert_eq!(labels.len(), probs.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&y, &p) in labels.iter().zip(probs) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        total -= if y > 0.5 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / labels.len() as f64
+}
+
+/// The paper's RANK metric: for a `methods × domains` AUC matrix, ranks the
+/// methods within each domain (1 = best, ties share the average rank) and
+/// returns each method's rank averaged over domains.
+pub fn average_rank(auc_matrix: &[Vec<f64>]) -> Vec<f64> {
+    if auc_matrix.is_empty() {
+        return Vec::new();
+    }
+    let n_methods = auc_matrix.len();
+    let n_domains = auc_matrix[0].len();
+    assert!(
+        auc_matrix.iter().all(|row| row.len() == n_domains),
+        "ragged AUC matrix"
+    );
+    let mut rank_sums = vec![0.0f64; n_methods];
+    for d in 0..n_domains {
+        // Sort methods by AUC descending within this domain.
+        let mut order: Vec<usize> = (0..n_methods).collect();
+        order.sort_by(|&a, &b| auc_matrix[b][d].partial_cmp(&auc_matrix[a][d]).unwrap());
+        let mut i = 0usize;
+        while i < n_methods {
+            let mut j = i;
+            while j + 1 < n_methods && auc_matrix[order[j + 1]][d] == auc_matrix[order[i]][d] {
+                j += 1;
+            }
+            let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+            for &m in &order[i..=j] {
+                rank_sums[m] += avg_rank;
+            }
+            i = j + 1;
+        }
+    }
+    rank_sums.iter().map(|s| s / n_domains as f64).collect()
+}
+
+/// Arithmetic mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&labels, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(auc(&labels, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores identical -> ties -> AUC 0.5.
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0];
+        assert!((auc(&labels, &[0.5; 5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_single_class() {
+        assert_eq!(auc(&[1.0, 1.0], &[0.3, 0.6]), 0.5);
+        assert_eq!(auc(&[0.0, 0.0], &[0.3, 0.6]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_pair_counting() {
+        // Brute-force comparison on a small example with ties.
+        let labels = [1.0, 0.0, 1.0, 0.0, 0.0, 1.0];
+        let scores = [0.9, 0.9, 0.7, 0.3, 0.7, 0.2];
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                if labels[i] > 0.5 && labels[j] < 0.5 {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((auc(&labels, &scores) - wins / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logloss_basics() {
+        assert!(logloss(&[1.0], &[0.99]) < 0.02);
+        assert!(logloss(&[1.0], &[0.01]) > 4.0);
+        // clamping keeps it finite at the extremes
+        assert!(logloss(&[1.0, 0.0], &[0.0, 1.0]).is_finite());
+    }
+
+    #[test]
+    fn average_rank_orders_methods() {
+        // Method 0 best everywhere, method 2 worst everywhere.
+        let aucs = vec![
+            vec![0.9, 0.8, 0.95],
+            vec![0.7, 0.7, 0.8],
+            vec![0.5, 0.6, 0.6],
+        ];
+        let ranks = average_rank(&aucs);
+        assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn average_rank_splits_ties() {
+        let aucs = vec![vec![0.8], vec![0.8], vec![0.5]];
+        let ranks = average_rank(&aucs);
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn mean_empty_and_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Ranking metrics beyond AUC: per-user GAUC, NDCG@k and HitRate@k.
+//!
+//! The paper evaluates CTR prediction with AUC only, but the deployed
+//! system serves ranked lists; these are the metrics a production MDR
+//! platform also tracks, provided so downstream users can evaluate the
+//! trained models the way they would in serving.
+
+use std::collections::HashMap;
+
+/// One scored example attributed to a user.
+#[derive(Debug, Clone, Copy)]
+pub struct UserScore {
+    /// User id the example belongs to.
+    pub user: u32,
+    /// Binary relevance label.
+    pub label: f32,
+    /// Model score.
+    pub score: f32,
+}
+
+/// Group AUC: per-user AUC weighted by the user's impression count, with
+/// users lacking both classes skipped (the standard industrial definition).
+///
+/// Returns 0.5 when no user has both classes.
+pub fn gauc(examples: &[UserScore]) -> f64 {
+    let mut by_user: HashMap<u32, (Vec<f32>, Vec<f32>)> = HashMap::new();
+    for e in examples {
+        let entry = by_user.entry(e.user).or_default();
+        entry.0.push(e.label);
+        entry.1.push(e.score);
+    }
+    let mut weighted = 0.0f64;
+    let mut weight = 0.0f64;
+    for (labels, scores) in by_user.values() {
+        let pos = labels.iter().filter(|&&y| y > 0.5).count();
+        if pos == 0 || pos == labels.len() {
+            continue;
+        }
+        let w = labels.len() as f64;
+        weighted += w * crate::metrics::auc(labels, scores);
+        weight += w;
+    }
+    if weight == 0.0 {
+        0.5
+    } else {
+        weighted / weight
+    }
+}
+
+/// Indices of the top-k scores, descending (ties broken by index).
+fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Normalized discounted cumulative gain at `k` for one ranked list.
+///
+/// Binary relevance; returns 0 when the list holds no positives.
+pub fn ndcg_at_k(labels: &[f32], scores: &[f32], k: usize) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    if labels.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = top_k_indices(scores, k)
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| labels[i] as f64 / ((rank + 2) as f64).log2())
+        .sum();
+    let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let ideal: f64 = (0..n_pos.min(k))
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// HitRate@k: 1 if any positive appears in the top-k, else 0.
+pub fn hit_rate_at_k(labels: &[f32], scores: &[f32], k: usize) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    let hit = top_k_indices(scores, k)
+        .iter()
+        .any(|&i| labels[i] > 0.5);
+    f64::from(u8::from(hit))
+}
+
+/// Mean NDCG@k over per-user lists (users with no positives skipped).
+pub fn mean_ndcg_at_k(examples: &[UserScore], k: usize) -> f64 {
+    let mut by_user: HashMap<u32, (Vec<f32>, Vec<f32>)> = HashMap::new();
+    for e in examples {
+        let entry = by_user.entry(e.user).or_default();
+        entry.0.push(e.label);
+        entry.1.push(e.score);
+    }
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for (labels, scores) in by_user.values() {
+        if !labels.iter().any(|&y| y > 0.5) {
+            continue;
+        }
+        total += ndcg_at_k(labels, scores, k);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(user: u32, label: f32, score: f32) -> UserScore {
+        UserScore { user, label, score }
+    }
+
+    #[test]
+    fn gauc_weights_users_by_impressions() {
+        // User 1: perfect ranking over 4 impressions. User 2: inverted over 2.
+        let examples = vec![
+            ex(1, 1.0, 0.9),
+            ex(1, 1.0, 0.8),
+            ex(1, 0.0, 0.2),
+            ex(1, 0.0, 0.1),
+            ex(2, 1.0, 0.1),
+            ex(2, 0.0, 0.9),
+        ];
+        // (4 * 1.0 + 2 * 0.0) / 6
+        assert!((gauc(&examples) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauc_skips_single_class_users() {
+        let examples = vec![ex(1, 1.0, 0.3), ex(1, 1.0, 0.5), ex(2, 1.0, 0.9), ex(2, 0.0, 0.1)];
+        assert_eq!(gauc(&examples), 1.0);
+        // no user with both classes -> 0.5
+        assert_eq!(gauc(&[ex(1, 1.0, 0.2)]), 0.5);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_worst() {
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        let perfect = [0.9, 0.2, 0.1, 0.8];
+        assert!((ndcg_at_k(&labels, &perfect, 4) - 1.0).abs() < 1e-12);
+        let worst = [0.1, 0.9, 0.8, 0.2];
+        assert!(ndcg_at_k(&labels, &worst, 4) < 1.0);
+        assert!(ndcg_at_k(&labels, &worst, 4) > 0.0);
+        // no positives at all
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], &[0.5, 0.4], 2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_position_sensitive() {
+        let labels = [1.0, 0.0, 0.0];
+        let first = ndcg_at_k(&labels, &[0.9, 0.5, 0.1], 3);
+        let second = ndcg_at_k(&labels, &[0.5, 0.9, 0.1], 3);
+        let third = ndcg_at_k(&labels, &[0.3, 0.9, 0.5], 3);
+        assert!(first > second && second > third);
+    }
+
+    #[test]
+    fn hit_rate_at_k_basics() {
+        let labels = [0.0, 0.0, 1.0];
+        let scores = [0.9, 0.8, 0.7];
+        assert_eq!(hit_rate_at_k(&labels, &scores, 1), 0.0);
+        assert_eq!(hit_rate_at_k(&labels, &scores, 3), 1.0);
+    }
+
+    #[test]
+    fn mean_ndcg_averages_over_users() {
+        let examples = vec![
+            ex(1, 1.0, 0.9),
+            ex(1, 0.0, 0.1), // perfect: ndcg 1
+            ex(2, 0.0, 0.9),
+            ex(2, 1.0, 0.1), // positive last of 2
+            ex(3, 0.0, 0.5), // skipped: no positive
+        ];
+        let got = mean_ndcg_at_k(&examples, 2);
+        let user2 = (1.0 / 3.0f64.log2()) / 1.0;
+        assert!((got - (1.0 + user2) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared fixtures for this crate's unit tests (compiled only for tests).
+
+use crate::config::TrainConfig;
+use crate::env::TrainEnv;
+use mamdr_data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr_models::{build_model, BuiltModel, FeatureConfig, ModelConfig, ModelKind};
+
+/// A small two-domain dataset plus a tiny MLP — enough signal for every
+/// framework to demonstrably reduce the loss within a couple of epochs.
+pub fn fixture() -> (MdrDataset, BuiltModel) {
+    let mut cfg = GeneratorConfig::base("fixture", 60, 40, 123);
+    cfg.domains = vec![DomainSpec::new("a", 400, 0.3), DomainSpec::new("b", 300, 0.4)];
+    let ds = cfg.generate();
+    let fc = FeatureConfig::from_dataset(&ds);
+    let built = build_model(ModelKind::Mlp, &fc, &ModelConfig::tiny(), ds.n_domains(), 7);
+    (ds, built)
+}
+
+/// Wraps a fixture into a training environment.
+pub fn fixture_env<'a>(ds: &'a MdrDataset, built: &'a BuiltModel, cfg: TrainConfig) -> TrainEnv<'a> {
+    TrainEnv::new(ds, built.model.as_ref(), built.params.clone(), cfg)
+}
+
+/// Mean training loss over all domains at a parameter point (dropout off).
+pub fn train_loss(env: &mut TrainEnv, flat: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    let mut n = 0usize;
+    for d in 0..env.n_domains() {
+        for batch in env.train_batches(d) {
+            let (loss, _) = env.grad(flat, &batch, false);
+            total += loss;
+            n += 1;
+        }
+    }
+    total / n.max(1) as f32
+}

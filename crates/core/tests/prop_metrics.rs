@@ -1,0 +1,78 @@
+//! Property-based tests of the evaluation metrics.
+
+use mamdr_core::metrics::{auc, average_rank, logloss, mean};
+use proptest::prelude::*;
+
+fn labeled_scores() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((proptest::bool::ANY, -5.0f32..5.0), 2..60).prop_map(|pairs| {
+        let labels = pairs.iter().map(|&(y, _)| f32::from(y)).collect();
+        let scores = pairs.iter().map(|&(_, s)| s).collect();
+        (labels, scores)
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded((labels, scores) in labeled_scores()) {
+        let a = auc(&labels, &scores);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform((labels, scores) in labeled_scores()) {
+        // AUC is a ranking metric: any strictly increasing transform of the
+        // scores must leave it unchanged.
+        let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.3).exp() + 2.0 * s).collect();
+        prop_assert!((auc(&labels, &scores) - auc(&labels, &transformed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_flips_under_negation((labels, scores) in labeled_scores()) {
+        let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
+        prop_assume!(n_pos > 0 && n_pos < labels.len());
+        let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        prop_assert!((auc(&labels, &scores) + auc(&labels, &negated) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_permutation_invariant((labels, scores) in labeled_scores(), seed in 0u64..100) {
+        let mut idx: Vec<usize> = (0..labels.len()).collect();
+        mamdr_tensor::rng::shuffle(&mut mamdr_tensor::rng::seeded(seed), &mut idx);
+        let pl: Vec<f32> = idx.iter().map(|&i| labels[i]).collect();
+        let ps: Vec<f32> = idx.iter().map(|&i| scores[i]).collect();
+        prop_assert!((auc(&labels, &scores) - auc(&pl, &ps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logloss_is_nonnegative_and_finite((labels, _) in labeled_scores(), p in proptest::collection::vec(0.0f32..=1.0, 60)) {
+        let probs = &p[..labels.len()];
+        let ll = logloss(&labels, probs);
+        prop_assert!(ll >= 0.0 && ll.is_finite());
+    }
+
+    #[test]
+    fn average_rank_is_a_permutation_statistic(
+        aucs in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4), 2..6,
+        ),
+    ) {
+        let n_methods = aucs.len();
+        let ranks = average_rank(&aucs);
+        prop_assert_eq!(ranks.len(), n_methods);
+        // ranks live in [1, n] and sum to n(n+1)/2 per domain on average
+        let expected_sum = (n_methods * (n_methods + 1)) as f64 / 2.0;
+        let total: f64 = ranks.iter().sum();
+        prop_assert!((total - expected_sum).abs() < 1e-6, "{} vs {}", total, expected_sum);
+        for &r in &ranks {
+            prop_assert!((1.0..=n_methods as f64).contains(&r));
+        }
+    }
+
+    #[test]
+    fn mean_within_bounds(xs in proptest::collection::vec(0.0f64..1.0, 1..40)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(m >= lo - 1e-12 && m <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the serving-side ranking metrics.
+
+use mamdr_core::ranking::{gauc, hit_rate_at_k, ndcg_at_k, UserScore};
+use proptest::prelude::*;
+
+fn lists() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((proptest::bool::ANY, -3.0f32..3.0), 1..30).prop_map(|pairs| {
+        (
+            pairs.iter().map(|&(y, _)| f32::from(y)).collect(),
+            pairs.iter().map(|&(_, s)| s).collect(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn ndcg_is_bounded((labels, scores) in lists(), k in 1usize..10) {
+        let v = ndcg_at_k(&labels, &scores, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+    }
+
+    #[test]
+    fn ndcg_of_ideal_ranking_is_one((labels, _) in lists(), k in 1usize..10) {
+        prop_assume!(labels.iter().any(|&y| y > 0.5));
+        // Score = label: positives first, the ideal ordering.
+        let v = ndcg_at_k(&labels, &labels, k);
+        prop_assert!((v - 1.0).abs() < 1e-9, "ideal ndcg {}", v);
+    }
+
+    #[test]
+    fn ndcg_invariant_under_monotone_transform((labels, scores) in lists(), k in 1usize..8) {
+        let t: Vec<f32> = scores.iter().map(|&s| s.exp() + 3.0 * s).collect();
+        prop_assert!((ndcg_at_k(&labels, &scores, k) - ndcg_at_k(&labels, &t, k)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_k((labels, scores) in lists()) {
+        let mut prev = 0.0;
+        for k in 1..=labels.len() {
+            let h = hit_rate_at_k(&labels, &scores, k);
+            prop_assert!(h >= prev, "hit rate decreased at k={}", k);
+            prev = h;
+        }
+        // At k = n, hit rate is exactly "any positive exists".
+        let expect = f64::from(u8::from(labels.iter().any(|&y| y > 0.5)));
+        prop_assert_eq!(prev, expect);
+    }
+
+    #[test]
+    fn gauc_is_bounded_and_permutation_invariant(
+        (labels, scores) in lists(),
+        users in proptest::collection::vec(0u32..4, 30),
+        seed in 0u64..50,
+    ) {
+        let examples: Vec<UserScore> = labels
+            .iter()
+            .zip(&scores)
+            .zip(&users)
+            .map(|((&label, &score), &user)| UserScore { user, label, score })
+            .collect();
+        let g = gauc(&examples);
+        prop_assert!((0.0..=1.0).contains(&g));
+        let mut shuffled = examples.clone();
+        mamdr_tensor::rng::shuffle(&mut mamdr_tensor::rng::seeded(seed), &mut shuffled);
+        prop_assert!((gauc(&shuffled) - g).abs() < 1e-12);
+    }
+}

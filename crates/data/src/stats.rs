@@ -1,0 +1,113 @@
+//! Dataset statistics reporting (reproduces the layout of paper Tables I–IV).
+
+use crate::types::{MdrDataset, Split};
+use std::fmt::Write as _;
+
+/// One row of the overall-statistics table (paper Table I).
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Domain count.
+    pub n_domains: usize,
+    /// User count.
+    pub n_users: usize,
+    /// Item count.
+    pub n_items: usize,
+    /// Training interactions.
+    pub n_train: usize,
+    /// Validation interactions.
+    pub n_val: usize,
+    /// Test interactions.
+    pub n_test: usize,
+    /// Mean interactions per domain.
+    pub samples_per_domain: usize,
+}
+
+/// Computes the Table-I style summary for a dataset.
+pub fn summarize(ds: &MdrDataset) -> DatasetSummary {
+    let n_train = ds.split_len(Split::Train);
+    let n_val = ds.split_len(Split::Val);
+    let n_test = ds.split_len(Split::Test);
+    DatasetSummary {
+        name: ds.name.clone(),
+        n_domains: ds.n_domains(),
+        n_users: ds.n_users,
+        n_items: ds.n_items,
+        n_train,
+        n_val,
+        n_test,
+        samples_per_domain: (n_train + n_val + n_test) / ds.n_domains().max(1),
+    }
+}
+
+/// Renders per-domain statistics in the layout of paper Tables II–IV:
+/// sample count, percentage of the dataset, and CTR ratio per domain.
+pub fn per_domain_table(ds: &MdrDataset) -> String {
+    let total: usize = ds.domains.iter().map(|d| d.len()).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:>10} {:>9} {:>10}", "Domain", "#Samples", "Pct", "CTR Ratio");
+    for d in &ds.domains {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>8.2}% {:>10.2}",
+            d.name,
+            d.len(),
+            100.0 * d.len() as f64 / total.max(1) as f64,
+            d.ctr_ratio
+        );
+    }
+    out
+}
+
+/// Renders the Table-I style header row for a set of datasets.
+pub fn overall_table(summaries: &[DatasetSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>14}",
+        "Dataset", "#Domain", "#User", "#Item", "#Train", "#Val", "#Test", "Sample/Domain"
+    );
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>14}",
+            s.name, s.n_domains, s.n_users, s.n_items, s.n_train, s.n_val, s.n_test,
+            s.samples_per_domain
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::amazon6;
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let ds = amazon6(1, 0.05);
+        let s = summarize(&ds);
+        assert_eq!(s.n_domains, 6);
+        let total: usize = ds.domains.iter().map(|d| d.len()).sum();
+        assert_eq!(s.n_train + s.n_val + s.n_test, total);
+        assert!(s.samples_per_domain > 0);
+    }
+
+    #[test]
+    fn tables_render() {
+        let ds = amazon6(1, 0.05);
+        let t = per_domain_table(&ds);
+        assert!(t.contains("Prime Pantry"));
+        assert!(t.contains("CTR Ratio"));
+        let o = overall_table(&[summarize(&ds)]);
+        assert!(o.contains("amazon-6"));
+        // percentages should sum to ~100
+        let pct_sum: f64 = ds
+            .domains
+            .iter()
+            .map(|d| 100.0 * d.len() as f64 / ds.domains.iter().map(|x| x.len()).sum::<usize>() as f64)
+            .sum();
+        assert!((pct_sum - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the MDR dataset generator: every configuration
+//! in a broad random family must yield a valid dataset that honors its
+//! spec (CTR ratios, split fractions, id ranges, determinism).
+
+use mamdr_data::{DomainSpec, GeneratorConfig, Split};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        20usize..150,                                 // users
+        10usize..80,                                  // items
+        0.0f32..1.0,                                  // conflict
+        proptest::collection::vec((100usize..600, 0.2f32..0.5), 1..4), // domains
+        0u64..500,                                    // seed
+        prop_oneof![Just(0usize), Just(4usize)],      // dense dim
+    )
+        .prop_map(|(users, items, conflict, domains, seed, dense)| {
+            let mut cfg = GeneratorConfig::base("prop", users, items, seed);
+            cfg.conflict = conflict;
+            cfg.dense_dim = dense;
+            cfg.domains = domains
+                .into_iter()
+                .enumerate()
+                .map(|(i, (n, ctr))| DomainSpec::new(format!("d{i}"), n, ctr))
+                .collect();
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_datasets_are_valid(cfg in config_strategy()) {
+        let ds = cfg.generate();
+        ds.validate(); // panics on any structural violation
+        prop_assert_eq!(ds.n_domains(), cfg.domains.len());
+        prop_assert_eq!(ds.dense_dim(), cfg.dense_dim);
+    }
+
+    #[test]
+    fn ctr_ratio_tracks_spec(cfg in config_strategy()) {
+        let ds = cfg.generate();
+        for (dom, spec) in ds.domains.iter().zip(&cfg.domains) {
+            let total: f32 = dom.len() as f32;
+            prop_assume!(total > 50.0); // tiny domains are too noisy to assert on
+            let pos: f32 = [Split::Train, Split::Val, Split::Test]
+                .iter()
+                .flat_map(|&s| dom.split(s))
+                .map(|i| i.label)
+                .sum();
+            let expect = spec.ctr_ratio / (1.0 + spec.ctr_ratio);
+            prop_assert!(
+                ((pos / total) - expect).abs() < 0.07,
+                "domain {}: {} vs {}",
+                dom.name, pos / total, expect
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_pure(cfg in config_strategy()) {
+        let a = cfg.generate();
+        let b = cfg.generate();
+        for (da, db) in a.domains.iter().zip(&b.domains) {
+            prop_assert_eq!(&da.train, &db.train);
+            prop_assert_eq!(&da.val, &db.val);
+            prop_assert_eq!(&da.test, &db.test);
+        }
+        prop_assert_eq!(a.user_group, b.user_group);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover(cfg in config_strategy()) {
+        let ds = cfg.generate();
+        for dom in &ds.domains {
+            let n = dom.len();
+            prop_assert_eq!(dom.train.len() + dom.val.len() + dom.test.len(), n);
+            // No (user, item) pair may appear in two splits (leakage).
+            use std::collections::HashSet;
+            let train: HashSet<(u32, u32)> = dom.train.iter().map(|i| (i.user, i.item)).collect();
+            let val: HashSet<(u32, u32)> = dom.val.iter().map(|i| (i.user, i.item)).collect();
+            let test: HashSet<(u32, u32)> = dom.test.iter().map(|i| (i.user, i.item)).collect();
+            prop_assert!(train.is_disjoint(&val), "train/val leak in {}", dom.name);
+            prop_assert!(train.is_disjoint(&test), "train/test leak in {}", dom.name);
+            prop_assert!(val.is_disjoint(&test), "val/test leak in {}", dom.name);
+        }
+    }
+
+    #[test]
+    fn batching_covers_split_once(cfg in config_strategy(), bs in 8usize..64) {
+        let ds = cfg.generate();
+        let mut rng = mamdr_tensor::rng::seeded(1);
+        let batches = mamdr_data::batches_for_domain(
+            &ds, 0, Split::Train, mamdr_data::BatchPlan::train(bs), &mut rng,
+        );
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, ds.domains[0].train.len());
+        for b in &batches {
+            prop_assert!(b.len() <= bs);
+            prop_assert_eq!(b.users.len(), b.labels.len());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! First-order optimizers over flat parameter vectors.
+//!
+//! The paper configures inner- and outer-loop optimizers independently
+//! (§IV-E): Adam for the benchmark datasets, SGD inner + Adagrad outer for
+//! the industry deployment. All three are provided; each owns its state
+//! vectors and can be `reset` when a framework re-enters an inner loop.
+
+/// A first-order optimizer updating `params` in place from `grads`.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    /// Clears accumulated state (moments, history).
+    fn reset(&mut self);
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Replaces the learning rate.
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Which optimizer to instantiate — lets experiment configs stay declarative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent (optionally with momentum).
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam with standard betas.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adagrad.
+    Adagrad {
+        /// Learning rate.
+        lr: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Materializes the optimizer for a parameter vector of length `n`.
+    pub fn build(self, n: usize) -> Box<dyn Optimizer> {
+        match self {
+            OptimizerKind::Sgd { lr, momentum } => Box::new(Sgd::new(lr, momentum, n)),
+            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr, n)),
+            OptimizerKind::Adagrad { lr } => Box::new(Adagrad::new(lr, n)),
+        }
+    }
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// A new SGD optimizer for `n` parameters.
+    pub fn new(lr: f32, momentum: f32, n: usize) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: if momentum > 0.0 { vec![0.0; n] } else { Vec::new() },
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.momentum > 0.0 {
+            for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+                *v = self.momentum * *v + g;
+                *p -= self.lr * *v;
+            }
+        } else {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= self.lr * g;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// A new Adam optimizer for `n` parameters with standard betas
+    /// (0.9, 0.999).
+    pub fn new(lr: f32, n: usize) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad (Duchi et al.), the paper's outer-loop optimizer on the industry
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    acc: Vec<f32>,
+}
+
+impl Adagrad {
+    /// A new Adagrad optimizer for `n` parameters.
+    pub fn new(lr: f32, n: usize) -> Self {
+        Adagrad { lr, eps: 1e-8, acc: vec![0.0; n] }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        for ((p, &g), a) in params.iter_mut().zip(grads).zip(&mut self.acc) {
+            *a += g * g;
+            *p -= self.lr * g / (a.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.acc.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gradient of the convex quadratic `0.5 * ||p - target||²`.
+    fn quad_grad(p: &[f32], target: &[f32]) -> Vec<f32> {
+        p.iter().zip(target).map(|(&x, &t)| x - t).collect()
+    }
+
+    fn converges(mut opt: Box<dyn Optimizer>, steps: usize) -> f32 {
+        let target = [1.0f32, -2.0, 3.0];
+        let mut p = vec![0.0f32; 3];
+        for _ in 0..steps {
+            let g = quad_grad(&p, &target);
+            opt.step(&mut p, &g);
+        }
+        p.iter()
+            .zip(&target)
+            .map(|(&x, &t)| (x - t).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::Sgd { lr: 0.1, momentum: 0.0 }.build(3), 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(converges(OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 }.build(3), 300) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::Adam { lr: 0.1 }.build(3), 500) < 1e-2);
+    }
+
+    #[test]
+    fn adagrad_converges_on_quadratic() {
+        assert!(converges(OptimizerKind::Adagrad { lr: 1.0 }.build(3), 500) < 1e-2);
+    }
+
+    #[test]
+    fn plain_sgd_step_is_exact() {
+        let mut opt = Sgd::new(0.5, 0.0, 2);
+        let mut p = vec![1.0, 2.0];
+        opt.step(&mut p, &[2.0, -2.0]);
+        assert_eq!(p, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::new(0.1, 2);
+        let mut p = vec![0.0, 0.0];
+        adam.step(&mut p, &[1.0, 1.0]);
+        assert!(adam.t == 1 && adam.m[0] != 0.0);
+        adam.reset();
+        assert!(adam.t == 0 && adam.m[0] == 0.0 && adam.v[0] == 0.0);
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut opt = Adagrad::new(0.3, 1);
+        assert_eq!(opt.learning_rate(), 0.3);
+        opt.set_learning_rate(0.7);
+        assert_eq!(opt.learning_rate(), 0.7);
+    }
+}

@@ -1,0 +1,196 @@
+//! Model persistence: binary save/load of a [`ParamStore`]'s values.
+//!
+//! The trained artifact of every framework is a flat parameter vector (or
+//! one per domain); serving needs those to survive the training process.
+//! The format stores shapes alongside values so loading validates that the
+//! checkpoint matches the model that reads it.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "MAMDRNN1"
+//! u32 n_tensors
+//! n_tensors × ( u16 name_len, name bytes (utf-8),
+//!               u8 rank, rank × u32 dims,
+//!               numel × f32 )
+//! ```
+
+use crate::store::ParamStore;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"MAMDRNN1";
+
+/// A persistence error.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a valid snapshot, or does not match the store.
+    Mismatch(String),
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Mismatch(m) => write!(f, "snapshot mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Writes every parameter tensor (names, shapes, values).
+pub fn save_params(store: &ParamStore, mut w: impl Write) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.n_tensors() as u32).to_le_bytes())?;
+    for (_, spec, tensor) in store.iter() {
+        let name = spec.name.as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(PersistError::Mismatch(format!("name too long: {}", spec.name)));
+        }
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+        let dims = tensor.shape();
+        if dims.len() > u8::MAX as usize {
+            return Err(PersistError::Mismatch("rank too large".into()));
+        }
+        w.write_all(&[dims.len() as u8])?;
+        for &d in dims {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a snapshot into an existing store.
+///
+/// The store must have been built from the same model (same tensor names,
+/// order and shapes); any divergence is an error, never a silent partial
+/// load.
+pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), PersistError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Mismatch("bad magic".into()));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4) as usize;
+    if n != store.n_tensors() {
+        return Err(PersistError::Mismatch(format!(
+            "snapshot has {} tensors, store has {}",
+            n,
+            store.n_tensors()
+        )));
+    }
+    for idx in 0..n {
+        let mut b2 = [0u8; 2];
+        r.read_exact(&mut b2)?;
+        let name_len = u16::from_le_bytes(b2) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| PersistError::Mismatch("non-utf8 name".into()))?;
+        let expected = &store.spec(idx).name;
+        if &name != expected {
+            return Err(PersistError::Mismatch(format!(
+                "tensor {idx}: snapshot has {name:?}, store expects {expected:?}"
+            )));
+        }
+        let mut b1 = [0u8; 1];
+        r.read_exact(&mut b1)?;
+        let rank = b1[0] as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut b4)?;
+            dims.push(u32::from_le_bytes(b4) as usize);
+        }
+        if dims != store.spec(idx).shape {
+            return Err(PersistError::Mismatch(format!(
+                "tensor {name}: snapshot shape {:?} vs store {:?}",
+                dims,
+                store.spec(idx).shape
+            )));
+        }
+        let numel: usize = dims.iter().product::<usize>().max(1);
+        let numel = if dims.is_empty() { 1 } else { numel };
+        let mut buf = vec![0u8; 4 * numel];
+        r.read_exact(&mut buf)?;
+        let values: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        store.get_mut(idx).data_mut().copy_from_slice(&values);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ParamStoreBuilder;
+    use mamdr_tensor::init::Init;
+    use mamdr_tensor::rng::seeded;
+
+    fn store(seed: u64) -> ParamStore {
+        let mut b = ParamStoreBuilder::new();
+        b.register("layer/w", &[3, 4], Init::XavierNormal);
+        b.register("layer/b", &[4], Init::Zeros);
+        b.register("emb", &[5, 2], Init::Normal(0.01));
+        b.build(&mut seeded(seed))
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let src = store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let mut dst = store(2); // different init values, same layout
+        assert_ne!(dst.to_flat(), src.to_flat());
+        load_params(&mut dst, buf.as_slice()).unwrap();
+        assert_eq!(dst.to_flat(), src.to_flat());
+    }
+
+    #[test]
+    fn rejects_layout_mismatch() {
+        let src = store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        // A store with a different tensor name must refuse the snapshot.
+        let mut b = ParamStoreBuilder::new();
+        b.register("layer/w", &[3, 4], Init::Zeros);
+        b.register("layer/bias", &[4], Init::Zeros);
+        b.register("emb", &[5, 2], Init::Zeros);
+        let mut other = b.build(&mut seeded(3));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)), "{err}");
+        // A store with a different shape must refuse too.
+        let mut b = ParamStoreBuilder::new();
+        b.register("layer/w", &[4, 3], Init::Zeros);
+        b.register("layer/b", &[4], Init::Zeros);
+        b.register("emb", &[5, 2], Init::Zeros);
+        let mut other = b.build(&mut seeded(3));
+        assert!(load_params(&mut other, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_garbage() {
+        let src = store(1);
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut dst = store(2);
+        assert!(load_params(&mut dst, buf.as_slice()).is_err());
+        assert!(load_params(&mut dst, &b"JUNKJUNK"[..]).is_err());
+    }
+}

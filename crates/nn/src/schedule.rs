@@ -1,0 +1,150 @@
+//! Learning-rate schedules.
+//!
+//! The paper's industry deployment uses "a dynamical learning rate ranging
+//! from 0.1 to 1" for the outer loop (§V-C); these schedules provide that
+//! and the common alternatives. A schedule is a pure function of the epoch
+//! index — callers apply it with [`Optimizer::set_learning_rate`] at epoch
+//! boundaries.
+
+use crate::optim::Optimizer;
+
+/// A learning-rate schedule: maps an epoch index to a rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant(f32),
+    /// Multiply by `factor` every `every` epochs: `lr · factor^(epoch/every)`.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Decay multiplier per step (0 < factor ≤ 1).
+        factor: f32,
+        /// Epochs between decays (≥ 1).
+        every: usize,
+    },
+    /// Cosine annealing from `max_lr` down to `min_lr` over `total` epochs.
+    Cosine {
+        /// Peak rate (epoch 0).
+        max_lr: f32,
+        /// Floor rate (epoch ≥ total).
+        min_lr: f32,
+        /// Annealing horizon in epochs (≥ 1).
+        total: usize,
+    },
+    /// Linear warmup from `start_lr` to `peak_lr` over `warmup` epochs, then
+    /// constant — the "0.1 to 1" ramp of the industry configuration.
+    Warmup {
+        /// Rate at epoch 0.
+        start_lr: f32,
+        /// Rate reached after `warmup` epochs.
+        peak_lr: f32,
+        /// Ramp length in epochs (≥ 1).
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The rate at `epoch`.
+    pub fn at(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { lr, factor, every } => {
+                let steps = epoch / every.max(1);
+                lr * factor.powi(steps as i32)
+            }
+            LrSchedule::Cosine { max_lr, min_lr, total } => {
+                let t = (epoch as f32 / total.max(1) as f32).min(1.0);
+                min_lr + 0.5 * (max_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup { start_lr, peak_lr, warmup } => {
+                if epoch >= warmup {
+                    peak_lr
+                } else {
+                    start_lr + (peak_lr - start_lr) * epoch as f32 / warmup.max(1) as f32
+                }
+            }
+        }
+    }
+
+    /// Applies the epoch's rate to an optimizer.
+    pub fn apply(&self, epoch: usize, opt: &mut dyn Optimizer) {
+        opt.set_learning_rate(self.at(epoch));
+    }
+}
+
+/// Clips a gradient vector to a maximum L2 norm, in place; returns the
+/// pre-clip norm. Standard protection for the embedding-heavy models when
+/// a sparse domain produces an outlier batch.
+pub fn clip_grad_norm(grad: &mut [f32], max_norm: f32) -> f64 {
+    let norm = crate::vecmath::norm(grad);
+    if norm > max_norm as f64 && norm > 0.0 {
+        let scale = (max_norm as f64 / norm) as f32;
+        for g in grad.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { lr: 0.8, factor: 0.5, every: 3 };
+        assert_eq!(s.at(0), 0.8);
+        assert_eq!(s.at(2), 0.8);
+        assert_eq!(s.at(3), 0.4);
+        assert_eq!(s.at(6), 0.2);
+    }
+
+    #[test]
+    fn cosine_hits_endpoints_and_is_monotone() {
+        let s = LrSchedule::Cosine { max_lr: 1.0, min_lr: 0.1, total: 10 };
+        assert!((s.at(0) - 1.0).abs() < 1e-6);
+        assert!((s.at(10) - 0.1).abs() < 1e-6);
+        assert!((s.at(25) - 0.1).abs() < 1e-6, "clamped past the horizon");
+        for e in 0..10 {
+            assert!(s.at(e) >= s.at(e + 1) - 1e-6, "not monotone at {}", e);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        // The industry "0.1 to 1" outer-loop ramp.
+        let s = LrSchedule::Warmup { start_lr: 0.1, peak_lr: 1.0, warmup: 5 };
+        assert_eq!(s.at(0), 0.1);
+        assert!((s.at(5) - 1.0).abs() < 1e-6);
+        assert_eq!(s.at(50), 1.0);
+        assert!(s.at(2) > s.at(1));
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let mut opt = Sgd::new(0.5, 0.0, 1);
+        LrSchedule::Constant(0.125).apply(3, &mut opt);
+        assert_eq!(opt.learning_rate(), 0.125);
+    }
+
+    #[test]
+    fn clip_grad_norm_behaviour() {
+        let mut g = vec![3.0, 4.0]; // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-9);
+        assert!((crate::vecmath::norm(&g) - 1.0).abs() < 1e-6);
+        assert!((g[0] / g[1] - 0.75).abs() < 1e-6, "direction preserved");
+        // under the cap: untouched
+        let mut g = vec![0.3, 0.4];
+        clip_grad_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.3, 0.4]);
+    }
+}

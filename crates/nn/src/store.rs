@@ -1,0 +1,249 @@
+//! Named parameter storage with flat-vector views.
+
+use mamdr_tensor::init::Init;
+use mamdr_tensor::Tensor;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Metadata for one parameter tensor.
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    /// Human-readable name (unique within a store), e.g. `"layer0/w"`.
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Initialization scheme used by [`ParamStoreBuilder::build`].
+    pub init: Init,
+}
+
+/// Builder collecting parameter registrations before materialization.
+///
+/// Layers register their parameters here during model construction; the
+/// returned indices are stable and used at forward time to fetch tensors.
+#[derive(Default)]
+pub struct ParamStoreBuilder {
+    specs: Vec<ParamSpec>,
+}
+
+impl ParamStoreBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its index.
+    ///
+    /// Panics if `name` is already registered — duplicate names almost
+    /// always indicate a miswired model.
+    pub fn register(&mut self, name: impl Into<String>, shape: &[usize], init: Init) -> usize {
+        let name = name.into();
+        assert!(
+            !self.specs.iter().any(|s| s.name == name),
+            "duplicate parameter name {:?}",
+            name
+        );
+        self.specs.push(ParamSpec { name, shape: shape.to_vec(), init });
+        self.specs.len() - 1
+    }
+
+    /// Materializes every registered parameter using the supplied RNG.
+    pub fn build(self, rng: &mut impl Rng) -> ParamStore {
+        let tensors: Vec<Tensor> = self
+            .specs
+            .iter()
+            .map(|s| s.init.build(rng, &s.shape))
+            .collect();
+        ParamStore::from_parts(self.specs, tensors)
+    }
+}
+
+/// A model's complete parameter set: named tensors plus a flat view.
+///
+/// The flat view concatenates every tensor's storage in registration order,
+/// which is what the model-agnostic learning frameworks operate on.
+#[derive(Clone)]
+pub struct ParamStore {
+    specs: Vec<ParamSpec>,
+    tensors: Vec<Tensor>,
+    offsets: Vec<usize>,
+    total: usize,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    fn from_parts(specs: Vec<ParamSpec>, tensors: Vec<Tensor>) -> Self {
+        let mut offsets = Vec::with_capacity(specs.len());
+        let mut total = 0usize;
+        for t in &tensors {
+            offsets.push(total);
+            total += t.numel();
+        }
+        let by_name = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        ParamStore { specs, tensors, offsets, total, by_name }
+    }
+
+    /// Number of parameter tensors.
+    pub fn n_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn n_scalars(&self) -> usize {
+        self.total
+    }
+
+    /// The tensor at `idx`.
+    pub fn get(&self, idx: usize) -> &Tensor {
+        &self.tensors[idx]
+    }
+
+    /// Mutable access to the tensor at `idx`.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Tensor {
+        &mut self.tensors[idx]
+    }
+
+    /// The spec of the tensor at `idx`.
+    pub fn spec(&self, idx: usize) -> &ParamSpec {
+        &self.specs[idx]
+    }
+
+    /// Looks a parameter up by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Flat offset of tensor `idx` within the flat vector.
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// Copies every tensor into one contiguous vector (registration order).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut flat = Vec::with_capacity(self.total);
+        for t in &self.tensors {
+            flat.extend_from_slice(t.data());
+        }
+        flat
+    }
+
+    /// Overwrites every tensor from a flat vector produced by
+    /// [`ParamStore::to_flat`].
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.total, "flat vector length mismatch");
+        for (t, &off) in self.tensors.iter_mut().zip(&self.offsets) {
+            let n = t.numel();
+            t.data_mut().copy_from_slice(&flat[off..off + n]);
+        }
+    }
+
+    /// Converts a sparse per-tensor gradient map (as returned by
+    /// `Tape::backward`) into a dense flat gradient vector; untouched
+    /// parameters contribute zeros.
+    pub fn grads_to_flat(&self, grads: &HashMap<usize, Tensor>) -> Vec<f32> {
+        let mut flat = vec![0.0f32; self.total];
+        for (&idx, g) in grads {
+            let off = self.offsets[idx];
+            let n = g.numel();
+            assert_eq!(
+                n,
+                self.tensors[idx].numel(),
+                "gradient shape mismatch for param {} ({})",
+                idx,
+                self.specs[idx].name
+            );
+            flat[off..off + n].copy_from_slice(g.data());
+        }
+        flat
+    }
+
+    /// A zero vector with the flat length of this store.
+    pub fn zeros_flat(&self) -> Vec<f32> {
+        vec![0.0f32; self.total]
+    }
+
+    /// Iterates over `(index, spec, tensor)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ParamSpec, &Tensor)> {
+        self.specs
+            .iter()
+            .zip(&self.tensors)
+            .enumerate()
+            .map(|(i, (s, t))| (i, s, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mamdr_tensor::rng::seeded;
+
+    fn sample_store() -> ParamStore {
+        let mut b = ParamStoreBuilder::new();
+        b.register("w1", &[2, 3], Init::Constant(1.0));
+        b.register("b1", &[3], Init::Zeros);
+        b.register("emb", &[4, 2], Init::Constant(2.0));
+        b.build(&mut seeded(0))
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let s = sample_store();
+        assert_eq!(s.n_tensors(), 3);
+        assert_eq!(s.n_scalars(), 6 + 3 + 8);
+        assert_eq!(s.index_of("b1"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.spec(0).shape, vec![2, 3]);
+        assert_eq!(s.offset(1), 6);
+        assert_eq!(s.offset(2), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut b = ParamStoreBuilder::new();
+        b.register("w", &[1], Init::Zeros);
+        b.register("w", &[1], Init::Zeros);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut s = sample_store();
+        let flat = s.to_flat();
+        assert_eq!(flat.len(), s.n_scalars());
+        assert_eq!(&flat[0..6], &[1.0; 6]);
+        assert_eq!(&flat[6..9], &[0.0; 3]);
+        let modified: Vec<f32> = flat.iter().map(|x| x + 0.5).collect();
+        s.load_flat(&modified);
+        assert_eq!(s.get(1).data(), &[0.5, 0.5, 0.5]);
+        assert_eq!(s.to_flat(), modified);
+    }
+
+    #[test]
+    fn grads_to_flat_fills_zeros_for_untouched() {
+        let s = sample_store();
+        let mut grads = HashMap::new();
+        grads.insert(1usize, Tensor::from_vec([3], vec![1., 2., 3.]));
+        let flat = s.grads_to_flat(&grads);
+        assert_eq!(&flat[0..6], &[0.0; 6]);
+        assert_eq!(&flat[6..9], &[1., 2., 3.]);
+        assert_eq!(&flat[9..], &[0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_flat_rejects_wrong_length() {
+        let mut s = sample_store();
+        s.load_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = sample_store();
+        let b = a.clone();
+        a.get_mut(0).data_mut()[0] = 99.0;
+        assert_eq!(b.get(0).data()[0], 1.0);
+    }
+}

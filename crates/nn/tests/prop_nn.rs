@@ -1,0 +1,107 @@
+//! Property-based tests of the parameter store and the flat-vector algebra
+//! the learning frameworks rely on.
+
+use mamdr_nn::store::ParamStoreBuilder;
+use mamdr_nn::vecmath;
+use mamdr_tensor::init::Init;
+use mamdr_tensor::rng::seeded;
+use proptest::prelude::*;
+
+fn vecs(n: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (
+        proptest::collection::vec(-5.0f32..5.0, n),
+        proptest::collection::vec(-5.0f32..5.0, n),
+    )
+}
+
+proptest! {
+    #[test]
+    fn flat_roundtrip_arbitrary_shapes(
+        shapes in proptest::collection::vec((1usize..5, 1usize..5), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut b = ParamStoreBuilder::new();
+        for (i, &(r, c)) in shapes.iter().enumerate() {
+            b.register(format!("p{i}"), &[r, c], Init::XavierNormal);
+        }
+        let mut store = b.build(&mut seeded(seed));
+        let flat = store.to_flat();
+        prop_assert_eq!(flat.len(), store.n_scalars());
+        // load a permlike transform and read it back
+        let doubled: Vec<f32> = flat.iter().map(|x| 2.0 * x + 1.0).collect();
+        store.load_flat(&doubled);
+        prop_assert_eq!(store.to_flat(), doubled);
+        // per-tensor offsets are consistent with the flat layout
+        for (i, _, t) in store.iter() {
+            let off = store.offset(i);
+            prop_assert_eq!(&store.to_flat()[off..off + t.numel()], t.data());
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_bilinear((a, b) in vecs(16), alpha in -3.0f32..3.0) {
+        let ab = vecmath::dot(&a, &b);
+        let ba = vecmath::dot(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        let scaled: Vec<f32> = a.iter().map(|x| alpha * x).collect();
+        prop_assert!((vecmath::dot(&scaled, &b) - alpha as f64 * ab).abs() < 1e-2);
+    }
+
+    #[test]
+    fn cauchy_schwarz((a, b) in vecs(16)) {
+        let lhs = vecmath::dot(&a, &b).abs();
+        let rhs = vecmath::norm(&a) * vecmath::norm(&b);
+        prop_assert!(lhs <= rhs + 1e-4);
+        prop_assert!(vecmath::cosine(&a, &b).abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn lerp_full_beta_reaches_target((mut theta, target) in vecs(12)) {
+        vecmath::lerp_toward(&mut theta, &target, 1.0);
+        for (t, g) in theta.iter().zip(&target) {
+            prop_assert!((t - g).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lerp_zero_beta_is_identity((theta, target) in vecs(12)) {
+        let mut moved = theta.clone();
+        vecmath::lerp_toward(&mut moved, &target, 0.0);
+        prop_assert_eq!(moved, theta);
+    }
+
+    #[test]
+    fn project_conflict_never_increases_conflict((mut g, other) in vecs(16)) {
+        // After projection, <g, other> >= 0 whenever other != 0:
+        // PCGrad's defining guarantee.
+        vecmath::project_conflict(&mut g, &other);
+        prop_assert!(vecmath::dot(&g, &other) >= -1e-3);
+    }
+
+    #[test]
+    fn project_conflict_preserves_agreeing_gradients((g, other) in vecs(16)) {
+        prop_assume!(vecmath::dot(&g, &other) >= 0.0);
+        let mut projected = g.clone();
+        vecmath::project_conflict(&mut projected, &other);
+        prop_assert_eq!(projected, g);
+    }
+
+    #[test]
+    fn optimizer_moves_against_gradient(lr in 0.001f32..0.1, g in -2.0f32..2.0) {
+        prop_assume!(g.abs() > 1e-3);
+        for kind in [
+            mamdr_nn::OptimizerKind::Sgd { lr, momentum: 0.0 },
+            mamdr_nn::OptimizerKind::Adam { lr },
+            mamdr_nn::OptimizerKind::Adagrad { lr },
+        ] {
+            let mut opt = kind.build(1);
+            let mut p = vec![0.0f32];
+            opt.step(&mut p, &[g]);
+            prop_assert!(
+                p[0] * g <= 0.0 && p[0] != 0.0,
+                "{:?}: step {} against gradient {}",
+                kind, p[0], g
+            );
+        }
+    }
+}

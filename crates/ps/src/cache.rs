@@ -1,0 +1,245 @@
+//! The worker-side embedding cache (paper Fig. 7).
+
+use crate::kv::{ParamKey, ParameterServer};
+use std::collections::HashMap;
+
+/// Hit/miss counters for one worker's cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Dynamic-cache hits (no PS round-trip).
+    pub hits: u64,
+    /// Misses that pulled the latest row from the PS.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when nothing was read).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Staleness of a worker's cached rows relative to the server.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct StalenessStats {
+    /// Largest per-row lag (server pushes since this worker's pull).
+    pub max: u64,
+    /// Mean per-row lag.
+    pub mean: f64,
+}
+
+/// The static/dynamic cache pair of one worker.
+///
+/// * `static_cache` holds the value a row had when this worker first pulled
+///   it during the current outer round — the Θ reference point of Eq. 3.
+/// * `dynamic_cache` holds the worker's locally updated value Θ̃.
+///
+/// Both are cleared by [`WorkerCache::drain_outer_grads`] at the end of the
+/// round, so the next round re-pulls fresh values (bounded staleness).
+#[derive(Debug, Default)]
+pub struct WorkerCache {
+    static_cache: HashMap<ParamKey, Vec<f32>>,
+    dynamic_cache: HashMap<ParamKey, Vec<f32>>,
+    /// Server version of each row at the moment it was pulled.
+    pulled_versions: HashMap<ParamKey, u64>,
+    stats: CacheStats,
+}
+
+impl WorkerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current (locally updated) value of a row.
+    ///
+    /// Dynamic-cache hit → no traffic. Miss → pull the latest value from
+    /// the PS, seed both caches.
+    pub fn get(&mut self, ps: &ParameterServer, key: ParamKey) -> &[f32] {
+        if !self.dynamic_cache.contains_key(&key) {
+            let latest = ps.pull(key);
+            self.pulled_versions.insert(key, ps.version(key));
+            self.static_cache.insert(key, latest.clone());
+            self.dynamic_cache.insert(key, latest);
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        self.dynamic_cache.get(&key).expect("just inserted")
+    }
+
+    /// Applies a local update to a cached row (must have been read first).
+    pub fn update(&mut self, key: ParamKey, f: impl FnOnce(&mut [f32])) {
+        let row = self
+            .dynamic_cache
+            .get_mut(&key)
+            .expect("update of a row that was never read");
+        f(row);
+    }
+
+    /// Measures how stale the cached rows are right now: for each cached
+    /// row, the number of server-side pushes that happened after this
+    /// worker pulled it. This is the inconsistency the §IV-E protocol
+    /// bounds — it resets to zero at every round boundary because the
+    /// caches are cleared and re-pulled.
+    pub fn staleness(&self, ps: &ParameterServer) -> StalenessStats {
+        let mut max = 0u64;
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for (key, &pulled) in &self.pulled_versions {
+            let lag = ps.version(*key).saturating_sub(pulled);
+            max = max.max(lag);
+            total += lag;
+            n += 1;
+        }
+        StalenessStats { max, mean: if n == 0 { 0.0 } else { total as f64 / n as f64 } }
+    }
+
+    /// Ends the round: returns `(key, dynamic − static)` for every touched
+    /// row and clears both caches.
+    pub fn drain_outer_grads(&mut self) -> Vec<(ParamKey, Vec<f32>)> {
+        let mut out = Vec::with_capacity(self.dynamic_cache.len());
+        for (key, dynamic) in self.dynamic_cache.drain() {
+            let initial = self.static_cache.remove(&key).expect("static entry exists");
+            let delta: Vec<f32> = dynamic
+                .iter()
+                .zip(&initial)
+                .map(|(&d, &s)| d - s)
+                .collect();
+            out.push((key, delta));
+        }
+        self.static_cache.clear();
+        self.pulled_versions.clear();
+        out
+    }
+
+    /// Number of rows currently cached.
+    pub fn len(&self) -> usize {
+        self.dynamic_cache.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.dynamic_cache.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> ParameterServer {
+        let ps = ParameterServer::new(2, 2);
+        ps.init_row(ParamKey::new(0, 0), vec![1.0, 2.0]);
+        ps.init_row(ParamKey::new(0, 1), vec![3.0, 4.0]);
+        ps
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let ps = server();
+        let mut cache = WorkerCache::new();
+        let key = ParamKey::new(0, 0);
+        assert_eq!(cache.get(&ps, key), &[1.0, 2.0]);
+        assert_eq!(cache.get(&ps, key), &[1.0, 2.0]);
+        assert_eq!(cache.get(&ps, key), &[1.0, 2.0]);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        // exactly one pull hit the server
+        assert_eq!(ps.traffic().snapshot().0, 1);
+    }
+
+    #[test]
+    fn updates_stay_local_until_drain() {
+        let ps = server();
+        let mut cache = WorkerCache::new();
+        let key = ParamKey::new(0, 0);
+        cache.get(&ps, key);
+        cache.update(key, |row| row[0] += 10.0);
+        // The server still has the original value.
+        assert_eq!(ps.read_silent(key).unwrap(), vec![1.0, 2.0]);
+        // The cache serves the updated value.
+        assert_eq!(cache.get(&ps, key), &[11.0, 2.0]);
+    }
+
+    #[test]
+    fn drain_emits_deltas_and_clears() {
+        let ps = server();
+        let mut cache = WorkerCache::new();
+        let k0 = ParamKey::new(0, 0);
+        let k1 = ParamKey::new(0, 1);
+        cache.get(&ps, k0);
+        cache.get(&ps, k1);
+        cache.update(k0, |row| {
+            row[0] += 0.5;
+            row[1] -= 0.25;
+        });
+        let mut grads = cache.drain_outer_grads();
+        grads.sort_by_key(|(k, _)| k.row);
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].1, vec![0.5, -0.25]);
+        assert_eq!(grads[1].1, vec![0.0, 0.0]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn miss_after_drain_pulls_latest() {
+        // Staleness bound: after a drain, the next read must see updates
+        // other workers pushed in between.
+        let ps = server();
+        let mut cache = WorkerCache::new();
+        let key = ParamKey::new(0, 0);
+        cache.get(&ps, key);
+        cache.drain_outer_grads();
+        ps.push_delta(key, &[100.0, 0.0]);
+        assert_eq!(cache.get(&ps, key), &[101.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "never read")]
+    fn update_requires_prior_read() {
+        let mut cache = WorkerCache::new();
+        cache.update(ParamKey::new(0, 0), |_| {});
+    }
+}
+
+#[cfg(test)]
+mod staleness_tests {
+    use super::*;
+
+    #[test]
+    fn staleness_counts_foreign_pushes() {
+        let ps = ParameterServer::new(2, 2);
+        let key = ParamKey::new(0, 0);
+        ps.init_row(key, vec![0.0, 0.0]);
+        let mut mine = WorkerCache::new();
+        mine.get(&ps, key);
+        assert_eq!(mine.staleness(&ps), StalenessStats { max: 0, mean: 0.0 });
+        // Another worker pushes twice after my pull.
+        ps.push_delta(key, &[1.0, 0.0]);
+        ps.push_delta(key, &[1.0, 0.0]);
+        let s = mine.staleness(&ps);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // Draining re-pulls on the next read, resetting the lag.
+        mine.drain_outer_grads();
+        mine.get(&ps, key);
+        assert_eq!(mine.staleness(&ps).max, 0);
+    }
+
+    #[test]
+    fn staleness_of_empty_cache_is_zero() {
+        let ps = ParameterServer::new(1, 1);
+        let cache = WorkerCache::new();
+        assert_eq!(cache.staleness(&ps), StalenessStats::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! Parameter-server checkpointing.
+//!
+//! The production system snapshots the parameter server so training can
+//! resume after worker or server failures. The simulation mirrors that
+//! with a compact binary dump of every row (and its Adagrad accumulator
+//! state is deliberately *not* saved — matching the common deployment
+//! choice of cold-starting optimizer state after recovery).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "MAMDRPS1" | u32 dim | u64 n_rows | n_rows × (u32 table, u32 row, dim × f32)
+//! ```
+
+use crate::kv::{ParamKey, ParameterServer};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"MAMDRPS1";
+
+/// A checkpointing error.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a valid checkpoint.
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes every row of the server.
+///
+/// Rows are written in a deterministic order (sorted by key) so identical
+/// server states produce byte-identical checkpoints.
+pub fn save(ps: &ParameterServer, dim: usize, mut w: impl Write) -> Result<(), CheckpointError> {
+    let mut rows = ps.dump_rows();
+    rows.sort_by_key(|(k, _)| (k.table, k.row));
+    w.write_all(MAGIC)?;
+    w.write_all(&(dim as u32).to_le_bytes())?;
+    w.write_all(&(rows.len() as u64).to_le_bytes())?;
+    for (key, value) in rows {
+        if value.len() != dim {
+            return Err(CheckpointError::Corrupt(format!(
+                "row {:?} has width {} (expected {})",
+                key,
+                value.len(),
+                dim
+            )));
+        }
+        w.write_all(&key.table.to_le_bytes())?;
+        w.write_all(&key.row.to_le_bytes())?;
+        for v in value {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores a checkpoint into a fresh server with `n_shards` shards.
+pub fn load(mut r: impl Read, n_shards: usize) -> Result<ParameterServer, CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let dim = u32::from_le_bytes(b4) as usize;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n_rows = u64::from_le_bytes(b8) as usize;
+
+    let ps = ParameterServer::new(n_shards, dim);
+    let mut fbuf = vec![0u8; 4 * dim];
+    for _ in 0..n_rows {
+        r.read_exact(&mut b4)?;
+        let table = u32::from_le_bytes(b4);
+        r.read_exact(&mut b4)?;
+        let row = u32::from_le_bytes(b4);
+        r.read_exact(&mut fbuf)?;
+        let value: Vec<f32> = fbuf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        ps.init_row(ParamKey::new(table, row), value);
+    }
+    Ok(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_server() -> ParameterServer {
+        let ps = ParameterServer::new(4, 3);
+        for t in 0..2u32 {
+            for r in 0..5u32 {
+                ps.init_row(
+                    ParamKey::new(t, r),
+                    vec![t as f32, r as f32, t as f32 * 10.0 + r as f32],
+                );
+            }
+        }
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_row() {
+        let ps = sample_server();
+        let mut buf = Vec::new();
+        save(&ps, 3, &mut buf).unwrap();
+        let restored = load(buf.as_slice(), 2).unwrap();
+        assert_eq!(restored.n_rows(), ps.n_rows());
+        for t in 0..2u32 {
+            for r in 0..5u32 {
+                let key = ParamKey::new(t, r);
+                assert_eq!(restored.read_silent(key), ps.read_silent(key));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_are_deterministic() {
+        let mut a = Vec::new();
+        save(&sample_server(), 3, &mut a).unwrap();
+        let mut b = Vec::new();
+        save(&sample_server(), 3, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            load(&b"NOTMAGIC"[..], 1),
+            Err(CheckpointError::Corrupt(_)) | Err(CheckpointError::Io(_))
+        ));
+        // truncated body
+        let ps = sample_server();
+        let mut buf = Vec::new();
+        save(&ps, 3, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(load(buf.as_slice(), 1).is_err());
+    }
+
+    #[test]
+    fn restored_server_continues_training() {
+        let ps = sample_server();
+        let mut buf = Vec::new();
+        save(&ps, 3, &mut buf).unwrap();
+        let restored = load(buf.as_slice(), 4).unwrap();
+        let key = ParamKey::new(0, 0);
+        restored.push_delta(key, &[1.0, 1.0, 1.0]);
+        let v = restored.read_silent(key).unwrap();
+        assert_eq!(v, vec![1.0, 1.0, 1.0]);
+    }
+}

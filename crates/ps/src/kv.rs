@@ -1,0 +1,284 @@
+//! The sharded parameter server.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Addresses one parameter row: an embedding table id plus a row index.
+///
+/// Dense (non-embedding) parameters use row 0 of their own table id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamKey {
+    /// Table identifier.
+    pub table: u32,
+    /// Row within the table.
+    pub row: u32,
+}
+
+impl ParamKey {
+    /// Convenience constructor.
+    pub fn new(table: u32, row: u32) -> Self {
+        ParamKey { table, row }
+    }
+}
+
+/// Byte-accurate synchronization counters.
+///
+/// This is the measurement the embedding cache exists to improve: every
+/// pull/push between a worker and the server increments these, exactly as
+/// RPC volume would in the real deployment.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Number of pull RPCs (one per key batch).
+    pub pulls: AtomicU64,
+    /// Number of push RPCs.
+    pub pushes: AtomicU64,
+    /// Bytes pulled from the server.
+    pub bytes_pulled: AtomicU64,
+    /// Bytes pushed to the server.
+    pub bytes_pushed: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_pulled.load(Ordering::Relaxed) + self.bytes_pushed.load(Ordering::Relaxed)
+    }
+
+    /// Total RPC count.
+    pub fn total_rpcs(&self) -> u64 {
+        self.pulls.load(Ordering::Relaxed) + self.pushes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as plain numbers `(pulls, pushes, bytes_pulled, bytes_pushed)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.pulls.load(Ordering::Relaxed),
+            self.pushes.load(Ordering::Relaxed),
+            self.bytes_pulled.load(Ordering::Relaxed),
+            self.bytes_pushed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A sharded in-memory parameter server.
+///
+/// Rows are assigned to shards by key hash; each shard is independently
+/// lockable so concurrent workers rarely contend (the real deployment's 40
+/// server machines play the same role).
+pub struct ParameterServer {
+    shards: Vec<RwLock<HashMap<ParamKey, Vec<f32>>>>,
+    /// Adagrad accumulators for the outer update, sharded like the values.
+    adagrad: Vec<RwLock<HashMap<ParamKey, Vec<f32>>>>,
+    /// Per-row write counters, bumped on every push — the basis of the
+    /// staleness measurement (§IV-E "alleviate inconsistency").
+    versions: Vec<RwLock<HashMap<ParamKey, u64>>>,
+    traffic: TrafficStats,
+    dim_bytes: usize,
+}
+
+impl ParameterServer {
+    /// A server with `n_shards` shards; `value_dim` is the per-row vector
+    /// width used for byte accounting.
+    pub fn new(n_shards: usize, value_dim: usize) -> Self {
+        assert!(n_shards >= 1);
+        ParameterServer {
+            shards: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            adagrad: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            versions: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            traffic: TrafficStats::default(),
+            dim_bytes: value_dim * std::mem::size_of::<f32>(),
+        }
+    }
+
+    fn shard_of(&self, key: ParamKey) -> usize {
+        // Fibonacci hashing over the packed key.
+        let packed = ((key.table as u64) << 32) | key.row as u64;
+        (packed.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.shards.len()
+    }
+
+    /// Seeds a row without counting traffic (initial placement).
+    pub fn init_row(&self, key: ParamKey, value: Vec<f32>) {
+        self.shards[self.shard_of(key)].write().insert(key, value);
+    }
+
+    /// Pulls the latest value of a row (one RPC, counted).
+    ///
+    /// Panics if the row was never initialized — workers may only touch
+    /// rows the driver placed.
+    pub fn pull(&self, key: ParamKey) -> Vec<f32> {
+        let v = self.shards[self.shard_of(key)]
+            .read()
+            .get(&key)
+            .unwrap_or_else(|| panic!("pull of uninitialized key {:?}", key))
+            .clone();
+        self.traffic.pulls.fetch_add(1, Ordering::Relaxed);
+        self.traffic
+            .bytes_pulled
+            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        v
+    }
+
+    /// Reads a row without traffic accounting (driver-side evaluation).
+    pub fn read_silent(&self, key: ParamKey) -> Option<Vec<f32>> {
+        self.shards[self.shard_of(key)].read().get(&key).cloned()
+    }
+
+    /// Pushes an outer-loop gradient for one row (one RPC, counted) and
+    /// applies the server-side update `θ ← θ + lr_scaled · g` where the
+    /// scaling is Adagrad over accumulated squared gradients — the paper's
+    /// industry configuration (SGD inner, Adagrad outer).
+    pub fn push_outer_grad(&self, key: ParamKey, grad: &[f32], lr: f32) {
+        self.bump_version(key);
+        self.traffic.pushes.fetch_add(1, Ordering::Relaxed);
+        self.traffic
+            .bytes_pushed
+            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        let si = self.shard_of(key);
+        let mut acc_shard = self.adagrad[si].write();
+        let acc = acc_shard.entry(key).or_insert_with(|| vec![0.0; grad.len()]);
+        let mut shard = self.shards[si].write();
+        let value = shard
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
+        assert_eq!(value.len(), grad.len(), "row width mismatch");
+        for ((v, &g), a) in value.iter_mut().zip(grad).zip(acc.iter_mut()) {
+            *a += g * g;
+            *v += lr * g / (a.sqrt() + 1e-8);
+        }
+    }
+
+    /// Pushes a raw delta applied verbatim (used by the no-cache baseline's
+    /// immediate writes).
+    pub fn push_delta(&self, key: ParamKey, delta: &[f32]) {
+        self.bump_version(key);
+        self.traffic.pushes.fetch_add(1, Ordering::Relaxed);
+        self.traffic
+            .bytes_pushed
+            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        let si = self.shard_of(key);
+        let mut shard = self.shards[si].write();
+        let value = shard
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
+        for (v, &d) in value.iter_mut().zip(delta) {
+            *v += d;
+        }
+    }
+
+    /// The traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Number of rows stored.
+    pub fn n_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn bump_version(&self, key: ParamKey) {
+        *self.versions[self.shard_of(key)]
+            .write()
+            .entry(key)
+            .or_insert(0) += 1;
+    }
+
+    /// The number of pushes a row has received (0 if never pushed). Silent:
+    /// a driver-side observability read, not an RPC.
+    pub fn version(&self, key: ParamKey) -> u64 {
+        self.versions[self.shard_of(key)]
+            .read()
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Copies every `(key, value)` pair out of the store (checkpointing;
+    /// order is unspecified — callers sort).
+    pub fn dump_rows(&self) -> Vec<(ParamKey, Vec<f32>)> {
+        let mut out = Vec::with_capacity(self.n_rows());
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                out.push((*k, v.clone()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_pull_roundtrip_counts_traffic() {
+        let ps = ParameterServer::new(4, 8);
+        let key = ParamKey::new(1, 42);
+        ps.init_row(key, vec![1.0; 8]);
+        assert_eq!(ps.n_rows(), 1);
+        let v = ps.pull(key);
+        assert_eq!(v, vec![1.0; 8]);
+        let (pulls, pushes, bp, bs) = ps.traffic().snapshot();
+        assert_eq!((pulls, pushes), (1, 0));
+        assert_eq!(bp, 32);
+        assert_eq!(bs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uninitialized key")]
+    fn pull_of_missing_key_panics() {
+        ParameterServer::new(2, 4).pull(ParamKey::new(0, 0));
+    }
+
+    #[test]
+    fn push_outer_grad_applies_adagrad() {
+        let ps = ParameterServer::new(2, 2);
+        let key = ParamKey::new(0, 0);
+        ps.init_row(key, vec![0.0, 0.0]);
+        ps.push_outer_grad(key, &[1.0, -2.0], 0.5);
+        let v = ps.read_silent(key).unwrap();
+        // first Adagrad step: lr * g / (|g| + eps) = lr * sign(g)
+        assert!((v[0] - 0.5).abs() < 1e-4, "{:?}", v);
+        assert!((v[1] + 0.5).abs() < 1e-4, "{:?}", v);
+        // second identical push moves less (accumulated curvature)
+        ps.push_outer_grad(key, &[1.0, -2.0], 0.5);
+        let v2 = ps.read_silent(key).unwrap();
+        assert!((v2[0] - v[0]) < 0.5 && (v2[0] - v[0]) > 0.0);
+    }
+
+    #[test]
+    fn push_delta_is_verbatim() {
+        let ps = ParameterServer::new(1, 2);
+        let key = ParamKey::new(3, 7);
+        ps.init_row(key, vec![1.0, 1.0]);
+        ps.push_delta(key, &[0.25, -0.5]);
+        assert_eq!(ps.read_silent(key).unwrap(), vec![1.25, 0.5]);
+    }
+
+    #[test]
+    fn concurrent_pulls_and_pushes_are_safe() {
+        let ps = ParameterServer::new(8, 4);
+        for r in 0..64 {
+            ps.init_row(ParamKey::new(0, r), vec![0.0; 4]);
+        }
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let ps = &ps;
+                s.spawn(move |_| {
+                    for i in 0..200 {
+                        let key = ParamKey::new(0, ((t * 53 + i) % 64) as u32);
+                        let _ = ps.pull(key);
+                        ps.push_delta(key, &[1.0, 0.0, 0.0, 0.0]);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // All pushes landed: total added mass is 4 threads * 200 pushes.
+        let total: f32 = (0..64)
+            .map(|r| ps.read_silent(ParamKey::new(0, r)).unwrap()[0])
+            .sum();
+        assert_eq!(total, 800.0);
+        assert_eq!(ps.traffic().total_rpcs(), 1600);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mamdr-ps
+//!
+//! An in-process simulation of the paper's large-scale PS-Worker deployment
+//! (§IV-E): a sharded parameter server, worker threads running the MAMDR
+//! inner loop on their data partitions, and the **embedding PS-Worker
+//! cache** — the static-cache / dynamic-cache pair that cuts embedding
+//! synchronization traffic and bounds staleness.
+//!
+//! ## What is simulated, and how faithfully
+//!
+//! The paper runs 40 parameter servers and 400 workers over 4.9×10⁸
+//! samples. Here the parameter server is a sharded in-memory KV store
+//! behind `parking_lot::RwLock`s, workers are `crossbeam` scoped threads,
+//! and "network traffic" is counted byte-accurately on every pull/push.
+//! That preserves exactly the quantities the §IV-E mechanism optimizes —
+//! number of synchronizations and bytes moved — while fitting on one
+//! machine (see DESIGN.md, substitution 3).
+//!
+//! The worker-side model is the embedding part of the RAW production model
+//! (a factorization-style CTR scorer with user/item/group/category rows and
+//! per-row biases) with analytic gradients, because the cache mechanism is
+//! about *embedding* parameters: they are the large, sparse, actively
+//! updated state the paper caches.
+//!
+//! ## Cache protocol (paper Fig. 7)
+//!
+//! * At the start of an outer round a worker's **static-cache** snapshots
+//!   every parameter row it first touches; it stays frozen for the round.
+//! * During the inner loop, reads hit the **dynamic-cache**; a miss pulls
+//!   the *latest* row from the PS (bounding staleness), seeds both caches
+//!   and counts traffic once.
+//! * After the inner loop the worker pushes `dynamic − static` per touched
+//!   row (the Reptile-style outer gradient of Eq. 3) and clears both caches.
+//!
+//! The `NoCache` mode pulls every row on every read and pushes every update
+//! immediately — the baseline the `pscache` benchmark compares against.
+
+pub mod cache;
+pub mod checkpoint;
+pub mod kv;
+pub mod model;
+pub mod trainer;
+
+pub use cache::{CacheStats, StalenessStats, WorkerCache};
+pub use kv::{ParamKey, ParameterServer, TrafficStats};
+pub use trainer::{DistributedConfig, DistributedMamdr, SyncMode};

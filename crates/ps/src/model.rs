@@ -1,0 +1,139 @@
+//! The embedding CTR scorer workers train through the cache.
+//!
+//! This is the embedding half of the RAW production model: four embedding
+//! tables (user, item, user-group, item-category) scored as
+//! `σ(u·v + g·c + b)` with analytic gradients. Embedding rows are the
+//! large, sparse, contended state the §IV-E cache mechanism targets, so the
+//! distributed simulation trains exactly them.
+
+use crate::kv::ParamKey;
+
+/// Embedding table ids on the parameter server.
+pub mod tables {
+    /// User embeddings.
+    pub const USER: u32 = 0;
+    /// Item embeddings.
+    pub const ITEM: u32 = 1;
+    /// User-group embeddings.
+    pub const UGROUP: u32 = 2;
+    /// Item-category embeddings.
+    pub const ICAT: u32 = 3;
+    /// Per-domain bias rows (width = embedding dim; only element 0 used).
+    pub const DOMAIN_BIAS: u32 = 4;
+}
+
+/// One training example resolved to its parameter rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleKeys {
+    /// User row.
+    pub user: ParamKey,
+    /// Item row.
+    pub item: ParamKey,
+    /// User-group row.
+    pub ugroup: ParamKey,
+    /// Item-category row.
+    pub icat: ParamKey,
+    /// Domain bias row.
+    pub bias: ParamKey,
+}
+
+impl ExampleKeys {
+    /// Builds the key set for `(user, item)` with side features and domain.
+    pub fn new(user: u32, item: u32, ugroup: u32, icat: u32, domain: u32) -> Self {
+        ExampleKeys {
+            user: ParamKey::new(tables::USER, user),
+            item: ParamKey::new(tables::ITEM, item),
+            ugroup: ParamKey::new(tables::UGROUP, ugroup),
+            icat: ParamKey::new(tables::ICAT, icat),
+            bias: ParamKey::new(tables::DOMAIN_BIAS, domain),
+        }
+    }
+
+    /// All five keys.
+    pub fn all(&self) -> [ParamKey; 5] {
+        [self.user, self.item, self.ugroup, self.icat, self.bias]
+    }
+}
+
+/// The raw score `u·v + g·c + b` (pre-sigmoid).
+pub fn score(u: &[f32], v: &[f32], g: &[f32], c: &[f32], bias: &[f32]) -> f32 {
+    debug_assert_eq!(u.len(), v.len());
+    debug_assert_eq!(g.len(), c.len());
+    let uv: f32 = u.iter().zip(v).map(|(&a, &b)| a * b).sum();
+    let gc: f32 = g.iter().zip(c).map(|(&a, &b)| a * b).sum();
+    uv + gc + bias[0]
+}
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// The BCE error signal `σ(score) − y`; multiplying it with the partner
+/// row gives each row's gradient.
+pub fn error_signal(raw_score: f32, label: f32) -> f32 {
+    sigmoid(raw_score) - label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_bilinear_plus_bias() {
+        let u = [1.0, 2.0];
+        let v = [3.0, -1.0];
+        let g = [0.5, 0.5];
+        let c = [2.0, 2.0];
+        let b = [0.25, 0.0];
+        assert_eq!(score(&u, &v, &g, &c, &b), 3.0 - 2.0 + 1.0 + 1.0 + 0.25);
+    }
+
+    #[test]
+    fn error_signal_signs() {
+        assert!(error_signal(5.0, 0.0) > 0.9);
+        assert!(error_signal(-5.0, 1.0) < -0.9);
+        assert!(error_signal(0.0, 1.0).abs() - 0.5 < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // d BCE / d u_k = (σ(s) − y) · v_k
+        let u = [0.3f32, -0.2];
+        let v = [0.1f32, 0.4];
+        let g = [0.0f32, 0.0];
+        let c = [0.0f32, 0.0];
+        let b = [0.0f32, 0.0];
+        let y = 1.0f32;
+        let loss = |uu: &[f32]| -> f32 {
+            let s = score(uu, &v, &g, &c, &b);
+            // stable bce with logits
+            s.max(0.0) - s * y + (-s.abs()).exp().ln_1p()
+        };
+        let e = error_signal(score(&u, &v, &g, &c, &b), y);
+        for k in 0..2 {
+            let mut up = u;
+            up[k] += 1e-3;
+            let mut dn = u;
+            dn[k] -= 1e-3;
+            let numeric = (loss(&up) - loss(&dn)) / 2e-3;
+            let analytic = e * v[k];
+            assert!((numeric - analytic).abs() < 1e-3, "k={} {} vs {}", k, numeric, analytic);
+        }
+    }
+
+    #[test]
+    fn keys_route_to_distinct_tables() {
+        let k = ExampleKeys::new(1, 2, 3, 4, 5);
+        let tables: Vec<u32> = k.all().iter().map(|p| p.table).collect();
+        let mut unique = tables.clone();
+        unique.dedup();
+        assert_eq!(tables, unique, "each key must live in its own table");
+        assert_eq!(k.bias.row, 5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Weight initializers.
+//!
+//! The paper trains every architecture with standard DeepCTR-style inits:
+//! Glorot/Xavier for dense layers, scaled normal for embeddings, zeros for
+//! biases. Domain-specific parameters θi start at zero so that at epoch 0 the
+//! composed parameters Θ = θS + θi equal the shared parameters exactly
+//! (paper Eq. 4).
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Initialization scheme for a parameter tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases, domain-specific deltas).
+    Zeros,
+    /// Constant fill.
+    Constant(f32),
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// He/Kaiming normal: `N(0, 2 / fan_in)` — used before ReLU layers.
+    HeNormal,
+    /// Plain normal with the given standard deviation (embedding tables).
+    Normal(f32),
+    /// Uniform on `[-a, a]`.
+    Uniform(f32),
+}
+
+impl Init {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// For rank-2 shapes, `fan_in`/`fan_out` are rows/cols; for other ranks
+    /// both default to the element count's square root heuristic.
+    pub fn build(self, rng: &mut impl Rng, shape: &[usize]) -> Tensor {
+        let (fan_in, fan_out) = match shape {
+            [r, c] => (*r, *c),
+            [n] => (*n, *n),
+            _ => {
+                let n = shape.iter().product::<usize>().max(1);
+                (n, n)
+            }
+        };
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::Constant(v) => Tensor::full(shape, v),
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(rng, shape, -a, a)
+            }
+            Init::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::randn(rng, shape, 0.0, std)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(rng, shape, 0.0, std)
+            }
+            Init::Normal(std) => Tensor::randn(rng, shape, 0.0, std),
+            Init::Uniform(a) => Tensor::rand_uniform(rng, shape, -a, a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = seeded(1);
+        assert!(Init::Zeros.build(&mut rng, &[3, 3]).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(0.5)
+            .build(&mut rng, &[4])
+            .data()
+            .iter()
+            .all(|&x| x == 0.5));
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = seeded(2);
+        let t = Init::XavierUniform.build(&mut rng, &[100, 50]);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+        // should not be degenerate
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_variance() {
+        let mut rng = seeded(3);
+        let t = Init::HeNormal.build(&mut rng, &[256, 256]);
+        let var = t.data().iter().map(|&x| x * x).sum::<f32>() / t.numel() as f32;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {} vs {}", var, expected);
+    }
+
+    #[test]
+    fn normal_std() {
+        let mut rng = seeded(4);
+        let t = Init::Normal(0.01).build(&mut rng, &[10_000]);
+        let var = t.data().iter().map(|&x| x * x).sum::<f32>() / t.numel() as f32;
+        assert!((var.sqrt() - 0.01).abs() < 0.002);
+    }
+}

@@ -1,0 +1,62 @@
+//! Demonstrates the domain-conflict phenomenon (paper §III-B, Fig. 3) and
+//! Domain Negotiation's effect on it: pairwise gradient inner products are
+//! measured at the initialization, after Alternate training, and after DN.
+//!
+//! ```sh
+//! cargo run --release --example conflict_probe
+//! ```
+
+use mamdr::core::conflict::measure_conflict;
+use mamdr::core::env::TrainEnv;
+use mamdr::prelude::*;
+
+fn main() {
+    // A dataset with a strong conflict knob so the effect is visible.
+    let mut gen = GeneratorConfig::base("conflict-demo", 400, 200, 11);
+    gen.conflict = 0.8;
+    gen.domains = (0..6)
+        .map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3))
+        .collect();
+    let ds = gen.generate();
+
+    let model_cfg = ModelConfig::default();
+    let fc = FeatureConfig::from_dataset(&ds);
+    let cfg = TrainConfig::bench().with_epochs(5);
+
+    println!("measuring pairwise gradient conflict across {} domains\n", ds.n_domains());
+    println!(
+        "{:<22} {:>14} {:>14} {:>12}",
+        "parameter point", "mean cosine", "conflict rate", "mean AUC"
+    );
+
+    // (a) Random initialization.
+    let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds.n_domains(), cfg.seed);
+    let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+    let init = env.init_flat();
+    let r = measure_conflict(&mut env, &init);
+    let tm = TrainedModel::shared_only(init);
+    let auc0 = mean(&env.evaluate(&tm, Split::Test));
+    println!("{:<22} {:>14.4} {:>14.2} {:>12.4}", "init", r.mean_cosine, r.conflict_rate, auc0);
+
+    // (b) After Alternate training (the compromise point of §III-B).
+    for kind in [FrameworkKind::Alternate, FrameworkKind::Dn] {
+        let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds.n_domains(), cfg.seed);
+        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params, cfg);
+        let trained = kind.build().train(&mut env);
+        let r = measure_conflict(&mut env, &trained.shared);
+        let auc = mean(&env.evaluate(&trained, Split::Test));
+        println!(
+            "{:<22} {:>14.4} {:>14.2} {:>12.4}",
+            format!("after {}", kind.name()),
+            r.mean_cosine,
+            r.conflict_rate,
+            auc
+        );
+    }
+
+    println!(
+        "\nConflict (negative inner products) emerges as shared training converges;\n\
+         DN reaches a point with better AUC by negotiating between domains rather\n\
+         than settling at the compromise."
+    );
+}

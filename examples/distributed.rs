@@ -1,0 +1,49 @@
+//! The PS-Worker deployment of paper §IV-E: trains the embedding model on
+//! a long-tailed "industry" dataset with and without the static/dynamic
+//! embedding cache, reporting synchronization traffic and final quality.
+//!
+//! ```sh
+//! cargo run --release --example distributed
+//! ```
+
+use mamdr::prelude::*;
+
+fn main() {
+    let ds = industry(32, 2_000, 3);
+    println!(
+        "industry-style dataset: {} domains, {} users, {} items, {} train interactions",
+        ds.n_domains(),
+        ds.n_users,
+        ds.n_items,
+        ds.split_len(Split::Train)
+    );
+
+    println!("\nrunning 4 workers × 3 outer rounds under both sync protocols...\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>10} {:>10}",
+        "mode", "pulls", "pushes", "bytes moved", "hit rate", "test AUC"
+    );
+    for mode in [SyncMode::Cached, SyncMode::NoCache] {
+        let cfg = DistributedConfig { mode, n_workers: 4, epochs: 3, ..Default::default() };
+        let trainer = DistributedMamdr::new(&ds, cfg);
+        let report = trainer.train(&ds);
+        println!(
+            "{:<10} {:>10} {:>10} {:>14} {:>10.2} {:>10.4}",
+            match mode {
+                SyncMode::Cached => "cached",
+                SyncMode::NoCache => "no-cache",
+            },
+            report.pulls,
+            report.pushes,
+            report.total_bytes,
+            report.cache.hit_rate(),
+            report.mean_auc,
+        );
+    }
+
+    println!(
+        "\nThe static/dynamic cache performs one pull per distinct row per round\n\
+         and one delta push per touched row, instead of a round-trip per example —\n\
+         the synchronization-overhead reduction of paper §IV-E."
+    );
+}

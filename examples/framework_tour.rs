@@ -1,0 +1,49 @@
+//! A tour of every learning framework in the registry: trains the same MLP
+//! on the same small multi-domain dataset under all eleven frameworks and
+//! prints the per-domain test AUC — a miniature of the paper's Table X row.
+//!
+//! ```sh
+//! cargo run --release --example framework_tour
+//! ```
+
+use mamdr::prelude::*;
+
+fn main() {
+    // A compact three-domain dataset with one deliberately sparse domain,
+    // so the overfitting-prone frameworks are visibly penalized.
+    let mut gen = GeneratorConfig::base("tour", 300, 150, 5);
+    gen.conflict = 0.35;
+    gen.dense_dim = 4;
+    gen.domains = vec![
+        DomainSpec::new("rich", 4_000, 0.3),
+        DomainSpec::new("mid", 1_500, 0.4),
+        DomainSpec::new("sparse", 200, 0.25),
+    ];
+    let ds = gen.generate();
+
+    let mut cfg = TrainConfig::bench().with_epochs(12);
+    cfg.outer_lr = 0.5;
+    cfg.dr_lr = 0.5;
+    cfg.dr_lookahead_batches = 8;
+
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "framework", "rich", "mid", "sparse", "MEAN"
+    );
+    for fk in FrameworkKind::ALL {
+        let r = run_experiment(&ds, ModelKind::Mlp, &ModelConfig::default(), fk, cfg);
+        println!(
+            "{:<20} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            fk.name(),
+            r.domain_auc[0],
+            r.domain_auc[1],
+            r.domain_auc[2],
+            r.mean_auc
+        );
+    }
+    println!(
+        "\nEvery row is the same architecture and the same data — only the\n\
+         learning framework differs. This is the paper's model-agnosticism\n\
+         claim in miniature (Table X)."
+    );
+}

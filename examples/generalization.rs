@@ -1,0 +1,66 @@
+//! Domain generalization — the paper's conclusion suggests DN extends
+//! beyond MDR "to other problems such as ... domain generalization". This
+//! example measures exactly that: train shared parameters on 9 of 10
+//! domains and evaluate zero-shot on the held-out domain, comparing
+//! Alternate training with Domain Negotiation.
+//!
+//! DN's theoretical edge (paper Eq. 18–21) is that it maximizes
+//! cross-domain gradient inner products, i.e. it prefers updates that help
+//! *all* domains — exactly the property that should transfer to a domain
+//! it never saw.
+//!
+//! ```sh
+//! cargo run --release --example generalization
+//! ```
+
+use mamdr::core::env::TrainEnv;
+use mamdr::prelude::*;
+
+fn main() {
+    let ds_full = taobao(10, 42, 0.3);
+    let model_cfg = ModelConfig::default();
+    let fc = FeatureConfig::from_dataset(&ds_full);
+    let mut cfg = TrainConfig::bench().with_epochs(12);
+    cfg.outer_lr = 0.5;
+
+    println!(
+        "leave-one-domain-out on {} ({} domains)\n",
+        ds_full.name,
+        ds_full.n_domains()
+    );
+    println!("{:<10} {:>12} {:>12} {:>10}", "held out", "Alternate", "DN", "delta");
+
+    let mut deltas = Vec::new();
+    for held_out in [2usize, 5, 8] {
+        // Training view: every domain except the held-out one.
+        let mut train_ds = ds_full.clone();
+        train_ds.domains.remove(held_out);
+
+        let mut zero_shot = Vec::new();
+        for fk in [FrameworkKind::Alternate, FrameworkKind::Dn] {
+            let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds_full.n_domains(), cfg.seed);
+            let mut env = TrainEnv::new(&train_ds, built.model.as_ref(), built.params.clone(), cfg);
+            let trained = fk.build().train(&mut env);
+            // Evaluate on the FULL dataset's held-out domain, unseen at
+            // training time.
+            let mut env_eval =
+                TrainEnv::new(&ds_full, built.model.as_ref(), built.params, cfg);
+            let auc = env_eval.evaluate(&trained, Split::Test)[held_out];
+            zero_shot.push(auc);
+        }
+        let delta = zero_shot[1] - zero_shot[0];
+        deltas.push(delta);
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>+10.4}",
+            ds_full.domains[held_out].name, zero_shot[0], zero_shot[1], delta
+        );
+    }
+    let mean_delta: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    println!(
+        "\nmean zero-shot delta (DN − Alternate): {:+.4}\n\
+         A positive delta supports the paper's domain-generalization claim:\n\
+         DN's negotiated optimum transfers better to unseen domains than the\n\
+         Alternate compromise point.",
+        mean_delta
+    );
+}

@@ -1,0 +1,49 @@
+//! Serving-side metric integration: GAUC / NDCG over a trained model's
+//! per-user score lists.
+
+use mamdr::core::ranking::{gauc, mean_ndcg_at_k, UserScore};
+use mamdr::prelude::*;
+
+#[test]
+fn trained_model_has_better_serving_metrics_than_random() {
+    let mut gen = GeneratorConfig::base("serve", 120, 60, 3);
+    gen.conflict = 0.3;
+    gen.domains = vec![DomainSpec::new("a", 1_200, 0.3)];
+    let ds = gen.generate();
+
+    let mut cfg = TrainConfig::quick();
+    cfg.epochs = 10;
+    let fc = FeatureConfig::from_dataset(&ds);
+    let built = build_model(ModelKind::Mlp, &fc, &ModelConfig::tiny(), 1, 5);
+    let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+    let trained = FrameworkKind::Alternate.build().train(&mut env);
+
+    // Score the test split with trained and with random-init parameters.
+    let score_with = |flat: &[f32]| -> Vec<UserScore> {
+        let mut params = built.params.clone();
+        params.load_flat(flat);
+        let interactions = ds.domains[0].split(Split::Test);
+        let batch = mamdr::data::make_batch(&ds, 0, interactions);
+        let logits = mamdr::models::eval_logits(built.model.as_ref(), &params, &batch);
+        interactions
+            .iter()
+            .zip(&logits)
+            .map(|(it, &s)| UserScore { user: it.user, label: it.label, score: s })
+            .collect()
+    };
+    let init = env.init_flat();
+    let random_scores = score_with(&init);
+    let trained_scores = score_with(&trained.shared);
+
+    let g_rand = gauc(&random_scores);
+    let g_trained = gauc(&trained_scores);
+    assert!(
+        g_trained > g_rand + 0.03,
+        "training should lift GAUC: {} -> {}",
+        g_rand,
+        g_trained
+    );
+
+    let n_trained = mean_ndcg_at_k(&trained_scores, 5);
+    assert!((0.0..=1.0).contains(&n_trained));
+}
