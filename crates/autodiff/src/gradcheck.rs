@@ -38,10 +38,7 @@ pub fn check_gradients(
 
     let mut reports = Vec::with_capacity(params.len());
     for (pi, p) in params.iter().enumerate() {
-        let grad = analytic
-            .get(&pi)
-            .cloned()
-            .unwrap_or_else(|| Tensor::zeros(p.shape()));
+        let grad = analytic.get(&pi).cloned().unwrap_or_else(|| Tensor::zeros(p.shape()));
         let mut max_abs = 0.0f32;
         let mut max_rel = 0.0f32;
         for ei in 0..p.numel() {

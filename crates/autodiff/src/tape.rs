@@ -20,43 +20,109 @@ enum Op {
     /// Constant input: no gradient flows past it.
     Leaf,
     /// Copy of parameter `param` — its adjoint is the parameter gradient.
-    Param { param: usize },
+    Param {
+        param: usize,
+    },
     /// Embedding rows gathered from parameter `param` (adjoint scatter-adds).
-    GatherParam { param: usize, ids: Vec<u32>, table_shape: [usize; 2] },
-    Add { a: Var, b: Var },
-    Sub { a: Var, b: Var },
-    Mul { a: Var, b: Var },
+    GatherParam {
+        param: usize,
+        ids: Vec<u32>,
+        table_shape: [usize; 2],
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    Mul {
+        a: Var,
+        b: Var,
+    },
     /// `a [m,n] + row [n]` broadcast over rows (bias add).
-    AddRow { a: Var, row: Var },
+    AddRow {
+        a: Var,
+        row: Var,
+    },
     /// `a [m,n] * col [m]` broadcast over columns (attention weighting).
-    MulCol { a: Var, col: Var },
-    Matmul { a: Var, b: Var },
-    Transpose { a: Var },
-    Relu { a: Var },
-    Sigmoid { a: Var },
-    Tanh { a: Var },
-    Square { a: Var },
-    ScalarMul { a: Var, c: f32 },
-    AddScalar { a: Var },
-    SumAll { a: Var },
-    MeanAll { a: Var },
+    MulCol {
+        a: Var,
+        col: Var,
+    },
+    Matmul {
+        a: Var,
+        b: Var,
+    },
+    Transpose {
+        a: Var,
+    },
+    Relu {
+        a: Var,
+    },
+    Sigmoid {
+        a: Var,
+    },
+    Tanh {
+        a: Var,
+    },
+    Square {
+        a: Var,
+    },
+    ScalarMul {
+        a: Var,
+        c: f32,
+    },
+    AddScalar {
+        a: Var,
+    },
+    SumAll {
+        a: Var,
+    },
+    MeanAll {
+        a: Var,
+    },
     /// `[m,n] -> [m,1]`, summing each row.
-    SumColsKeep { a: Var },
+    SumColsKeep {
+        a: Var,
+    },
     /// `[m,n] -> [1,n]`, summing each column.
-    SumRowsKeep { a: Var },
-    ConcatCols { parts: Vec<Var> },
-    SliceCols { a: Var, start: usize, len: usize },
-    SoftmaxRows { a: Var },
+    SumRowsKeep {
+        a: Var,
+    },
+    ConcatCols {
+        parts: Vec<Var>,
+    },
+    SliceCols {
+        a: Var,
+        start: usize,
+        len: usize,
+    },
+    SoftmaxRows {
+        a: Var,
+    },
     /// Batch normalization with stop-gradient statistics: the per-feature
     /// batch mean/std are treated as constants in the backward pass (the
     /// standard simplification for STAR's Partitioned Normalization when
     /// moving statistics are used at serving time).
-    NormalizeRows { a: Var, inv_std: Tensor },
-    Dropout { a: Var, mask: Tensor },
+    NormalizeRows {
+        a: Var,
+        inv_std: Tensor,
+    },
+    Dropout {
+        a: Var,
+        mask: Tensor,
+    },
     /// Mean binary cross-entropy with logits; `labels` has the same number of
     /// elements as the logits node.
-    BceWithLogitsMean { logits: Var, labels: Tensor },
-    Reshape { a: Var },
+    BceWithLogitsMean {
+        logits: Var,
+        labels: Tensor,
+    },
+    Reshape {
+        a: Var,
+    },
 }
 
 /// A reverse-mode autodiff tape.
@@ -119,10 +185,7 @@ impl Tape {
     pub fn gather_param(&mut self, param: usize, table: &Tensor, ids: &[u32]) -> Var {
         let (rows, dim) = table.matrix_dims();
         let value = table.gather_rows(ids);
-        self.push(
-            value,
-            Op::GatherParam { param, ids: ids.to_vec(), table_shape: [rows, dim] },
-        )
+        self.push(value, Op::GatherParam { param, ids: ids.to_vec(), table_shape: [rows, dim] })
     }
 
     /// Elementwise add of same-shape values.
@@ -259,15 +322,13 @@ impl Tape {
         let mean = x.sum_rows().scale(1.0 / m as f32);
         let mut var = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
+            for (j, v) in var.iter_mut().enumerate() {
                 let d = x.at(i, j) - mean.data()[j];
-                var[j] += d * d;
+                *v += d * d;
             }
         }
-        let inv_std = Tensor::from_vec(
-            [n],
-            var.iter().map(|&v| 1.0 / (v / m as f32 + eps).sqrt()).collect(),
-        );
+        let inv_std =
+            Tensor::from_vec([n], var.iter().map(|&v| 1.0 / (v / m as f32 + eps).sqrt()).collect());
         let mut out = Tensor::zeros([m, n]);
         for i in 0..m {
             for j in 0..n {

@@ -14,9 +14,7 @@ use mamdr_nn::vecmath;
 fn dataset(n_domains: usize) -> MdrDataset {
     let mut cfg = GeneratorConfig::base("scal", 300, 150, 3);
     // Fixed per-domain size so total work scales linearly with n for DN.
-    cfg.domains = (0..n_domains)
-        .map(|i| DomainSpec::new(format!("d{i}"), 256, 0.3))
-        .collect();
+    cfg.domains = (0..n_domains).map(|i| DomainSpec::new(format!("d{i}"), 256, 0.3)).collect();
     cfg.generate()
 }
 
@@ -36,8 +34,7 @@ fn bench_scaling(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("dn", n), &n, |b, _| {
             b.iter(|| {
-                let mut env =
-                    TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+                let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
                 let mut shared = env.init_flat();
                 domain_negotiation_epoch(&mut env, &mut shared);
                 black_box(shared[0])
@@ -46,8 +43,7 @@ fn bench_scaling(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("pcgrad", n), &n, |b, _| {
             b.iter(|| {
-                let mut env =
-                    TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
+                let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), cfg);
                 let theta = env.init_flat();
                 // One PCGrad round: n gradients + n*(n-1) projections.
                 let grads: Vec<Vec<f32>> = (0..n)

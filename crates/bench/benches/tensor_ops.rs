@@ -12,9 +12,8 @@ fn bench_matmul(c: &mut Criterion) {
         let mut rng = seeded(1);
         let a = Tensor::randn(&mut rng, [m, k], 0.0, 1.0);
         let b = Tensor::randn(&mut rng, [k, n], 0.0, 1.0);
-        group.bench_function(format!("{m}x{k}x{n}"), |bench| {
-            bench.iter(|| black_box(a.matmul(&b)))
-        });
+        group
+            .bench_function(format!("{m}x{k}x{n}"), |bench| bench.iter(|| black_box(a.matmul(&b))));
     }
     group.finish();
 }
@@ -23,9 +22,7 @@ fn bench_gather_scatter(c: &mut Criterion) {
     let mut rng = seeded(2);
     let table = Tensor::randn(&mut rng, [10_000, 16], 0.0, 1.0);
     let ids: Vec<u32> = (0..256u32).map(|i| (i * 37) % 10_000).collect();
-    c.bench_function("gather_256x16", |b| {
-        b.iter(|| black_box(table.gather_rows(&ids)))
-    });
+    c.bench_function("gather_256x16", |b| b.iter(|| black_box(table.gather_rows(&ids))));
     let src = Tensor::ones([256, 16]);
     c.bench_function("scatter_add_256x16", |b| {
         b.iter(|| {
@@ -39,9 +36,7 @@ fn bench_gather_scatter(c: &mut Criterion) {
 fn bench_softmax_and_axpy(c: &mut Criterion) {
     let mut rng = seeded(3);
     let m = Tensor::randn(&mut rng, [256, 64], 0.0, 1.0);
-    c.bench_function("softmax_rows_256x64", |b| {
-        b.iter(|| black_box(m.softmax_rows()))
-    });
+    c.bench_function("softmax_rows_256x64", |b| b.iter(|| black_box(m.softmax_rows())));
     let x: Vec<f32> = (0..100_000).map(|i| i as f32).collect();
     c.bench_function("flat_axpy_100k", |b| {
         b.iter(|| {

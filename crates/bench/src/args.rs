@@ -1,7 +1,7 @@
 //! Minimal command-line parsing shared by the table binaries.
 
 /// Common knobs for every benchmark binary.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Dataset size multiplier relative to the preset defaults.
     pub scale: f64,
@@ -11,41 +11,44 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Experiment seed.
     pub seed: u64,
+    /// Telemetry sink: JSONL event/metric dump path (plus a sibling
+    /// `.prom` Prometheus-style snapshot). `None` disables telemetry.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 1.0, epochs: 0, threads: default_threads(), seed: 42 }
+        BenchArgs { scale: 1.0, epochs: 0, threads: default_threads(), seed: 42, metrics_out: None }
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 impl BenchArgs {
-    /// Parses `--scale`, `--epochs`, `--threads` and `--seed` from an
-    /// argument iterator (unknown flags abort with a usage message).
+    /// Parses `--scale`, `--epochs`, `--threads`, `--seed` and
+    /// `--metrics-out` from an argument iterator (unknown flags abort with
+    /// a usage message).
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        fn num(name: &str, v: String) -> f64 {
+            v.parse::<f64>().unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+        }
         let mut out = BenchArgs::default();
         let mut args = args.peekable();
         while let Some(flag) = args.next() {
-            let mut take = |name: &str| -> f64 {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
-                    .parse::<f64>()
-                    .unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+            let mut take = |name: &str| -> String {
+                args.next().unwrap_or_else(|| panic!("{name} requires a value"))
             };
             match flag.as_str() {
-                "--scale" => out.scale = take("--scale"),
-                "--epochs" => out.epochs = take("--epochs") as usize,
-                "--threads" => out.threads = (take("--threads") as usize).max(1),
-                "--seed" => out.seed = take("--seed") as u64,
+                "--scale" => out.scale = num("--scale", take("--scale")),
+                "--epochs" => out.epochs = num("--epochs", take("--epochs")) as usize,
+                "--threads" => out.threads = (num("--threads", take("--threads")) as usize).max(1),
+                "--seed" => out.seed = num("--seed", take("--seed")) as u64,
+                "--metrics-out" => out.metrics_out = Some(take("--metrics-out")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --metrics-out <path>"
                     );
                     std::process::exit(2);
                 }
@@ -94,5 +97,12 @@ mod tests {
     fn threads_floor_is_one() {
         let a = parse(&["--threads", "0"]);
         assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn metrics_out_is_captured_verbatim() {
+        assert_eq!(parse(&[]).metrics_out, None);
+        let a = parse(&["--metrics-out", "/tmp/run.jsonl"]);
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/run.jsonl"));
     }
 }

@@ -74,11 +74,7 @@ fn main() {
     let mut table = TableBuilder::new(&["variant", "avg AUC", "delta vs designed"]);
     let reference = results[0];
     for ((label, _, _), &auc) in variants.iter().zip(&results) {
-        table.row(vec![
-            label.to_string(),
-            format!("{auc:.4}"),
-            format!("{:+.4}", auc - reference),
-        ]);
+        table.row(vec![label.to_string(), format!("{auc:.4}"), format!("{:+.4}", auc - reference)]);
     }
     println!("\n=== Design-choice ablations (DESIGN.md §6, MLP+MAMDR on Taobao-10) ===\n");
     println!("{}", table.render());

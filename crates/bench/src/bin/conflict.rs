@@ -17,9 +17,7 @@ use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
 fn dataset(conflict: f32, seed: u64) -> mamdr_data::MdrDataset {
     let mut cfg = GeneratorConfig::base("conflict-sweep", 400, 200, seed);
     cfg.conflict = conflict;
-    cfg.domains = (0..6)
-        .map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3))
-        .collect();
+    cfg.domains = (0..6).map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3)).collect();
     cfg.generate()
 }
 

@@ -65,12 +65,8 @@ fn main() {
         args.seed
     );
     println!("{}", table.render());
-    let best_k = KS[aucs
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap()
-        .0];
+    let best_k =
+        KS[aucs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0];
     println!(
         "best k = {} (paper: performance peaks around k = 5 and drops beyond —\n\
          too many helper domains make the specific parameters deviate)",

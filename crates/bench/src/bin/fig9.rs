@@ -32,10 +32,8 @@ fn main() {
         ALPHAS.len() * BETAS.len()
     );
 
-    let jobs: Vec<(f32, f32)> = ALPHAS
-        .iter()
-        .flat_map(|&a| BETAS.iter().map(move |&b| (a, b)))
-        .collect();
+    let jobs: Vec<(f32, f32)> =
+        ALPHAS.iter().flat_map(|&a| BETAS.iter().map(move |&b| (a, b))).collect();
     let aucs: Vec<f64> = std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
@@ -58,9 +56,7 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = TableBuilder::new(&header_refs);
     for (ai, &alpha) in ALPHAS.iter().enumerate() {
-        let row: Vec<f64> = (0..BETAS.len())
-            .map(|bi| aucs[ai * BETAS.len() + bi])
-            .collect();
+        let row: Vec<f64> = (0..BETAS.len()).map(|bi| aucs[ai * BETAS.len() + bi]).collect();
         table.metric_row(&format!("{alpha:.0e}"), &row);
     }
     println!("\n=== Paper Fig. 9: DN results under different learning rates (Taobao-30) ===");
@@ -84,7 +80,8 @@ fn main() {
         .unwrap()
         .0;
     let beta1 = aucs[best_alpha_row * BETAS.len()];
-    let beta_mid: f64 = aucs[best_alpha_row * BETAS.len() + 1].max(aucs[best_alpha_row * BETAS.len() + 2]);
+    let beta_mid: f64 =
+        aucs[best_alpha_row * BETAS.len() + 1].max(aucs[best_alpha_row * BETAS.len() + 2]);
     println!(
         "\nat the best alpha ({:.0e}): beta=1 gives {:.4} vs best beta in [0.1,0.5] {:.4}\n\
          (paper: beta=1 degrades DN to Alternate training and loses AUC)",

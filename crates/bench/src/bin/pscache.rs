@@ -6,12 +6,14 @@
 //! cargo run --release -p mamdr-bench --bin pscache
 //! ```
 
-use mamdr_bench::{BenchArgs, TableBuilder};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
 use mamdr_data::presets;
+use mamdr_obs::Value;
 use mamdr_ps::{DistributedConfig, DistributedMamdr, SyncMode};
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let n_domains = ((48.0 * args.scale).round() as usize).clamp(8, 256);
     let ds = presets::industry(n_domains, 2_000, args.seed);
     eprintln!(
@@ -21,7 +23,14 @@ fn main() {
     );
 
     let mut table = TableBuilder::new(&[
-        "workers", "mode", "pulls", "pushes", "MB moved", "hit rate", "max stale", "test AUC",
+        "workers",
+        "mode",
+        "pulls",
+        "pushes",
+        "MB moved",
+        "hit rate",
+        "max stale",
+        "test AUC",
     ]);
     let mut reductions = Vec::new();
     for workers in [1usize, 4, 8] {
@@ -35,6 +44,26 @@ fn main() {
                 ..Default::default()
             };
             let report = DistributedMamdr::new(&ds, cfg).train(&ds);
+            if telemetry.enabled() {
+                let mode_name = match mode {
+                    SyncMode::Cached => "cached",
+                    SyncMode::NoCache => "no-cache",
+                };
+                for (round, &loss) in report.round_losses.iter().enumerate() {
+                    telemetry.log().emit(
+                        "ps_round",
+                        &[
+                            ("workers", Value::from(workers)),
+                            ("mode", Value::from(mode_name)),
+                            ("round", Value::from(round)),
+                            ("train_loss", Value::from(loss)),
+                        ],
+                    );
+                }
+                // The registry aggregates across configurations: counters
+                // sum traffic, gauges keep the last configuration's values.
+                report.export(telemetry.registry());
+            }
             bytes[mi] = report.total_bytes;
             table.row(vec![
                 workers.to_string(),
@@ -45,7 +74,7 @@ fn main() {
                 report.pulls.to_string(),
                 report.pushes.to_string(),
                 format!("{:.2}", report.total_bytes as f64 / 1e6),
-                format!("{:.2}", report.cache.hit_rate()),
+                format!("{:.2}", report.cache.hit_ratio()),
                 report.max_staleness.to_string(),
                 format!("{:.4}", report.mean_auc),
             ]);
@@ -53,15 +82,18 @@ fn main() {
         reductions.push(bytes[1] as f64 / bytes[0].max(1) as f64);
     }
     println!("\n=== Paper §IV-E: embedding PS-Worker cache ablation ===");
-    println!("({} domains, {} outer rounds, seed {})\n", ds.n_domains(), args.epochs_or(3), args.seed);
+    println!(
+        "({} domains, {} outer rounds, seed {})\n",
+        ds.n_domains(),
+        args.epochs_or(3),
+        args.seed
+    );
     println!("{}", table.render());
     println!(
         "traffic reduction (no-cache / cached): {:?}\n\
          expected shape: an order-of-magnitude fewer bytes and RPCs with the\n\
          cache, at equal or better AUC (bounded staleness).",
-        reductions
-            .iter()
-            .map(|r| format!("{r:.1}x"))
-            .collect::<Vec<_>>()
+        reductions.iter().map(|r| format!("{r:.1}x")).collect::<Vec<_>>()
     );
+    telemetry.finish();
 }

@@ -8,9 +8,9 @@
 //! cargo run --release -p mamdr-bench --bin table10 -- --scale 0.5 --epochs 8  # smoke
 //! ```
 
-use mamdr_bench::runner::{effective_scale, table_config};
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::run_many;
+use mamdr_bench::runner::{effective_scale, expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::run_many_observed;
 use mamdr_core::FrameworkKind;
 use mamdr_data::presets;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -39,6 +39,7 @@ const FRAMEWORKS: &[FrameworkKind] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 15);
     let ds = presets::taobao(10, args.seed, effective_scale(&args));
     eprintln!(
@@ -49,11 +50,16 @@ fn main() {
         MODELS.len() * FRAMEWORKS.len()
     );
 
-    let jobs: Vec<(ModelKind, FrameworkKind)> = MODELS
-        .iter()
-        .flat_map(|&m| FRAMEWORKS.iter().map(move |&f| (m, f)))
-        .collect();
-    let results = run_many(&ds, &jobs, &ModelConfig::default(), cfg, args.threads);
+    let jobs: Vec<(ModelKind, FrameworkKind)> =
+        MODELS.iter().flat_map(|&m| FRAMEWORKS.iter().map(move |&f| (m, f))).collect();
+    let results = expect_jobs(run_many_observed(
+        &ds,
+        &jobs,
+        &ModelConfig::default(),
+        cfg,
+        args.threads,
+        &|_| telemetry.observer(),
+    ));
 
     let mut header = vec!["Model"];
     for f in FRAMEWORKS {
@@ -61,18 +67,12 @@ fn main() {
     }
     let mut table = TableBuilder::new(&header);
     for (mi, m) in MODELS.iter().enumerate() {
-        let row: Vec<f64> = (0..FRAMEWORKS.len())
-            .map(|fi| results[mi * FRAMEWORKS.len() + fi].mean_auc)
-            .collect();
+        let row: Vec<f64> =
+            (0..FRAMEWORKS.len()).map(|fi| results[mi * FRAMEWORKS.len() + fi].mean_auc).collect();
         table.metric_row(m.name(), &row);
     }
     println!("\n=== Paper Table X: comparison with other learning frameworks (Taobao-10) ===");
-    println!(
-        "(scale {:.2}, {} epochs, seed {})\n",
-        effective_scale(&args),
-        cfg.epochs,
-        args.seed
-    );
+    println!("(scale {:.2}, {} epochs, seed {})\n", effective_scale(&args), cfg.epochs, args.seed);
     println!("{}", table.render());
 
     // Count per-model wins for MAMDR, the paper's headline for this table.
@@ -92,4 +92,5 @@ fn main() {
         wins,
         MODELS.len()
     );
+    telemetry.finish();
 }

@@ -9,9 +9,9 @@
 //! cargo run --release -p mamdr-bench --bin table5 -- --scale 0.25 --epochs 6   # smoke
 //! ```
 
-use mamdr_bench::runner::{benchmark_datasets, table_config};
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::{run_many, RunResult};
+use mamdr_bench::runner::{benchmark_datasets, expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::{run_many_observed, RunResult};
 use mamdr_core::metrics::average_rank;
 use mamdr_core::FrameworkKind;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -32,31 +32,39 @@ const METHODS: &[(&str, ModelKind, FrameworkKind)] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 20);
     let model_cfg = ModelConfig::default();
     let datasets = benchmark_datasets(&args);
 
     let mut table = TableBuilder::new(&[
         "Method",
-        "Am-6 AUC", "Am-6 RANK",
-        "Am-13 AUC", "Am-13 RANK",
-        "Tb-10 AUC", "Tb-10 RANK",
-        "Tb-20 AUC", "Tb-20 RANK",
-        "Tb-30 AUC", "Tb-30 RANK",
+        "Am-6 AUC",
+        "Am-6 RANK",
+        "Am-13 AUC",
+        "Am-13 RANK",
+        "Tb-10 AUC",
+        "Tb-10 RANK",
+        "Tb-20 AUC",
+        "Tb-20 RANK",
+        "Tb-30 AUC",
+        "Tb-30 RANK",
     ]);
-    let mut cells: Vec<Vec<String>> = METHODS
-        .iter()
-        .map(|(label, _, _)| vec![label.to_string()])
-        .collect();
+    let mut cells: Vec<Vec<String>> =
+        METHODS.iter().map(|(label, _, _)| vec![label.to_string()]).collect();
 
     for ds in &datasets {
         eprintln!("[table5] training {} methods on {} ...", METHODS.len(), ds.name);
         let jobs: Vec<(ModelKind, FrameworkKind)> =
             METHODS.iter().map(|&(_, m, f)| (m, f)).collect();
-        let results: Vec<RunResult> = run_many(ds, &jobs, &model_cfg, cfg, args.threads);
+        let results: Vec<RunResult> =
+            expect_jobs(run_many_observed(ds, &jobs, &model_cfg, cfg, args.threads, &|_| {
+                telemetry.observer()
+            }));
         let auc_matrix: Vec<Vec<f64>> = results.iter().map(|r| r.domain_auc.clone()).collect();
         let ranks = average_rank(&auc_matrix);
         for (i, r) in results.iter().enumerate() {
+            telemetry.emit_result(&ds.name, r);
             cells[i].push(format!("{:.4}", r.mean_auc));
             cells[i].push(format!("{:.1}", ranks[i]));
         }
@@ -76,4 +84,5 @@ fn main() {
         "expected shape (paper): MLP+MAMDR best AUC and best RANK on every dataset;\n\
          multi-domain models (Shared-bottom/MMOE/PLE) above plain single-domain models."
     );
+    telemetry.finish();
 }

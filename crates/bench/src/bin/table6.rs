@@ -9,9 +9,9 @@
 //! cargo run --release -p mamdr-bench --bin table6
 //! ```
 
-use mamdr_bench::runner::{benchmark_datasets, table_config};
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::run_many;
+use mamdr_bench::runner::{benchmark_datasets, expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::run_many_observed;
 use mamdr_core::metrics::average_rank;
 use mamdr_core::FrameworkKind;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -25,28 +25,35 @@ const VARIANTS: &[(&str, FrameworkKind)] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 20);
     let model_cfg = ModelConfig::default();
     let datasets = benchmark_datasets(&args);
 
     let mut table = TableBuilder::new(&[
         "Variant",
-        "Am-6 AUC", "Am-6 RANK",
-        "Am-13 AUC", "Am-13 RANK",
-        "Tb-10 AUC", "Tb-10 RANK",
-        "Tb-20 AUC", "Tb-20 RANK",
-        "Tb-30 AUC", "Tb-30 RANK",
+        "Am-6 AUC",
+        "Am-6 RANK",
+        "Am-13 AUC",
+        "Am-13 RANK",
+        "Tb-10 AUC",
+        "Tb-10 RANK",
+        "Tb-20 AUC",
+        "Tb-20 RANK",
+        "Tb-30 AUC",
+        "Tb-30 RANK",
     ]);
-    let mut cells: Vec<Vec<String>> = VARIANTS
-        .iter()
-        .map(|(label, _)| vec![label.to_string()])
-        .collect();
+    let mut cells: Vec<Vec<String>> =
+        VARIANTS.iter().map(|(label, _)| vec![label.to_string()]).collect();
 
     for ds in &datasets {
         eprintln!("[table6] ablation on {} ...", ds.name);
         let jobs: Vec<(ModelKind, FrameworkKind)> =
             VARIANTS.iter().map(|&(_, f)| (ModelKind::Mlp, f)).collect();
-        let results = run_many(ds, &jobs, &model_cfg, cfg, args.threads);
+        let results =
+            expect_jobs(run_many_observed(ds, &jobs, &model_cfg, cfg, args.threads, &|_| {
+                telemetry.observer()
+            }));
         let auc_matrix: Vec<Vec<f64>> = results.iter().map(|r| r.domain_auc.clone()).collect();
         let ranks = average_rank(&auc_matrix);
         for (i, r) in results.iter().enumerate() {
@@ -70,4 +77,5 @@ fn main() {
          sparse-domain dataset (Amazon-13); removing DN hurts more as the domain\n\
          count grows (Taobao-30); removing both is worst everywhere."
     );
+    telemetry.finish();
 }

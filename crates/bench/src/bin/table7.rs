@@ -6,9 +6,9 @@
 //! cargo run --release -p mamdr-bench --bin table7
 //! ```
 
-use mamdr_bench::runner::{effective_scale, table_config};
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::run_many;
+use mamdr_bench::runner::{effective_scale, expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::run_many_observed;
 use mamdr_core::FrameworkKind;
 use mamdr_data::presets;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -22,13 +22,21 @@ const VARIANTS: &[(&str, FrameworkKind)] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 20);
     let ds = presets::amazon6(args.seed, effective_scale(&args));
     eprintln!("[table7] ablation per domain on {} ...", ds.name);
 
     let jobs: Vec<(ModelKind, FrameworkKind)> =
         VARIANTS.iter().map(|&(_, f)| (ModelKind::Mlp, f)).collect();
-    let results = run_many(&ds, &jobs, &ModelConfig::default(), cfg, args.threads);
+    let results = expect_jobs(run_many_observed(
+        &ds,
+        &jobs,
+        &ModelConfig::default(),
+        cfg,
+        args.threads,
+        &|_| telemetry.observer(),
+    ));
 
     let mut header: Vec<&str> = vec!["Variant"];
     let domain_names: Vec<String> = ds.domains.iter().map(|d| d.name.clone()).collect();
@@ -40,22 +48,12 @@ fn main() {
         table.metric_row(label, &results[i].domain_auc);
     }
     println!("\n=== Paper Table VII: results of each domain on Amazon-6 ===");
-    println!(
-        "(scale {:.2}, {} epochs, seed {})\n",
-        effective_scale(&args),
-        cfg.epochs,
-        args.seed
-    );
+    println!("(scale {:.2}, {} epochs, seed {})\n", effective_scale(&args), cfg.epochs, args.seed);
     println!("{}", table.render());
 
     // Quantify the DR effect on the sparsest domain, as the paper does.
-    let sparse = ds
-        .domains
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, d)| d.len())
-        .map(|(i, _)| i)
-        .unwrap();
+    let sparse =
+        ds.domains.iter().enumerate().min_by_key(|(_, d)| d.len()).map(|(i, _)| i).unwrap();
     let full = results[0].domain_auc[sparse];
     let without_dr = results[2].domain_auc[sparse];
     println!(
@@ -66,4 +64,5 @@ fn main() {
         without_dr,
         100.0 * (full - without_dr) / without_dr.max(1e-9)
     );
+    telemetry.finish();
 }

@@ -10,9 +10,9 @@
 //! cargo run --release -p mamdr-bench --bin table8 -- --scale 0.5   # fewer domains
 //! ```
 
-use mamdr_bench::runner::table_config;
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::run_many;
+use mamdr_bench::runner::{expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::run_many_observed;
 use mamdr_core::FrameworkKind;
 use mamdr_data::presets;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -30,6 +30,7 @@ pub const METHODS: &[(&str, ModelKind, FrameworkKind)] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 15);
     // 64 long-tailed domains by default; --scale shrinks the domain count.
     let n_domains = ((64.0 * args.scale).round() as usize).clamp(8, 256);
@@ -41,9 +42,15 @@ fn main() {
         ds.domains.iter().map(|d| d.len()).sum::<usize>()
     );
 
-    let jobs: Vec<(ModelKind, FrameworkKind)> =
-        METHODS.iter().map(|&(_, m, f)| (m, f)).collect();
-    let results = run_many(&ds, &jobs, &ModelConfig::default(), cfg, args.threads);
+    let jobs: Vec<(ModelKind, FrameworkKind)> = METHODS.iter().map(|&(_, m, f)| (m, f)).collect();
+    let results = expect_jobs(run_many_observed(
+        &ds,
+        &jobs,
+        &ModelConfig::default(),
+        cfg,
+        args.threads,
+        &|_| telemetry.observer(),
+    ));
 
     let mut table = TableBuilder::new(&["Method", "avg AUC"]);
     for (i, (label, _, _)) in METHODS.iter().enumerate() {
@@ -56,4 +63,5 @@ fn main() {
         "expected shape (paper): RAW+MAMDR best; RAW+DN above RAW;\n\
          RAW+Separate below RAW (sparse tail domains overfit without sharing)."
     );
+    telemetry.finish();
 }

@@ -7,9 +7,9 @@
 //! cargo run --release -p mamdr-bench --bin table9
 //! ```
 
-use mamdr_bench::runner::table_config;
-use mamdr_bench::{BenchArgs, TableBuilder};
-use mamdr_core::experiment::run_many;
+use mamdr_bench::runner::{expect_jobs, table_config};
+use mamdr_bench::{BenchArgs, BenchTelemetry, TableBuilder};
+use mamdr_core::experiment::run_many_observed;
 use mamdr_core::FrameworkKind;
 use mamdr_data::presets;
 use mamdr_models::{ModelConfig, ModelKind};
@@ -26,22 +26,26 @@ const METHODS: &[(&str, ModelKind, FrameworkKind)] = &[
 
 fn main() {
     let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
     let cfg = table_config(&args, 15);
     let n_domains = ((64.0 * args.scale).round() as usize).clamp(10, 256);
     let ds = presets::industry(n_domains, 2_000, args.seed);
-    eprintln!(
-        "[table9] top-10 largest of {} industry domains...",
-        ds.n_domains()
-    );
+    eprintln!("[table9] top-10 largest of {} industry domains...", ds.n_domains());
 
     // The ten largest domains by total interactions.
     let mut order: Vec<usize> = (0..ds.n_domains()).collect();
     order.sort_by_key(|&d| std::cmp::Reverse(ds.domains[d].len()));
     let top10: Vec<usize> = order.into_iter().take(10).collect();
 
-    let jobs: Vec<(ModelKind, FrameworkKind)> =
-        METHODS.iter().map(|&(_, m, f)| (m, f)).collect();
-    let results = run_many(&ds, &jobs, &ModelConfig::default(), cfg, args.threads);
+    let jobs: Vec<(ModelKind, FrameworkKind)> = METHODS.iter().map(|&(_, m, f)| (m, f)).collect();
+    let results = expect_jobs(run_many_observed(
+        &ds,
+        &jobs,
+        &ModelConfig::default(),
+        cfg,
+        args.threads,
+        &|_| telemetry.observer(),
+    ));
 
     let mut header = vec!["Method".to_string()];
     header.extend((1..=10).map(|i| format!("Top {i}")));
@@ -55,4 +59,5 @@ fn main() {
     println!("({} domains total, {} epochs, seed {})\n", ds.n_domains(), cfg.epochs, args.seed);
     println!("{}", table.render());
     println!("expected shape (paper): RAW+MAMDR best on most of the top-10 domains.");
+    telemetry.finish();
 }

@@ -28,13 +28,8 @@ fn main() {
     }
 
     // MAMDR DR-strength grid.
-    let grid: Vec<(f32, usize, usize)> = vec![
-        (0.8, 16, 5),
-        (0.5, 8, 5),
-        (0.3, 8, 5),
-        (0.2, 4, 5),
-        (0.2, 8, 3),
-    ];
+    let grid: Vec<(f32, usize, usize)> =
+        vec![(0.8, 16, 5), (0.5, 8, 5), (0.3, 8, 5), (0.2, 4, 5), (0.2, 8, 3)];
     let results: Vec<f64> = std::thread::scope(|s| {
         let handles: Vec<_> = grid
             .iter()

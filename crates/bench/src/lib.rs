@@ -21,11 +21,16 @@
 //!
 //! All binaries accept `--scale <f64>` (dataset size multiplier) and
 //! `--epochs <usize>` so a fast smoke run and a full reproduction use the
-//! same code path.
+//! same code path. The table binaries and `pscache` also accept
+//! `--metrics-out <path>`: training runs with telemetry observers attached
+//! and the process dumps a JSONL event/metric stream to `<path>` plus a
+//! Prometheus-style text snapshot to `<path>.prom` at exit.
 
 pub mod args;
 pub mod runner;
 pub mod table;
+pub mod telemetry;
 
 pub use args::BenchArgs;
 pub use table::TableBuilder;
+pub use telemetry::BenchTelemetry;

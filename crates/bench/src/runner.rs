@@ -1,7 +1,7 @@
 //! Shared experiment plumbing for the table binaries.
 
 use crate::args::BenchArgs;
-use mamdr_core::experiment::{run_many, RunResult};
+use mamdr_core::experiment::{run_many, JobError, RunResult};
 use mamdr_core::{FrameworkKind, TrainConfig};
 use mamdr_data::{presets, MdrDataset};
 use mamdr_models::{ModelConfig, ModelKind};
@@ -54,9 +54,29 @@ pub fn run_frameworks(
     cfg: TrainConfig,
     threads: usize,
 ) -> Vec<RunResult> {
-    let jobs: Vec<(ModelKind, FrameworkKind)> =
-        frameworks.iter().map(|&f| (model, f)).collect();
-    run_many(ds, &jobs, model_cfg, cfg, threads)
+    let jobs: Vec<(ModelKind, FrameworkKind)> = frameworks.iter().map(|&f| (model, f)).collect();
+    expect_jobs(run_many(ds, &jobs, model_cfg, cfg, threads))
+}
+
+/// Unwraps a [`run_many`] result set for table rendering. A table with
+/// holes is not worth printing, so every failed job is reported on stderr
+/// and the process exits non-zero if any slot failed.
+pub fn expect_jobs(results: Vec<Result<RunResult, JobError>>) -> Vec<RunResult> {
+    let mut out = Vec::with_capacity(results.len());
+    let mut failed = false;
+    for r in results {
+        match r {
+            Ok(r) => out.push(r),
+            Err(e) => {
+                eprintln!("[bench] {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -68,10 +88,7 @@ mod tests {
         let args = BenchArgs { scale: 0.02, ..Default::default() };
         let ds = benchmark_datasets(&args);
         let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
-        assert_eq!(
-            names,
-            ["amazon-6", "amazon-13", "taobao-10", "taobao-20", "taobao-30"]
-        );
+        assert_eq!(names, ["amazon-6", "amazon-13", "taobao-10", "taobao-20", "taobao-30"]);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! `--metrics-out` plumbing shared by the benchmark binaries: one
+//! process-wide [`MetricsRegistry`] + [`EventLog`] pair, observer handout
+//! for training jobs, and the exit-time dump.
+
+use crate::args::BenchArgs;
+use mamdr_obs::{EventLog, MetricsRegistry, TelemetryObserver, TrainObserver, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The telemetry sink of one benchmark process.
+///
+/// When `--metrics-out` is absent the sink is disabled: [`observer`]
+/// returns `None` (training runs fully unobserved and pays nothing) and
+/// [`finish`] is a no-op. When present, events stream to the JSONL file as
+/// they happen and [`finish`] appends a registry dump plus writes a
+/// sibling Prometheus-style `.prom` snapshot.
+///
+/// [`observer`]: BenchTelemetry::observer
+/// [`finish`]: BenchTelemetry::finish
+pub struct BenchTelemetry {
+    registry: Arc<MetricsRegistry>,
+    log: Arc<EventLog>,
+    out: Option<PathBuf>,
+}
+
+impl BenchTelemetry {
+    /// Builds the sink from the parsed arguments.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        let out = args.metrics_out.as_ref().map(PathBuf::from);
+        let log = match &out {
+            Some(p) => EventLog::to_file(p)
+                .unwrap_or_else(|e| panic!("cannot open --metrics-out {}: {e}", p.display())),
+            None => EventLog::in_memory(),
+        };
+        BenchTelemetry { registry: Arc::new(MetricsRegistry::new()), log: Arc::new(log), out }
+    }
+
+    /// Whether `--metrics-out` was given.
+    pub fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// The process-wide registry (e.g. for `DistributedReport::export`).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event log, for binaries emitting events outside training runs.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// A fresh observer feeding this sink, or `None` when disabled.
+    /// Jobs running in parallel can each hold their own; the shared
+    /// registry and log are thread-safe.
+    pub fn observer(&self) -> Option<Box<dyn TrainObserver>> {
+        self.enabled().then(|| {
+            Box::new(TelemetryObserver::new(self.registry.clone(), self.log.clone()))
+                as Box<dyn TrainObserver>
+        })
+    }
+
+    /// Records one finished run's headline quality as a `result` event.
+    pub fn emit_result(&self, dataset: &str, r: &mamdr_core::experiment::RunResult) {
+        if !self.enabled() {
+            return;
+        }
+        self.log.emit(
+            "result",
+            &[
+                ("dataset", Value::from(dataset)),
+                ("model", Value::from(r.model.as_str())),
+                ("framework", Value::from(r.framework.as_str())),
+                ("mean_auc", Value::from(r.mean_auc)),
+                ("wall_secs", Value::from(r.wall_secs)),
+            ],
+        );
+    }
+
+    /// Appends the registry dump to the JSONL stream, flushes it, and
+    /// writes the Prometheus-style snapshot. No-op when disabled.
+    pub fn finish(&self) {
+        let Some(out) = &self.out else { return };
+        self.log.append_raw(&self.registry.dump_jsonl());
+        self.log.flush();
+        let prom = out.with_extension("prom");
+        match std::fs::write(&prom, self.registry.render_prometheus()) {
+            Ok(()) => eprintln!("[metrics] wrote {} and {}", out.display(), prom.display()),
+            Err(e) => eprintln!("[metrics] failed to write {}: {e}", prom.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_hands_out_no_observers_and_writes_nothing() {
+        let t = BenchTelemetry::from_args(&BenchArgs::default());
+        assert!(!t.enabled());
+        assert!(t.observer().is_none());
+        t.finish(); // must not panic or write anywhere
+        assert!(t.log().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_streams_events_and_dumps_at_finish() {
+        let dir = std::env::temp_dir().join("mamdr-bench-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let args = BenchArgs {
+            metrics_out: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let t = BenchTelemetry::from_args(&args);
+        assert!(t.enabled() && t.observer().is_some());
+        t.registry().counter("demo_total").add(3);
+        t.log().emit("demo", &[("k", Value::from(1u64))]);
+        t.finish();
+
+        let jsonl = std::fs::read_to_string(&path).unwrap();
+        assert!(jsonl.contains("\"event\":\"demo\""), "{jsonl}");
+        assert!(jsonl.contains("\"event\":\"metric\""), "{jsonl}");
+        assert!(jsonl.contains("demo_total"), "{jsonl}");
+        let prom = std::fs::read_to_string(dir.join("m.prom")).unwrap();
+        assert!(prom.contains("demo_total 3"), "{prom}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

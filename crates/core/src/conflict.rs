@@ -31,6 +31,14 @@ pub struct ConflictReport {
 pub fn measure_conflict(env: &mut TrainEnv, theta: &[f32]) -> ConflictReport {
     let n = env.n_domains();
     let grads: Vec<Vec<f32>> = (0..n).map(|d| domain_gradient(env, theta, d, 8)).collect();
+    pairwise_conflict(&grads)
+}
+
+/// Pairwise conflict statistics over pre-computed per-domain gradients.
+/// Shared by [`measure_conflict`] and the observer's conflict probe in
+/// `TrainEnv` (which sources its gradients from a dedicated RNG stream).
+pub fn pairwise_conflict(grads: &[Vec<f32>]) -> ConflictReport {
+    let n = grads.len();
     let mut n_pairs = 0usize;
     let mut n_conflict = 0usize;
     let mut ip_sum = 0.0f64;
@@ -87,9 +95,7 @@ mod tests {
     fn conflict_dataset(conflict: f32) -> mamdr_data::MdrDataset {
         let mut cfg = GeneratorConfig::base("c", 200, 100, 91);
         cfg.conflict = conflict;
-        cfg.domains = (0..6)
-            .map(|i| DomainSpec::new(format!("d{i}"), 700, 0.3))
-            .collect();
+        cfg.domains = (0..6).map(|i| DomainSpec::new(format!("d{i}"), 700, 0.3)).collect();
         cfg.generate()
     }
 
@@ -146,10 +152,6 @@ mod tests {
             let per_domain = env.evaluate(&tm, mamdr_data::Split::Test);
             aucs.push(crate::metrics::mean(&per_domain));
         }
-        assert!(
-            aucs[0] > aucs[1] + 0.01,
-            "conflict knob should cost AUC: {:?}",
-            aucs
-        );
+        assert!(aucs[0] > aucs[1] + 0.01, "conflict knob should cost AUC: {:?}", aucs);
     }
 }

@@ -10,9 +10,34 @@ use crate::metrics::auc;
 use mamdr_data::{batches_for_domain, Batch, BatchPlan, MdrDataset, Split};
 use mamdr_models::{eval_logits, loss_and_grads, CtrModel};
 use mamdr_nn::{ForwardCtx, ParamStore};
+use mamdr_obs::{ConflictSummary, EpochEvent, TrainMeta, TrainObserver};
 use mamdr_tensor::rng::{derive_seed, seeded};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Per-epoch telemetry accumulators, populated by [`TrainEnv::grad`] only
+/// while an observer is attached.
+#[derive(Default)]
+struct Telemetry {
+    epoch: usize,
+    loss_sum: f64,
+    n_batches: u64,
+    sq_grad_sum: f64,
+    /// Per-domain `(loss_sum, n_batches)`.
+    domain_loss: Vec<(f64, u64)>,
+    started: Option<std::time::Instant>,
+}
+
+impl Telemetry {
+    fn reset_epoch(&mut self) {
+        self.loss_sum = 0.0;
+        self.n_batches = 0;
+        self.sq_grad_sum = 0.0;
+        for d in &mut self.domain_loss {
+            *d = (0.0, 0);
+        }
+    }
+}
 
 /// Everything a framework needs to train one model on one dataset.
 pub struct TrainEnv<'a> {
@@ -26,6 +51,12 @@ pub struct TrainEnv<'a> {
     pub rng: StdRng,
     init_flat: Vec<f32>,
     scratch: ParamStore,
+    obs: Option<Box<dyn TrainObserver>>,
+    /// Dedicated stream for observer-requested conflict probes, so probing
+    /// never advances `rng` (training stays bit-identical with and without
+    /// an observer attached).
+    probe_rng: StdRng,
+    telemetry: Telemetry,
 }
 
 impl<'a> TrainEnv<'a> {
@@ -44,6 +75,9 @@ impl<'a> TrainEnv<'a> {
             rng: seeded(derive_seed(cfg.seed, 0xE17)),
             init_flat,
             scratch: init,
+            obs: None,
+            probe_rng: seeded(derive_seed(cfg.seed, 0x0B5)),
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -74,7 +108,23 @@ impl<'a> TrainEnv<'a> {
             ForwardCtx::eval(&mut self.rng)
         };
         let (loss, grads) = loss_and_grads(self.model, &self.scratch, batch, &mut ctx);
-        (loss, self.scratch.grads_to_flat(&grads))
+        let flat_grad = self.scratch.grads_to_flat(&grads);
+        // Telemetry accumulation reuses values training computed anyway
+        // (plus one dot product) and touches no RNG; without an observer
+        // the hot path pays this single branch.
+        if training && self.obs.is_some() {
+            let t = &mut self.telemetry;
+            t.loss_sum += loss as f64;
+            t.n_batches += 1;
+            t.sq_grad_sum += flat_grad.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+            if t.domain_loss.len() <= batch.domain {
+                t.domain_loss.resize(batch.domain + 1, (0.0, 0));
+            }
+            let slot = &mut t.domain_loss[batch.domain];
+            slot.0 += loss as f64;
+            slot.1 += 1;
+        }
+        (loss, flat_grad)
     }
 
     /// All training batches of one domain, shuffled.
@@ -123,6 +173,125 @@ impl<'a> TrainEnv<'a> {
             out.push(auc(&labels, &scores));
         }
         out
+    }
+
+    /// Attaches a telemetry observer. Observers are strictly passive:
+    /// training results are bit-identical with and without one (asserted by
+    /// the `observability` integration tests).
+    pub fn attach_observer(&mut self, obs: Box<dyn TrainObserver>) {
+        self.obs = Some(obs);
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn TrainObserver>> {
+        self.obs.take()
+    }
+
+    /// Whether an observer is attached.
+    pub fn has_observer(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Reports the start of a training run to the observer (no-op without
+    /// one). Called by `experiment::run`; callers driving a [`Framework`]
+    /// directly may call it themselves.
+    pub fn observe_train_start(&mut self, framework: &str) {
+        self.telemetry =
+            Telemetry { started: Some(std::time::Instant::now()), ..Default::default() };
+        let meta = TrainMeta {
+            framework: framework.to_string(),
+            n_domains: self.ds.n_domains(),
+            epochs: self.cfg.epochs,
+            seed: self.cfg.seed,
+        };
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_train_start(&meta);
+        }
+    }
+
+    /// Closes out an epoch: hands the accumulated loss/gradient telemetry
+    /// to the observer and resets the accumulators. Frameworks call this
+    /// once per outer epoch, passing the current shared parameters so the
+    /// observer can request a gradient-conflict probe at that point.
+    ///
+    /// No-op (one branch) without an observer.
+    pub fn end_epoch(&mut self, shared: Option<&[f32]>) {
+        if self.obs.is_none() {
+            return;
+        }
+        let epoch = self.telemetry.epoch;
+        let wants_probe = self.obs.as_ref().is_some_and(|o| o.wants_conflict(epoch));
+        let conflict = match (wants_probe, shared) {
+            (true, Some(theta)) => Some(self.probe_conflict(theta)),
+            _ => None,
+        };
+        let t = &mut self.telemetry;
+        let event = EpochEvent {
+            epoch,
+            mean_loss: if t.n_batches == 0 { 0.0 } else { t.loss_sum / t.n_batches as f64 },
+            domain_losses: t
+                .domain_loss
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, n))| *n > 0)
+                .map(|(d, (sum, n))| (d, sum / *n as f64))
+                .collect(),
+            grad_norm: if t.n_batches == 0 {
+                None
+            } else {
+                Some((t.sq_grad_sum / t.n_batches as f64).sqrt())
+            },
+            conflict,
+        };
+        t.reset_epoch();
+        t.epoch += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_epoch_end(&event);
+        }
+    }
+
+    /// Reports the end of a training run (wall-clock since
+    /// [`observe_train_start`](Self::observe_train_start)) to the observer.
+    pub fn observe_train_end(&mut self) {
+        let wall =
+            self.telemetry.started.take().map(|t| t.elapsed().as_secs_f64()).unwrap_or_default();
+        if let Some(obs) = self.obs.as_mut() {
+            obs.on_train_end(wall);
+        }
+    }
+
+    /// Measures pairwise gradient conflict at `theta` for the observer.
+    ///
+    /// Batches come from the dedicated probe RNG and gradients are taken in
+    /// eval mode (dropout off draws nothing), so the probe leaves the
+    /// training RNG stream untouched.
+    fn probe_conflict(&mut self, theta: &[f32]) -> ConflictSummary {
+        const PROBE_BATCHES: usize = 4;
+        let n = self.ds.n_domains();
+        let mut grads = Vec::with_capacity(n);
+        for d in 0..n {
+            let mut batches = batches_for_domain(
+                self.ds,
+                d,
+                Split::Train,
+                BatchPlan::train(self.cfg.batch_size),
+                &mut self.probe_rng,
+            );
+            batches.truncate(PROBE_BATCHES);
+            let mut acc = vec![0.0f32; theta.len()];
+            let k = batches.len().max(1);
+            for batch in &batches {
+                let (_, g) = self.grad(theta, batch, false);
+                mamdr_nn::vecmath::axpy(&mut acc, 1.0 / k as f32, &g);
+            }
+            grads.push(acc);
+        }
+        let report = crate::conflict::pairwise_conflict(&grads);
+        ConflictSummary {
+            rate: report.conflict_rate,
+            mean_cosine: report.mean_cosine,
+            mean_inner_product: report.mean_inner_product,
+        }
     }
 }
 
@@ -186,7 +355,8 @@ mod tests {
     #[test]
     fn grad_is_deterministic_in_eval_mode() {
         let (ds, built) = fixture();
-        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
         let flat = env.init_flat();
         let batch = mamdr_data::make_batch(&ds, 0, &ds.domains[0].train[..16]);
         let (l1, g1) = env.grad(&flat, &batch, false);
@@ -198,7 +368,8 @@ mod tests {
     #[test]
     fn sample_train_batch_has_config_size() {
         let (ds, built) = fixture();
-        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
         let b = env.sample_train_batch(1);
         assert_eq!(b.len(), TrainConfig::quick().batch_size.min(ds.domains[1].train.len()));
         assert_eq!(b.domain, 1);
@@ -207,7 +378,8 @@ mod tests {
     #[test]
     fn shuffled_domains_is_permutation() {
         let (ds, built) = fixture();
-        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
         let mut order = env.shuffled_domains();
         order.sort_unstable();
         assert_eq!(order, vec![0, 1]);
@@ -234,7 +406,8 @@ mod tests {
     #[test]
     fn evaluate_returns_per_domain_auc() {
         let (ds, built) = fixture();
-        let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
         let tm = TrainedModel::shared_only(env.init_flat());
         let aucs = env.evaluate(&tm, Split::Test);
         assert_eq!(aucs.len(), 2);

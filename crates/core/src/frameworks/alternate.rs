@@ -13,7 +13,7 @@ use mamdr_nn::vecmath;
 /// phase of DR-only MAMDR, and finetuning bases).
 pub fn alternate_epoch(
     env: &mut TrainEnv,
-    theta: &mut Vec<f32>,
+    theta: &mut [f32],
     opt: &mut dyn mamdr_nn::Optimizer,
 ) -> f32 {
     let mut total_loss = 0.0f32;
@@ -36,7 +36,7 @@ pub fn alternate_epoch(
 /// Runs `epochs` passes over a single domain's data, stepping `opt`.
 pub fn domain_epochs(
     env: &mut TrainEnv,
-    theta: &mut Vec<f32>,
+    theta: &mut [f32],
     opt: &mut dyn mamdr_nn::Optimizer,
     domain: usize,
     epochs: usize,
@@ -65,6 +65,7 @@ impl Framework for Alternate {
         let mut opt = env.cfg.inner.build(theta.len());
         for _ in 0..env.cfg.epochs {
             alternate_epoch(env, &mut theta, opt.as_mut());
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }
@@ -85,6 +86,7 @@ impl Framework for AlternateFinetune {
         let mut opt = env.cfg.inner.build(shared.len());
         for _ in 0..env.cfg.epochs {
             alternate_epoch(env, &mut shared, opt.as_mut());
+            env.end_epoch(Some(&shared));
         }
         let mut deltas = Vec::with_capacity(env.n_domains());
         for d in 0..env.n_domains() {

@@ -50,6 +50,7 @@ impl Framework for CaGrad {
                 let update = cagrad_direction(&grads);
                 opt.step(&mut theta, &update);
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }

@@ -74,10 +74,11 @@ impl Framework for Mamdr {
                 alternate_epoch(env, &mut shared, inner_opt.as_mut());
             }
             if self.use_dr {
-                for i in 0..n_domains {
-                    domain_regularization(env, &shared, &mut specific[i], i);
+                for (i, spec) in specific.iter_mut().enumerate() {
+                    domain_regularization(env, &shared, spec, i);
                 }
             }
+            env.end_epoch(Some(&shared));
             if env.cfg.val_select {
                 let candidate = self.snapshot(&shared, &specific);
                 let val = crate::metrics::mean(&env.evaluate(&candidate, mamdr_data::Split::Val));
@@ -148,12 +149,7 @@ pub fn domain_negotiation_epoch_with(
 ///
 /// All lookahead losses are evaluated at the composed parameters
 /// Θ = θS + θ̃ (Eq. 4); only the specific delta moves.
-pub fn domain_regularization(
-    env: &mut TrainEnv,
-    shared: &[f32],
-    specific_i: &mut Vec<f32>,
-    i: usize,
-) {
+pub fn domain_regularization(env: &mut TrainEnv, shared: &[f32], specific_i: &mut [f32], i: usize) {
     let n_domains = env.n_domains();
     let k = env.cfg.dr_samples.min(n_domains.saturating_sub(1));
     if k == 0 {
@@ -291,12 +287,8 @@ mod tests {
         let mut env_alt = fixture_env(&ds, &built, cfg);
         let alt = Alternate.train(&mut env_alt);
 
-        let max_diff = dn
-            .shared
-            .iter()
-            .zip(&alt.shared)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_diff =
+            dn.shared.iter().zip(&alt.shared).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_diff < 1e-5, "DN@β=1 differs from Alternate by {}", max_diff);
     }
 
@@ -315,12 +307,7 @@ mod tests {
         // `before` at a random init is typically near 0 (or negative under
         // conflict); DN should leave gradients pointing in agreeing
         // directions. We only require improvement, not positivity.
-        assert!(
-            after > before,
-            "inner product did not improve: {} -> {}",
-            before,
-            after
-        );
+        assert!(after > before, "inner product did not improve: {} -> {}", before, after);
     }
 
     #[test]

@@ -50,6 +50,7 @@ impl Framework for Maml {
                 vecmath::scale(&mut meta_grad, 1.0 / domains.len() as f32);
                 outer.step(&mut theta, &meta_grad);
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }
@@ -82,6 +83,7 @@ impl Framework for Reptile {
                 }
                 vecmath::lerp_toward(&mut theta, &tilde, beta);
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }
@@ -138,6 +140,7 @@ impl Framework for Mldg {
                 vecmath::scale(&mut update, 0.5);
                 outer.step(&mut theta, &update);
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }

@@ -34,6 +34,7 @@ impl Framework for WeightedLoss {
                     log_vars[d] -= WEIGHT_LR * (1.0 - w * loss);
                 }
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }
@@ -83,6 +84,7 @@ impl Framework for PcGrad {
                 vecmath::scale(&mut total, 1.0 / n_domains as f32);
                 opt.step(&mut theta, &total);
             }
+            env.end_epoch(Some(&theta));
         }
         TrainedModel::shared_only(theta)
     }
@@ -91,9 +93,7 @@ impl Framework for PcGrad {
 /// Rounds per epoch for frameworks that consume one batch per domain per
 /// round: matches the data exposure of one Alternate epoch.
 pub fn rounds_per_epoch(env: &TrainEnv) -> usize {
-    let total_train: usize = (0..env.n_domains())
-        .map(|d| env.ds.domains[d].train.len())
-        .sum();
+    let total_train: usize = (0..env.n_domains()).map(|d| env.ds.domains[d].train.len()).sum();
     let per_round = env.cfg.batch_size * env.n_domains();
     (total_train + per_round - 1) / per_round.max(1)
 }

@@ -23,8 +23,8 @@
 //! orchestration [`experiment`], and the gradient-conflict probe
 //! [`conflict`] behind Figure 3.
 
-pub mod conflict;
 pub mod config;
+pub mod conflict;
 pub mod env;
 pub mod experiment;
 pub mod frameworks;

@@ -59,11 +59,10 @@ pub fn average_rank(auc_matrix: &[Vec<f64>]) -> Vec<f64> {
     }
     let n_methods = auc_matrix.len();
     let n_domains = auc_matrix[0].len();
-    assert!(
-        auc_matrix.iter().all(|row| row.len() == n_domains),
-        "ragged AUC matrix"
-    );
+    assert!(auc_matrix.iter().all(|row| row.len() == n_domains), "ragged AUC matrix");
     let mut rank_sums = vec![0.0f64; n_methods];
+    // `d` selects a column of the row-major matrix — no slice to iterate.
+    #[allow(clippy::needless_range_loop)]
     for d in 0..n_domains {
         // Sort methods by AUC descending within this domain.
         let mut order: Vec<usize> = (0..n_methods).collect();
@@ -150,11 +149,7 @@ mod tests {
     #[test]
     fn average_rank_orders_methods() {
         // Method 0 best everywhere, method 2 worst everywhere.
-        let aucs = vec![
-            vec![0.9, 0.8, 0.95],
-            vec![0.7, 0.7, 0.8],
-            vec![0.5, 0.6, 0.6],
-        ];
+        let aucs = vec![vec![0.9, 0.8, 0.95], vec![0.7, 0.7, 0.8], vec![0.5, 0.6, 0.6]];
         let ranks = average_rank(&aucs);
         assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
     }

@@ -72,18 +72,14 @@ pub fn ndcg_at_k(labels: &[f32], scores: &[f32], k: usize) -> f64 {
     if n_pos == 0 {
         return 0.0;
     }
-    let ideal: f64 = (0..n_pos.min(k))
-        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
-        .sum();
+    let ideal: f64 = (0..n_pos.min(k)).map(|rank| 1.0 / ((rank + 2) as f64).log2()).sum();
     dcg / ideal
 }
 
 /// HitRate@k: 1 if any positive appears in the top-k, else 0.
 pub fn hit_rate_at_k(labels: &[f32], scores: &[f32], k: usize) -> f64 {
     assert_eq!(labels.len(), scores.len());
-    let hit = top_k_indices(scores, k)
-        .iter()
-        .any(|&i| labels[i] > 0.5);
+    let hit = top_k_indices(scores, k).iter().any(|&i| labels[i] > 0.5);
     f64::from(u8::from(hit))
 }
 

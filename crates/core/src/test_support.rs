@@ -17,7 +17,11 @@ pub fn fixture() -> (MdrDataset, BuiltModel) {
 }
 
 /// Wraps a fixture into a training environment.
-pub fn fixture_env<'a>(ds: &'a MdrDataset, built: &'a BuiltModel, cfg: TrainConfig) -> TrainEnv<'a> {
+pub fn fixture_env<'a>(
+    ds: &'a MdrDataset,
+    built: &'a BuiltModel,
+    cfg: TrainConfig,
+) -> TrainEnv<'a> {
     TrainEnv::new(ds, built.model.as_ref(), built.params.clone(), cfg)
 }
 

@@ -20,23 +20,18 @@ fn fixture() -> (MdrDataset, BuiltModel) {
 #[test]
 fn env_evaluate_matches_manual_auc() {
     let (ds, built) = fixture();
-    let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+    let mut env =
+        TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
     let tm = TrainedModel::shared_only(env.init_flat());
     let reported = env.evaluate(&tm, Split::Test);
 
-    for d in 0..ds.n_domains() {
+    for (d, &rep) in reported.iter().enumerate() {
         let interactions = ds.domains[d].split(Split::Test);
         let batch = make_batch(&ds, d, interactions);
         let scores = eval_logits(built.model.as_ref(), &built.params, &batch);
         let labels: Vec<f32> = interactions.iter().map(|i| i.label).collect();
         let manual = auc(&labels, &scores);
-        assert!(
-            (manual - reported[d]).abs() < 1e-12,
-            "domain {}: {} vs {}",
-            d,
-            manual,
-            reported[d]
-        );
+        assert!((manual - rep).abs() < 1e-12, "domain {}: {} vs {}", d, manual, rep);
     }
 }
 
@@ -45,7 +40,8 @@ fn evaluator_scores_with_composed_parameters() {
     // With a delta for domain 0 only, domain 1's AUC must equal the
     // shared-only AUC exactly while domain 0's generally changes.
     let (ds, built) = fixture();
-    let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+    let mut env =
+        TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
     let shared = env.init_flat();
     let shared_only = env.evaluate(&TrainedModel::shared_only(shared.clone()), Split::Test);
 
@@ -65,7 +61,8 @@ fn evaluator_scores_with_composed_parameters() {
 #[test]
 fn val_and_test_are_distinct_evaluations() {
     let (ds, built) = fixture();
-    let mut env = TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+    let mut env =
+        TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
     let tm = TrainedModel::shared_only(env.init_flat());
     let val = env.evaluate(&tm, Split::Val);
     let test = env.evaluate(&tm, Split::Test);

@@ -1,0 +1,127 @@
+//! Observer contract tests: training emits a complete, ordered epoch-event
+//! stream, and attaching an observer — even one that runs conflict probes
+//! every epoch — never changes the training outcome.
+
+use mamdr_core::experiment::{run, run_observed};
+use mamdr_core::{FrameworkKind, TrainConfig};
+use mamdr_data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr_models::{ModelConfig, ModelKind};
+use mamdr_obs::RecordingObserver;
+use std::sync::{Arc, Mutex};
+
+fn dataset() -> MdrDataset {
+    let mut cfg = GeneratorConfig::base("obs", 80, 50, 21);
+    cfg.conflict = 0.4;
+    cfg.domains = vec![
+        DomainSpec::new("a", 600, 0.3),
+        DomainSpec::new("b", 400, 0.4),
+        DomainSpec::new("c", 500, 0.35),
+    ];
+    cfg.generate()
+}
+
+fn recorded(
+    framework: FrameworkKind,
+    cfg: TrainConfig,
+    conflict_every: usize,
+) -> (f64, Arc<Mutex<RecordingObserver>>) {
+    let ds = dataset();
+    let rec = Arc::new(Mutex::new(RecordingObserver::new().with_conflict_every(conflict_every)));
+    let r = run_observed(
+        &ds,
+        ModelKind::Mlp,
+        &ModelConfig::tiny(),
+        framework,
+        cfg,
+        Some(Box::new(rec.clone())),
+    );
+    (r.mean_auc, rec)
+}
+
+#[test]
+fn observed_run_emits_one_ordered_event_per_epoch() {
+    let cfg = TrainConfig::quick().with_epochs(3);
+    let (_, rec) = recorded(FrameworkKind::Alternate, cfg, 0);
+    let obs = rec.lock().unwrap();
+
+    let meta = obs.meta().expect("train_start fired");
+    assert_eq!(meta.framework, "Alternate");
+    assert_eq!(meta.n_domains, 3);
+    assert_eq!(meta.epochs, 3);
+    assert_eq!(meta.seed, cfg.seed);
+
+    let events = obs.events();
+    assert_eq!(events.len(), cfg.epochs, "one event per epoch");
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.epoch, i, "events arrive in epoch order");
+        assert!(e.mean_loss.is_finite() && e.mean_loss > 0.0);
+        assert!(e.grad_norm.expect("training computed grads") > 0.0);
+        assert!(e.conflict.is_none(), "no probe was requested");
+        // Alternate touches every domain each epoch.
+        let domains: Vec<usize> = e.domain_losses.iter().map(|&(d, _)| d).collect();
+        assert_eq!(domains, vec![0, 1, 2]);
+        assert!(e.domain_losses.iter().all(|&(_, l)| l.is_finite() && l > 0.0));
+    }
+    assert!(obs.wall_secs().expect("train_end fired") > 0.0);
+}
+
+#[test]
+fn mamdr_run_reports_loss_decrease_through_observer() {
+    let cfg = TrainConfig::quick().with_epochs(6);
+    let (_, rec) = recorded(FrameworkKind::Mamdr, cfg, 0);
+    let obs = rec.lock().unwrap();
+    let events = obs.events();
+    assert_eq!(events.len(), 6);
+    assert!(
+        events.last().unwrap().mean_loss < events[0].mean_loss,
+        "observed loss should fall: {} -> {}",
+        events[0].mean_loss,
+        events.last().unwrap().mean_loss
+    );
+}
+
+#[test]
+fn requested_conflict_probes_are_attached_to_events() {
+    let cfg = TrainConfig::quick().with_epochs(4);
+    let (_, rec) = recorded(FrameworkKind::Alternate, cfg, 2);
+    let obs = rec.lock().unwrap();
+    for e in obs.events() {
+        if e.epoch % 2 == 0 {
+            let c = e.conflict.expect("probe requested on even epochs");
+            assert!((0.0..=1.0).contains(&c.rate));
+            assert!((-1.0..=1.0).contains(&c.mean_cosine));
+        } else {
+            assert!(e.conflict.is_none());
+        }
+    }
+}
+
+#[test]
+fn observer_never_changes_training_results() {
+    // The core guarantee: same seed, observer on (with per-epoch conflict
+    // probes, the most invasive configuration) vs off — bit-identical AUC.
+    let ds = dataset();
+    let cfg = TrainConfig::quick().with_epochs(3);
+    for framework in [
+        FrameworkKind::Alternate,
+        FrameworkKind::Mamdr,
+        FrameworkKind::Dn,
+        FrameworkKind::PcGrad,
+        FrameworkKind::Reptile,
+    ] {
+        let plain = run(&ds, ModelKind::Mlp, &ModelConfig::tiny(), framework, cfg);
+        let observed = run_observed(
+            &ds,
+            ModelKind::Mlp,
+            &ModelConfig::tiny(),
+            framework,
+            cfg,
+            Some(Box::new(RecordingObserver::new().with_conflict_every(1))),
+        );
+        assert_eq!(
+            plain.domain_auc, observed.domain_auc,
+            "{framework:?}: observer perturbed per-domain AUC"
+        );
+        assert_eq!(plain.mean_auc, observed.mean_auc, "{framework:?}: observer perturbed mean AUC");
+    }
+}

@@ -14,16 +14,7 @@ pub fn make_batch(ds: &MdrDataset, domain: usize, interactions: &[Interaction]) 
     let labels = interactions.iter().map(|i| i.label).collect();
     let dense_user = ds.dense_user.as_ref().map(|t| t.gather_rows(&users));
     let dense_item = ds.dense_item.as_ref().map(|t| t.gather_rows(&items));
-    Batch {
-        domain,
-        users,
-        items,
-        user_groups,
-        item_cats,
-        labels,
-        dense_user,
-        dense_item,
-    }
+    Batch { domain, users, items, user_groups, item_cats, labels, dense_user, dense_item }
 }
 
 /// How to iterate a domain's split.
@@ -63,10 +54,7 @@ pub fn batches_for_domain(
     if plan.shuffled {
         shuffle(rng, &mut interactions);
     }
-    interactions
-        .chunks(plan.batch_size)
-        .map(|chunk| make_batch(ds, domain, chunk))
-        .collect()
+    interactions.chunks(plan.batch_size).map(|chunk| make_batch(ds, domain, chunk)).collect()
 }
 
 #[cfg(test)]

@@ -44,13 +44,7 @@ pub struct DomainSpec {
 impl DomainSpec {
     /// A spec with the default 40% user / 30% item participation.
     pub fn new(name: impl Into<String>, n_samples: usize, ctr_ratio: f32) -> Self {
-        DomainSpec {
-            name: name.into(),
-            n_samples,
-            ctr_ratio,
-            user_frac: 0.4,
-            item_frac: 0.3,
-        }
+        DomainSpec { name: name.into(), n_samples, ctr_ratio, user_frac: 0.4, item_frac: 0.3 }
     }
 }
 
@@ -172,9 +166,8 @@ impl GeneratorConfig {
         let items = sample_subset(rng, self.n_items, spec.item_frac);
 
         // Zipf-ish popularity over the domain's items.
-        let item_pop: Vec<f64> = (0..items.len())
-            .map(|i| 1.0 / (i as f64 + 1.0).powf(0.8))
-            .collect();
+        let item_pop: Vec<f64> =
+            (0..items.len()).map(|i| 1.0 / (i as f64 + 1.0).powf(0.8)).collect();
 
         // Sample candidate pairs (deduplicated).
         let target = spec.n_samples;
@@ -195,8 +188,8 @@ impl GeneratorConfig {
 
         // Rank by noisy score; the top ctr/(1+ctr) fraction clicks.
         let n = pairs.len();
-        let n_pos = ((spec.ctr_ratio as f64 / (1.0 + spec.ctr_ratio as f64)) * n as f64)
-            .round() as usize;
+        let n_pos =
+            ((spec.ctr_ratio as f64 / (1.0 + spec.ctr_ratio as f64)) * n as f64).round() as usize;
         pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
         let mut interactions: Vec<Interaction> = pairs
             .into_iter()
@@ -262,9 +255,7 @@ impl GroundTruth {
                 shared.scale((1.0 - c) / norm).add(&own.scale(c / norm))
             })
             .collect();
-        let domain_bias = (0..config.domains.len())
-            .map(|_| 0.3 * normal(&mut rng))
-            .collect();
+        let domain_bias = (0..config.domains.len()).map(|_| 0.3 * normal(&mut rng)).collect();
         GroundTruth {
             latent_dim: d,
             user_latent,
@@ -283,12 +274,12 @@ impl GroundTruth {
         let a = &self.domain_transform[domain];
         // z_uᵀ A z_v
         let mut acc = 0.0f32;
-        for i in 0..d {
+        for (i, &u) in zu.iter().enumerate() {
             let mut row = 0.0f32;
-            for j in 0..d {
-                row += a.at(i, j) * zv[j];
+            for (j, &v) in zv.iter().enumerate() {
+                row += a.at(i, j) * v;
             }
-            acc += zu[i] * row;
+            acc += u * row;
         }
         self.sharpness * acc / d as f32 + self.domain_bias[domain]
     }
@@ -342,10 +333,7 @@ mod tests {
 
     fn small_config() -> GeneratorConfig {
         let mut cfg = GeneratorConfig::base("test", 200, 100, 42);
-        cfg.domains = vec![
-            DomainSpec::new("a", 1000, 0.25),
-            DomainSpec::new("b", 400, 0.5),
-        ];
+        cfg.domains = vec![DomainSpec::new("a", 1000, 0.25), DomainSpec::new("b", 400, 0.5)];
         cfg
     }
 

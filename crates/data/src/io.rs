@@ -53,7 +53,11 @@ fn err(line: usize, message: impl Into<String>) -> LoadError {
 /// format). `seed` drives the split of rows that carry no explicit split
 /// tag. Side features default to a single user group / item category;
 /// real deployments attach their own feature storage afterwards.
-pub fn load_interactions(reader: impl BufRead, name: &str, seed: u64) -> Result<MdrDataset, LoadError> {
+pub fn load_interactions(
+    reader: impl BufRead,
+    name: &str,
+    seed: u64,
+) -> Result<MdrDataset, LoadError> {
     struct Row {
         domain: usize,
         user: u32,
@@ -199,11 +203,7 @@ pub fn load_interactions_file(path: impl AsRef<Path>, seed: u64) -> Result<MdrDa
 pub fn write_interactions(ds: &MdrDataset, mut w: impl std::io::Write) -> std::io::Result<()> {
     writeln!(w, "# domain,user,item,label,split")?;
     for dom in &ds.domains {
-        for (split, tag) in [
-            (Split::Train, "train"),
-            (Split::Val, "val"),
-            (Split::Test, "test"),
-        ] {
+        for (split, tag) in [(Split::Train, "train"), (Split::Val, "val"), (Split::Test, "test")] {
             for it in dom.split(split) {
                 writeln!(w, "{},{},{},{},{}", dom.name, it.user, it.item, it.label as u8, tag)?;
             }

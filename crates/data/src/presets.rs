@@ -110,11 +110,7 @@ pub fn amazon13(seed: u64, scale: f64) -> MdrDataset {
 /// with frozen dense features standing in for the paper's GraphSage
 /// embeddings.
 pub fn taobao(n_domains: usize, seed: u64, scale: f64) -> MdrDataset {
-    assert!(
-        matches!(n_domains, 10 | 20 | 30),
-        "paper defines Taobao-10/20/30, got {}",
-        n_domains
-    );
+    assert!(matches!(n_domains, 10 | 20 | 30), "paper defines Taobao-10/20/30, got {}", n_domains);
     let (users, items) = match n_domains {
         10 => (2_378, 693),
         20 => (5_819, 1_632),
@@ -193,12 +189,7 @@ mod tests {
         assert!(ds.split_len(Split::Train) > 0);
         // Toys and Games is the largest domain, as in Table II.
         let sizes: Vec<usize> = ds.domains.iter().map(|d| d.len()).collect();
-        let max_idx = sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &s)| s)
-            .unwrap()
-            .0;
+        let max_idx = sizes.iter().enumerate().max_by_key(|(_, &s)| s).unwrap().0;
         assert_eq!(ds.domains[max_idx].name, "Toys and Games");
     }
 

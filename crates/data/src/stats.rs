@@ -72,7 +72,13 @@ pub fn overall_table(summaries: &[DatasetSummary]) -> String {
         let _ = writeln!(
             out,
             "{:<18} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>14}",
-            s.name, s.n_domains, s.n_users, s.n_items, s.n_train, s.n_val, s.n_test,
+            s.name,
+            s.n_domains,
+            s.n_users,
+            s.n_items,
+            s.n_train,
+            s.n_val,
+            s.n_test,
             s.samples_per_domain
         );
     }
@@ -106,7 +112,9 @@ mod tests {
         let pct_sum: f64 = ds
             .domains
             .iter()
-            .map(|d| 100.0 * d.len() as f64 / ds.domains.iter().map(|x| x.len()).sum::<usize>() as f64)
+            .map(|d| {
+                100.0 * d.len() as f64 / ds.domains.iter().map(|x| x.len()).sum::<usize>() as f64
+            })
             .sum();
         assert!((pct_sum - 100.0).abs() < 1e-6);
     }

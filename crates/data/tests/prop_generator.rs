@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
     (
-        20usize..150,                                 // users
-        10usize..80,                                  // items
-        0.0f32..1.0,                                  // conflict
+        20usize..150,                                                  // users
+        10usize..80,                                                   // items
+        0.0f32..1.0,                                                   // conflict
         proptest::collection::vec((100usize..600, 0.2f32..0.5), 1..4), // domains
-        0u64..500,                                    // seed
-        prop_oneof![Just(0usize), Just(4usize)],      // dense dim
+        0u64..500,                                                     // seed
+        prop_oneof![Just(0usize), Just(4usize)],                       // dense dim
     )
         .prop_map(|(users, items, conflict, domains, seed, dense)| {
             let mut cfg = GeneratorConfig::base("prop", users, items, seed);

@@ -30,18 +30,10 @@ impl FieldEmbeddings {
         let d = config.embed_dim;
         let user = Embedding::new(builder, &format!("{name}/emb_user"), features.n_users, d);
         let item = Embedding::new(builder, &format!("{name}/emb_item"), features.n_items, d);
-        let user_group = Embedding::new(
-            builder,
-            &format!("{name}/emb_ugroup"),
-            features.n_user_groups,
-            d,
-        );
-        let item_cat = Embedding::new(
-            builder,
-            &format!("{name}/emb_icat"),
-            features.n_item_cats,
-            d,
-        );
+        let user_group =
+            Embedding::new(builder, &format!("{name}/emb_ugroup"), features.n_user_groups, d);
+        let item_cat =
+            Embedding::new(builder, &format!("{name}/emb_icat"), features.n_item_cats, d);
         let dense_proj = (features.dense_dim > 0).then(|| {
             Dense::new(
                 builder,
@@ -122,12 +114,7 @@ impl LinearEmbeddings {
                 features.n_user_groups,
                 1,
             ),
-            item_cat: Embedding::new(
-                builder,
-                &format!("{name}/lin_icat"),
-                features.n_item_cats,
-                1,
-            ),
+            item_cat: Embedding::new(builder, &format!("{name}/lin_icat"), features.n_item_cats, 1),
         }
     }
 
@@ -234,10 +221,7 @@ mod tests {
         let bi = bi_interaction(&mut tape, &[a, b, c]);
         let got = tape.value(bi).data().to_vec();
         // pairwise: a*b + a*c + b*c
-        let expect = [
-            1.0 * 3.0 + 1.0 * 0.5 + 3.0 * 0.5,
-            -2.0 + 2.0 * 4.0 + -4.0,
-        ];
+        let expect = [1.0 * 3.0 + 1.0 * 0.5 + 3.0 * 0.5, -2.0 + 2.0 * 4.0 + -4.0];
         assert!((got[0] - expect[0]).abs() < 1e-5);
         assert!((got[1] - expect[1]).abs() < 1e-5);
     }

@@ -98,10 +98,7 @@ pub fn eval_logits(model: &dyn CtrModel, ps: &ParamStore, batch: &Batch) -> Vec<
 
 /// Evaluation-mode click probabilities for a batch.
 pub fn predict_probs(model: &dyn CtrModel, ps: &ParamStore, batch: &Batch) -> Vec<f32> {
-    eval_logits(model, ps, batch)
-        .into_iter()
-        .map(stable_sigmoid)
-        .collect()
+    eval_logits(model, ps, batch).into_iter().map(stable_sigmoid).collect()
 }
 
 /// Normalizes a logits node to shape `[b]` whether the head emitted `[b]`
@@ -164,14 +161,11 @@ mod tests {
             let built = build_model(kind, &fc, &mc, ds.n_domains(), 6);
             let mut rng = seeded(7);
             let mut ctx = ForwardCtx::train(&mut rng);
-            let (loss, grads) = loss_and_grads(built.model.as_ref(), &built.params, &batch, &mut ctx);
+            let (loss, grads) =
+                loss_and_grads(built.model.as_ref(), &built.params, &batch, &mut ctx);
             assert!(loss.is_finite() && loss > 0.0, "{} loss {}", kind.name(), loss);
             let flat = built.params.grads_to_flat(&grads);
-            assert!(
-                vecmath::norm(&flat) > 0.0,
-                "{} gradient is identically zero",
-                kind.name()
-            );
+            assert!(vecmath::norm(&flat) > 0.0, "{} gradient is identically zero", kind.name());
             assert!(flat.iter().all(|x| x.is_finite()), "{} grad non-finite", kind.name());
         }
     }
@@ -232,7 +226,13 @@ mod tests {
             b.domain = 1;
             b
         };
-        for kind in [ModelKind::SharedBottom, ModelKind::Mmoe, ModelKind::Cgc, ModelKind::Ple, ModelKind::Star] {
+        for kind in [
+            ModelKind::SharedBottom,
+            ModelKind::Mmoe,
+            ModelKind::Cgc,
+            ModelKind::Ple,
+            ModelKind::Star,
+        ] {
             let built = build_model(kind, &fc, &mc, 2, 10);
             // Nudge all params away from init symmetry so towers differ.
             let mut params = built.params.clone();

@@ -58,7 +58,13 @@ impl CtrModel for SharedBottom {
         "Shared-Bottom"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         let h = self.bottom.forward(ps, tape, ctx, x);
         self.towers[batch.domain].forward(ps, tape, ctx, h)
@@ -147,13 +153,16 @@ impl CtrModel for Mmoe {
         "MMOE"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
-        let expert_outs: Vec<Var> = self
-            .experts
-            .iter()
-            .map(|e| e.forward(ps, tape, ctx, x))
-            .collect();
+        let expert_outs: Vec<Var> =
+            self.experts.iter().map(|e| e.forward(ps, tape, ctx, x)).collect();
         let gate_logits = self.gates[batch.domain].forward(ps, tape, x);
         let mixed = gated_mixture(tape, gate_logits, &expert_outs, batch.len());
         self.towers[batch.domain].forward(ps, tape, ctx, mixed)
@@ -181,9 +190,7 @@ impl CgcBlock {
         let mut dims = vec![in_dim];
         dims.extend_from_slice(hidden);
         let shared_experts = (0..n_experts)
-            .map(|e| {
-                Mlp::new(builder, &format!("{name}/se{e}"), &dims, Activation::Relu, dropout)
-            })
+            .map(|e| Mlp::new(builder, &format!("{name}/se{e}"), &dims, Activation::Relu, dropout))
             .collect();
         let domain_experts = (0..n_domains)
             .map(|d| {
@@ -224,16 +231,9 @@ impl CgcBlock {
         domain: usize,
         batch_len: usize,
     ) -> Var {
-        let mut outs: Vec<Var> = self
-            .shared_experts
-            .iter()
-            .map(|e| e.forward(ps, tape, ctx, x))
-            .collect();
-        outs.extend(
-            self.domain_experts[domain]
-                .iter()
-                .map(|e| e.forward(ps, tape, ctx, x)),
-        );
+        let mut outs: Vec<Var> =
+            self.shared_experts.iter().map(|e| e.forward(ps, tape, ctx, x)).collect();
+        outs.extend(self.domain_experts[domain].iter().map(|e| e.forward(ps, tape, ctx, x)));
         let gate_logits = self.gates[domain].forward(ps, tape, x);
         gated_mixture(tape, gate_logits, &outs, batch_len)
     }
@@ -287,7 +287,13 @@ impl CtrModel for Cgc {
         "CGC"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         let fused = self.block.forward(ps, tape, ctx, x, batch.domain, batch.len());
         self.towers[batch.domain].forward(ps, tape, ctx, fused)
@@ -323,15 +329,8 @@ impl Ple {
             n_domains,
             config.dropout,
         );
-        let block2 = CgcBlock::new(
-            builder,
-            "ple/l1",
-            h,
-            &[h],
-            config.n_experts,
-            n_domains,
-            config.dropout,
-        );
+        let block2 =
+            CgcBlock::new(builder, "ple/l1", h, &[h], config.n_experts, n_domains, config.dropout);
         let towers = (0..n_domains)
             .map(|d| {
                 Mlp::new(
@@ -352,7 +351,13 @@ impl CtrModel for Ple {
         "PLE"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         let f1 = self.block1.forward(ps, tape, ctx, x, batch.domain, batch.len());
         let f2 = self.block2.forward(ps, tape, ctx, f1, batch.domain, batch.len());
@@ -388,7 +393,9 @@ impl StarLayer {
         // Per-domain masks start at identity (ones / zeros), so at init the
         // star layer equals its shared layer — as in the STAR paper.
         let w_domain = (0..n_domains)
-            .map(|d| builder.register(format!("{name}/wd{d}"), &[in_dim, out_dim], Init::Constant(1.0)))
+            .map(|d| {
+                builder.register(format!("{name}/wd{d}"), &[in_dim, out_dim], Init::Constant(1.0))
+            })
             .collect();
         let b_domain = (0..n_domains)
             .map(|d| builder.register(format!("{name}/bd{d}"), &[out_dim], Init::Zeros))
@@ -449,13 +456,8 @@ impl Star {
             })
             .collect();
         let aux_domain_emb = Embedding::new(builder, "star/aux_emb", n_domains, config.embed_dim);
-        let aux_head = Dense::new(
-            builder,
-            "star/aux_head",
-            config.embed_dim + in_dim,
-            1,
-            Activation::Linear,
-        );
+        let aux_head =
+            Dense::new(builder, "star/aux_head", config.embed_dim + in_dim, 1, Activation::Linear);
         Star { fields, pn_gamma, pn_beta, layers, aux_domain_emb, aux_head }
     }
 }
@@ -465,7 +467,13 @@ impl CtrModel for Star {
         "Star"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let _ = ctx;
         let d = batch.domain;
         let x = self.fields.concat(ps, tape, batch);
@@ -545,7 +553,8 @@ mod tests {
         // (softmax weights sum to 1).
         let mut tape = Tape::new();
         let e = tape.leaf(mamdr_tensor::Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]));
-        let gate_logits = tape.leaf(mamdr_tensor::Tensor::from_vec([2, 2], vec![0.3, -1.0, 2.0, 2.0]));
+        let gate_logits =
+            tape.leaf(mamdr_tensor::Tensor::from_vec([2, 2], vec![0.3, -1.0, 2.0, 2.0]));
         let mixed = gated_mixture(&mut tape, gate_logits, &[e, e], 2);
         assert!(tape.value(mixed).max_abs_diff(tape.value(e)) < 1e-5);
     }

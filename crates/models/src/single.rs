@@ -23,7 +23,11 @@ pub struct MlpModel {
 
 impl MlpModel {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "mlp", features, config);
         let mut dims = vec![fields.concat_dim()];
         dims.extend_from_slice(&config.hidden);
@@ -38,7 +42,13 @@ impl CtrModel for MlpModel {
         "MLP"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         self.mlp.forward(ps, tape, ctx, x)
     }
@@ -56,16 +66,16 @@ pub struct Wdl {
 
 impl Wdl {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "wdl", features, config);
         let linear = LinearEmbeddings::new(builder, "wdl", features);
         // Cross-product feature: (user_group, item_cat) hashed to one id.
-        let cross = Embedding::new(
-            builder,
-            "wdl/cross",
-            features.n_user_groups * features.n_item_cats,
-            1,
-        );
+        let cross =
+            Embedding::new(builder, "wdl/cross", features.n_user_groups * features.n_item_cats, 1);
         let mut dims = vec![fields.concat_dim()];
         dims.extend_from_slice(&config.hidden);
         dims.push(1);
@@ -79,7 +89,13 @@ impl CtrModel for Wdl {
         "WDL"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         let deep = self.mlp.forward(ps, tape, ctx, x);
         let wide = self.linear.forward(ps, tape, batch);
@@ -106,7 +122,11 @@ pub struct NeurFm {
 
 impl NeurFm {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "neurfm", features, config);
         let linear = LinearEmbeddings::new(builder, "neurfm", features);
         let mut dims = vec![config.embed_dim];
@@ -122,7 +142,13 @@ impl CtrModel for NeurFm {
         "NeurFM"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let fields = self.fields.fields(ps, tape, batch);
         let mut bi = bi_interaction(tape, &fields);
         if self.dropout > 0.0 && ctx.training {
@@ -168,9 +194,27 @@ impl InteractingLayer {
     ) -> Self {
         let heads = (0..n_heads)
             .map(|h| AttentionHead {
-                wq: Dense::new(builder, &format!("{name}/h{h}/wq"), in_dim, att_dim, Activation::Linear),
-                wk: Dense::new(builder, &format!("{name}/h{h}/wk"), in_dim, att_dim, Activation::Linear),
-                wv: Dense::new(builder, &format!("{name}/h{h}/wv"), in_dim, att_dim, Activation::Linear),
+                wq: Dense::new(
+                    builder,
+                    &format!("{name}/h{h}/wq"),
+                    in_dim,
+                    att_dim,
+                    Activation::Linear,
+                ),
+                wk: Dense::new(
+                    builder,
+                    &format!("{name}/h{h}/wk"),
+                    in_dim,
+                    att_dim,
+                    Activation::Linear,
+                ),
+                wv: Dense::new(
+                    builder,
+                    &format!("{name}/h{h}/wv"),
+                    in_dim,
+                    att_dim,
+                    Activation::Linear,
+                ),
             })
             .collect();
         let residual = Dense::new(
@@ -189,7 +233,13 @@ impl InteractingLayer {
     }
 
     /// Maps per-field representations to attended per-field representations.
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, fields: &[Var], batch_len: usize) -> Vec<Var> {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        fields: &[Var],
+        batch_len: usize,
+    ) -> Vec<Var> {
         let nf = fields.len();
         let scale = 1.0 / (self.att_dim as f32).sqrt();
         let mut outputs: Vec<Vec<Var>> = vec![Vec::new(); nf];
@@ -237,7 +287,11 @@ impl InteractingLayer {
 
 impl AutoInt {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "autoint", features, config);
         let n_layers = config.att_layers.max(1);
         let mut layers = Vec::with_capacity(n_layers);
@@ -253,13 +307,8 @@ impl AutoInt {
             width = layer.out_dim();
             layers.push(layer);
         }
-        let head_out = Dense::new(
-            builder,
-            "autoint/out",
-            fields.n_fields() * width,
-            1,
-            Activation::Linear,
-        );
+        let head_out =
+            Dense::new(builder, "autoint/out", fields.n_fields() * width, 1, Activation::Linear);
         AutoInt { fields, layers, head_out }
     }
 }
@@ -269,7 +318,13 @@ impl CtrModel for AutoInt {
         "AutoInt"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let _ = ctx;
         let mut fields = self.fields.fields(ps, tape, batch);
         for layer in &self.layers {
@@ -290,7 +345,11 @@ pub struct DeepFm {
 
 impl DeepFm {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "deepfm", features, config);
         let linear = LinearEmbeddings::new(builder, "deepfm", features);
         let mut dims = vec![fields.concat_dim()];
@@ -306,7 +365,13 @@ impl CtrModel for DeepFm {
         "DeepFM"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let fields = self.fields.fields(ps, tape, batch);
         let lin = self.linear.forward(ps, tape, batch);
         let bi = bi_interaction(tape, &fields);
@@ -329,7 +394,11 @@ pub struct Raw {
 
 impl Raw {
     /// Registers the model's parameters.
-    pub fn new(builder: &mut ParamStoreBuilder, features: &FeatureConfig, config: &ModelConfig) -> Self {
+    pub fn new(
+        builder: &mut ParamStoreBuilder,
+        features: &FeatureConfig,
+        config: &ModelConfig,
+    ) -> Self {
         let fields = FieldEmbeddings::new(builder, "raw", features, config);
         let linear = LinearEmbeddings::new(builder, "raw", features);
         let mut dims = vec![fields.concat_dim()];
@@ -345,7 +414,13 @@ impl CtrModel for Raw {
         "RAW"
     }
 
-    fn forward(&self, ps: &ParamStore, tape: &mut Tape, ctx: &mut ForwardCtx, batch: &Batch) -> Var {
+    fn forward(
+        &self,
+        ps: &ParamStore,
+        tape: &mut Tape,
+        ctx: &mut ForwardCtx,
+        batch: &Batch,
+    ) -> Var {
         let x = self.fields.concat(ps, tape, batch);
         let deep = self.mlp.forward(ps, tape, ctx, x);
         let lin = self.linear.forward(ps, tape, batch);
@@ -377,8 +452,7 @@ mod tests {
         let batch = make_batch(&ds, 0, &ds.domains[0].train[..4]);
         let before = eval_logits(&model, &ps, &batch);
         // Bump the cross-table row used by example 0.
-        let cross_id =
-            (batch.user_groups[0] * fc.n_item_cats as u32 + batch.item_cats[0]) as usize;
+        let cross_id = (batch.user_groups[0] * fc.n_item_cats as u32 + batch.item_cats[0]) as usize;
         let idx = ps.index_of("wdl/cross").unwrap();
         ps.get_mut(idx).data_mut()[cross_id] += 1.0;
         let after = eval_logits(&model, &ps, &batch);

@@ -4,8 +4,7 @@
 use mamdr_autodiff::tape::stable_sigmoid;
 use mamdr_data::{make_batch, DomainSpec, GeneratorConfig, MdrDataset};
 use mamdr_models::{
-    build_model, eval_logits, loss_and_grads, predict_probs, FeatureConfig, ModelConfig,
-    ModelKind,
+    build_model, eval_logits, loss_and_grads, predict_probs, FeatureConfig, ModelConfig, ModelKind,
 };
 use mamdr_nn::ForwardCtx;
 use mamdr_tensor::rng::seeded;
@@ -27,11 +26,7 @@ fn probs_are_sigmoid_of_logits() {
         let logits = eval_logits(built.model.as_ref(), &built.params, &batch);
         let probs = predict_probs(built.model.as_ref(), &built.params, &batch);
         for (l, p) in logits.iter().zip(&probs) {
-            assert!(
-                (stable_sigmoid(*l) - p).abs() < 1e-6,
-                "{}: prob/logit mismatch",
-                kind.name()
-            );
+            assert!((stable_sigmoid(*l) - p).abs() < 1e-6, "{}: prob/logit mismatch", kind.name());
         }
     }
 }
@@ -127,9 +122,7 @@ fn gradients_are_zero_for_unused_embedding_rows() {
         let _ = dim;
     }
     // and at least the touched rows received signal
-    assert!(used
-        .iter()
-        .any(|&u| g.row(u as usize).iter().any(|&x| x != 0.0)));
+    assert!(used.iter().any(|&u| g.row(u as usize).iter().any(|&x| x != 0.0)));
 }
 
 #[test]

@@ -150,13 +150,7 @@ impl Mlp {
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
             let act = if i + 2 == dims.len() { out_activation } else { Activation::Relu };
-            layers.push(Dense::new(
-                builder,
-                &format!("{name}/l{i}"),
-                dims[i],
-                dims[i + 1],
-                act,
-            ));
+            layers.push(Dense::new(builder, &format!("{name}/l{i}"), dims[i], dims[i + 1], act));
         }
         Mlp { layers, dropout }
     }
@@ -188,9 +182,8 @@ pub fn apply_dropout(tape: &mut Tape, ctx: &mut ForwardCtx, x: Var, p: f32) -> V
     let keep = 1.0 - p;
     let scale = 1.0 / keep;
     let n: usize = shape.iter().product();
-    let mask_data: Vec<f32> = (0..n)
-        .map(|_| if ctx.rng.gen::<f32>() < keep { scale } else { 0.0 })
-        .collect();
+    let mask_data: Vec<f32> =
+        (0..n).map(|_| if ctx.rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
     tape.dropout(x, Tensor::from_vec(shape, mask_data))
 }
 

@@ -61,11 +61,7 @@ pub struct Sgd {
 impl Sgd {
     /// A new SGD optimizer for `n` parameters.
     pub fn new(lr: f32, momentum: f32, n: usize) -> Self {
-        Sgd {
-            lr,
-            momentum,
-            velocity: if momentum > 0.0 { vec![0.0; n] } else { Vec::new() },
-        }
+        Sgd { lr, momentum, velocity: if momentum > 0.0 { vec![0.0; n] } else { Vec::new() } }
     }
 }
 
@@ -123,12 +119,7 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, &g), m), v) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(&mut self.m)
-            .zip(&mut self.v)
-        {
+        for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(&mut self.m).zip(&mut self.v) {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
             let mhat = *m / bc1;
@@ -206,10 +197,7 @@ mod tests {
             let g = quad_grad(&p, &target);
             opt.step(&mut p, &g);
         }
-        p.iter()
-            .zip(&target)
-            .map(|(&x, &t)| (x - t).abs())
-            .fold(0.0, f32::max)
+        p.iter().zip(&target).map(|(&x, &t)| (x - t).abs()).fold(0.0, f32::max)
     }
 
     #[test]

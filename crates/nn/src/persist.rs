@@ -99,8 +99,8 @@ pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), Persi
         let name_len = u16::from_le_bytes(b2) as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| PersistError::Mismatch("non-utf8 name".into()))?;
+        let name =
+            String::from_utf8(name).map_err(|_| PersistError::Mismatch("non-utf8 name".into()))?;
         let expected = &store.spec(idx).name;
         if &name != expected {
             return Err(PersistError::Mismatch(format!(
@@ -126,10 +126,8 @@ pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), Persi
         let numel = if dims.is_empty() { 1 } else { numel };
         let mut buf = vec![0u8; 4 * numel];
         r.read_exact(&mut buf)?;
-        let values: Vec<f32> = buf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let values: Vec<f32> =
+            buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         store.get_mut(idx).data_mut().copy_from_slice(&values);
     }
     Ok(())

@@ -37,22 +37,14 @@ impl ParamStoreBuilder {
     /// always indicate a miswired model.
     pub fn register(&mut self, name: impl Into<String>, shape: &[usize], init: Init) -> usize {
         let name = name.into();
-        assert!(
-            !self.specs.iter().any(|s| s.name == name),
-            "duplicate parameter name {:?}",
-            name
-        );
+        assert!(!self.specs.iter().any(|s| s.name == name), "duplicate parameter name {:?}", name);
         self.specs.push(ParamSpec { name, shape: shape.to_vec(), init });
         self.specs.len() - 1
     }
 
     /// Materializes every registered parameter using the supplied RNG.
     pub fn build(self, rng: &mut impl Rng) -> ParamStore {
-        let tensors: Vec<Tensor> = self
-            .specs
-            .iter()
-            .map(|s| s.init.build(rng, &s.shape))
-            .collect();
+        let tensors: Vec<Tensor> = self.specs.iter().map(|s| s.init.build(rng, &s.shape)).collect();
         ParamStore::from_parts(self.specs, tensors)
     }
 }
@@ -78,11 +70,7 @@ impl ParamStore {
             offsets.push(total);
             total += t.numel();
         }
-        let by_name = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.name.clone(), i))
-            .collect();
+        let by_name = specs.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
         ParamStore { specs, tensors, offsets, total, by_name }
     }
 
@@ -167,11 +155,7 @@ impl ParamStore {
 
     /// Iterates over `(index, spec, tensor)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &ParamSpec, &Tensor)> {
-        self.specs
-            .iter()
-            .zip(&self.tensors)
-            .enumerate()
-            .map(|(i, (s, t))| (i, s, t))
+        self.specs.iter().zip(&self.tensors).enumerate().map(|(i, (s, t))| (i, s, t))
     }
 }
 

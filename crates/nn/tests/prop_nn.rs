@@ -8,10 +8,7 @@ use mamdr_tensor::rng::seeded;
 use proptest::prelude::*;
 
 fn vecs(n: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
-    (
-        proptest::collection::vec(-5.0f32..5.0, n),
-        proptest::collection::vec(-5.0f32..5.0, n),
-    )
+    (proptest::collection::vec(-5.0f32..5.0, n), proptest::collection::vec(-5.0f32..5.0, n))
 }
 
 proptest! {

@@ -1,0 +1,264 @@
+//! The structured event log: one JSON object per line.
+//!
+//! Every line carries an `"event"` kind and a monotonically increasing
+//! `"seq"` so consumers can order events without trusting file append
+//! order across sinks. Encoding is hand-rolled (escaped strings, finite
+//! floats; NaN/Inf become `null`) — the only JSON this workspace needs.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A JSON-encodable field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite encodes as `null`).
+    F64(f64),
+    /// String (escaped on encode).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_json_str(out, s),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Renders one event as a JSON object (no trailing newline, no seq —
+/// used by [`EventLog::emit`] and by registry dumps).
+pub(crate) fn render_line(kind: &str, fields: &[(&str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"event\":");
+    push_json_str(&mut out, kind);
+    for (k, v) in fields {
+        out.push(',');
+        push_json_str(&mut out, k);
+        out.push(':');
+        push_value(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+enum Sink {
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+/// An append-only JSONL event sink (file-backed or in-memory).
+pub struct EventLog {
+    sink: Mutex<Sink>,
+    seq: AtomicU64,
+}
+
+impl EventLog {
+    /// An in-memory log (tests, and binaries that dump at exit).
+    pub fn in_memory() -> Self {
+        EventLog { sink: Mutex::new(Sink::Memory(Vec::new())), seq: AtomicU64::new(0) }
+    }
+
+    /// A log appending to the file at `path` (created/truncated).
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        let f = File::create(path)?;
+        Ok(EventLog { sink: Mutex::new(Sink::File(BufWriter::new(f))), seq: AtomicU64::new(0) })
+    }
+
+    /// Appends one event line of kind `kind` with the given fields.
+    pub fn emit(&self, kind: &str, fields: &[(&str, Value)]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = render_line(kind, fields);
+        // Splice `"seq":n` right after the event kind for a stable layout.
+        let insert_at = line.find(',').unwrap_or(line.len() - 1);
+        line.insert_str(insert_at, &format!(",\"seq\":{seq}"));
+        let mut sink = self.sink.lock().expect("event log lock");
+        match &mut *sink {
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Sink::Memory(lines) => lines.push(line),
+        }
+    }
+
+    /// Appends pre-rendered JSONL content (e.g. a registry dump). Each
+    /// line must already be a complete JSON object.
+    pub fn append_raw(&self, jsonl: &str) {
+        let mut sink = self.sink.lock().expect("event log lock");
+        for line in jsonl.lines().filter(|l| !l.is_empty()) {
+            match &mut *sink {
+                Sink::File(w) => {
+                    let _ = writeln!(w, "{line}");
+                }
+                Sink::Memory(lines) => lines.push(line.to_string()),
+            }
+        }
+    }
+
+    /// Flushes a file-backed sink (no-op for memory).
+    pub fn flush(&self) {
+        if let Sink::File(w) = &mut *self.sink.lock().expect("event log lock") {
+            let _ = w.flush();
+        }
+    }
+
+    /// The lines of an in-memory sink (empty for file-backed logs).
+    pub fn lines(&self) -> Vec<String> {
+        match &*self.sink.lock().expect("event log lock") {
+            Sink::Memory(lines) => lines.clone(),
+            Sink::File(_) => Vec::new(),
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn len(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Whether no event was emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for EventLog {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_json_lines_with_seq() {
+        let log = EventLog::in_memory();
+        log.emit("epoch", &[("epoch", Value::from(0u64)), ("loss", Value::from(0.5f64))]);
+        log.emit("epoch", &[("epoch", Value::from(1u64))]);
+        let lines = log.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"epoch","seq":0,"epoch":0,"loss":0.5}"#);
+        assert_eq!(lines[1], r#"{"event":"epoch","seq":1,"epoch":1}"#);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let log = EventLog::in_memory();
+        log.emit("note", &[("msg", Value::from("a \"b\"\n\tc\\d"))]);
+        assert_eq!(log.lines()[0], r#"{"event":"note","seq":0,"msg":"a \"b\"\n\tc\\d"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let log = EventLog::in_memory();
+        log.emit("x", &[("bad", Value::from(f64::NAN)), ("worse", Value::from(f64::INFINITY))]);
+        assert_eq!(log.lines()[0], r#"{"event":"x","seq":0,"bad":null,"worse":null}"#);
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("mamdr_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let log = EventLog::to_file(&path).unwrap();
+            log.emit("run", &[("id", Value::from(7u64))]);
+            log.append_raw("{\"event\":\"metric\",\"name\":\"n\",\"value\":1}\n");
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"run","seq":0,"id":7}"#);
+        assert!(lines[1].contains("\"event\":\"metric\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! Unified training telemetry for the MAMDR workspace.
+//!
+//! Everything the training stack reports about itself flows through this
+//! crate: counters, gauges and quantile histograms in a
+//! [`MetricsRegistry`]; wall-clock profiling via [`ScopedTimer`]; a
+//! structured JSONL [`EventLog`]; and the [`TrainObserver`] callback
+//! trait that `mamdr-core` frameworks and the `mamdr-ps` trainer invoke
+//! at epoch/round boundaries.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Free when absent.** Training code checks a single `Option`
+//!    before doing any telemetry work; with no observer attached, the
+//!    hot path pays one branch per gradient call.
+//! 2. **Never perturbs training.** Observers receive data that training
+//!    computed anyway (or that is derived from a dedicated probe RNG
+//!    stream); attaching one must leave results bit-identical.
+//! 3. **Zero heavy dependencies.** JSON encoding, quantile estimation
+//!    and the Prometheus text format are small enough to own.
+
+mod events;
+mod histogram;
+mod metrics;
+mod observer;
+mod timer;
+
+pub use events::{EventLog, Value};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use observer::{
+    ConflictSummary, EpochEvent, NoopObserver, RecordingObserver, TelemetryObserver, TrainMeta,
+    TrainObserver,
+};
+pub use timer::ScopedTimer;

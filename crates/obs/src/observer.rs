@@ -1,0 +1,339 @@
+//! The [`TrainObserver`] callback trait and its stock implementations.
+//!
+//! Training code (the `mamdr-core` frameworks and the `mamdr-ps`
+//! trainer) invokes these hooks at run and epoch boundaries. Every hook
+//! has a no-op default, and all data handed to an observer is either a
+//! byproduct of work training did anyway or derived from a dedicated
+//! probe RNG stream — attaching an observer never changes results.
+
+use crate::events::{EventLog, Value};
+use crate::metrics::MetricsRegistry;
+use std::sync::{Arc, Mutex};
+
+/// Static facts about a training run, reported once at start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainMeta {
+    /// Framework name (e.g. `"mamdr"`, `"alternate"`).
+    pub framework: String,
+    /// Number of domains in the dataset.
+    pub n_domains: usize,
+    /// Configured epoch count.
+    pub epochs: usize,
+    /// RNG seed of the run.
+    pub seed: u64,
+}
+
+/// Gradient-conflict aggregates measured by a probe at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConflictSummary {
+    /// Fraction of domain pairs with negative gradient inner product.
+    pub rate: f64,
+    /// Mean pairwise cosine similarity.
+    pub mean_cosine: f64,
+    /// Mean pairwise inner product.
+    pub mean_inner_product: f64,
+}
+
+/// What one epoch produced, reported at its end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochEvent {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over every gradient batch of the epoch.
+    pub mean_loss: f64,
+    /// Per-domain `(domain_id, mean_loss)`, ascending by domain id.
+    pub domain_losses: Vec<(usize, f64)>,
+    /// Root-mean gradient norm over the epoch's batches, when the
+    /// training path computed gradients through the observed env.
+    pub grad_norm: Option<f64>,
+    /// Conflict probe results (only when [`TrainObserver::wants_conflict`]
+    /// asked for them this epoch).
+    pub conflict: Option<ConflictSummary>,
+}
+
+/// Callbacks invoked by the training stack. All defaults are no-ops.
+pub trait TrainObserver: Send {
+    /// Called once before the first epoch.
+    fn on_train_start(&mut self, _meta: &TrainMeta) {}
+
+    /// Called after each epoch with that epoch's aggregates.
+    fn on_epoch_end(&mut self, _event: &EpochEvent) {}
+
+    /// Called once after training with the run's wall-clock seconds.
+    fn on_train_end(&mut self, _wall_secs: f64) {}
+
+    /// Whether the framework should run the (training-neutral) gradient
+    /// conflict probe at the end of `epoch`. Probes cost extra gradient
+    /// evaluations, so they are opt-in per epoch.
+    fn wants_conflict(&self, _epoch: usize) -> bool {
+        false
+    }
+}
+
+/// An observer that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl TrainObserver for NoopObserver {}
+
+/// Records everything it is told, for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    meta: Option<TrainMeta>,
+    events: Vec<EpochEvent>,
+    wall_secs: Option<f64>,
+    conflict_every: usize,
+}
+
+impl RecordingObserver {
+    /// An observer that records epochs but requests no conflict probes.
+    pub fn new() -> Self {
+        RecordingObserver::default()
+    }
+
+    /// Requests a conflict probe every `every` epochs (0 = never).
+    pub fn with_conflict_every(mut self, every: usize) -> Self {
+        self.conflict_every = every;
+        self
+    }
+
+    /// Run metadata, if training started.
+    pub fn meta(&self) -> Option<&TrainMeta> {
+        self.meta.as_ref()
+    }
+
+    /// Every epoch event seen so far, in order.
+    pub fn events(&self) -> &[EpochEvent] {
+        &self.events
+    }
+
+    /// Wall-clock seconds, if training finished.
+    pub fn wall_secs(&self) -> Option<f64> {
+        self.wall_secs
+    }
+}
+
+impl TrainObserver for RecordingObserver {
+    fn on_train_start(&mut self, meta: &TrainMeta) {
+        self.meta = Some(meta.clone());
+    }
+
+    fn on_epoch_end(&mut self, event: &EpochEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn on_train_end(&mut self, wall_secs: f64) {
+        self.wall_secs = Some(wall_secs);
+    }
+
+    fn wants_conflict(&self, epoch: usize) -> bool {
+        self.conflict_every != 0 && epoch.is_multiple_of(self.conflict_every)
+    }
+}
+
+/// Streams epoch events into an [`EventLog`] and keeps a
+/// [`MetricsRegistry`] current (loss gauges, epoch histograms, epoch
+/// counters). This is what the bench binaries attach for `--metrics-out`.
+pub struct TelemetryObserver {
+    registry: Arc<MetricsRegistry>,
+    log: Arc<EventLog>,
+    framework: String,
+    conflict_every: usize,
+    epoch_start: Option<std::time::Instant>,
+}
+
+impl TelemetryObserver {
+    /// An observer feeding `registry` and `log`.
+    pub fn new(registry: Arc<MetricsRegistry>, log: Arc<EventLog>) -> Self {
+        TelemetryObserver {
+            registry,
+            log,
+            framework: String::new(),
+            conflict_every: 0,
+            epoch_start: None,
+        }
+    }
+
+    /// Requests a conflict probe every `every` epochs (0 = never).
+    pub fn with_conflict_every(mut self, every: usize) -> Self {
+        self.conflict_every = every;
+        self
+    }
+}
+
+impl TrainObserver for TelemetryObserver {
+    fn on_train_start(&mut self, meta: &TrainMeta) {
+        self.framework = meta.framework.clone();
+        self.epoch_start = Some(std::time::Instant::now());
+        self.log.emit(
+            "train_start",
+            &[
+                ("framework", Value::from(meta.framework.as_str())),
+                ("n_domains", Value::from(meta.n_domains)),
+                ("epochs", Value::from(meta.epochs)),
+                ("seed", Value::from(meta.seed)),
+            ],
+        );
+    }
+
+    fn on_epoch_end(&mut self, event: &EpochEvent) {
+        let epoch_secs =
+            self.epoch_start.replace(std::time::Instant::now()).map(|t| t.elapsed().as_secs_f64());
+        let mut fields = vec![
+            ("framework", Value::from(self.framework.as_str())),
+            ("epoch", Value::from(event.epoch)),
+            ("train_loss", Value::from(event.mean_loss)),
+        ];
+        if let Some(g) = event.grad_norm {
+            fields.push(("grad_norm", Value::from(g)));
+        }
+        if let Some(s) = epoch_secs {
+            fields.push(("epoch_seconds", Value::from(s)));
+        }
+        if let Some(c) = &event.conflict {
+            fields.push(("conflict_rate", Value::from(c.rate)));
+            fields.push(("conflict_mean_cosine", Value::from(c.mean_cosine)));
+            fields.push(("conflict_mean_ip", Value::from(c.mean_inner_product)));
+        }
+        self.log.emit("epoch", &fields);
+        for &(domain, loss) in &event.domain_losses {
+            self.log.emit(
+                "domain_loss",
+                &[
+                    ("epoch", Value::from(event.epoch)),
+                    ("domain", Value::from(domain)),
+                    ("train_loss", Value::from(loss)),
+                ],
+            );
+        }
+
+        self.registry.counter("train_epochs_total").inc();
+        self.registry.gauge("train_loss").set(event.mean_loss);
+        self.registry.histogram("train_loss_per_epoch").record(event.mean_loss);
+        if let Some(g) = event.grad_norm {
+            self.registry.gauge("train_grad_norm").set(g);
+        }
+        if let Some(s) = epoch_secs {
+            self.registry.histogram("train_epoch_seconds").record(s);
+        }
+        if let Some(c) = &event.conflict {
+            self.registry.gauge("train_conflict_rate").set(c.rate);
+        }
+    }
+
+    fn on_train_end(&mut self, wall_secs: f64) {
+        self.registry.histogram("train_run_seconds").record(wall_secs);
+        self.log.emit(
+            "train_end",
+            &[
+                ("framework", Value::from(self.framework.as_str())),
+                ("wall_secs", Value::from(wall_secs)),
+            ],
+        );
+    }
+
+    fn wants_conflict(&self, epoch: usize) -> bool {
+        self.conflict_every != 0 && epoch.is_multiple_of(self.conflict_every)
+    }
+}
+
+/// Lets callers keep a handle on an observer they hand to training:
+/// wrap it in `Arc<Mutex<_>>`, pass a clone in, and inspect it after.
+impl<T: TrainObserver> TrainObserver for Arc<Mutex<T>> {
+    fn on_train_start(&mut self, meta: &TrainMeta) {
+        self.lock().expect("observer lock").on_train_start(meta);
+    }
+
+    fn on_epoch_end(&mut self, event: &EpochEvent) {
+        self.lock().expect("observer lock").on_epoch_end(event);
+    }
+
+    fn on_train_end(&mut self, wall_secs: f64) {
+        self.lock().expect("observer lock").on_train_end(wall_secs);
+    }
+
+    fn wants_conflict(&self, epoch: usize) -> bool {
+        self.lock().expect("observer lock").wants_conflict(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(epoch: usize) -> EpochEvent {
+        EpochEvent {
+            epoch,
+            mean_loss: 0.7 - epoch as f64 * 0.1,
+            domain_losses: vec![(0, 0.6), (1, 0.8)],
+            grad_norm: Some(1.25),
+            conflict: None,
+        }
+    }
+
+    #[test]
+    fn recording_observer_captures_the_run() {
+        let mut obs = RecordingObserver::new();
+        obs.on_train_start(&TrainMeta {
+            framework: "mamdr".into(),
+            n_domains: 2,
+            epochs: 2,
+            seed: 7,
+        });
+        obs.on_epoch_end(&sample_event(0));
+        obs.on_epoch_end(&sample_event(1));
+        obs.on_train_end(1.5);
+        assert_eq!(obs.meta().unwrap().framework, "mamdr");
+        assert_eq!(obs.events().len(), 2);
+        assert_eq!(obs.events()[1].epoch, 1);
+        assert_eq!(obs.wall_secs(), Some(1.5));
+        assert!(!obs.wants_conflict(0));
+    }
+
+    #[test]
+    fn conflict_cadence_is_modular() {
+        let obs = RecordingObserver::new().with_conflict_every(2);
+        assert!(obs.wants_conflict(0));
+        assert!(!obs.wants_conflict(1));
+        assert!(obs.wants_conflict(2));
+    }
+
+    #[test]
+    fn telemetry_observer_feeds_log_and_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let log = Arc::new(EventLog::in_memory());
+        let mut obs = TelemetryObserver::new(reg.clone(), log.clone());
+        obs.on_train_start(&TrainMeta {
+            framework: "alternate".into(),
+            n_domains: 2,
+            epochs: 1,
+            seed: 3,
+        });
+        obs.on_epoch_end(&sample_event(0));
+        obs.on_train_end(0.25);
+
+        let lines = log.lines();
+        assert!(lines[0].contains("\"event\":\"train_start\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"event\":\"epoch\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"train_loss\":0.7"), "{}", lines[1]);
+        let domain_lines: Vec<_> =
+            lines.iter().filter(|l| l.contains("\"event\":\"domain_loss\"")).collect();
+        assert_eq!(domain_lines.len(), 2);
+        assert!(lines.last().unwrap().contains("\"event\":\"train_end\""));
+
+        assert_eq!(reg.counter("train_epochs_total").get(), 1);
+        assert_eq!(reg.gauge("train_loss").get(), 0.7);
+        assert_eq!(reg.histogram("train_run_seconds").count(), 1);
+    }
+
+    #[test]
+    fn arc_mutex_wrapper_forwards_and_shares() {
+        let inner = Arc::new(Mutex::new(RecordingObserver::new()));
+        let mut handle: Arc<Mutex<RecordingObserver>> = inner.clone();
+        handle.on_epoch_end(&sample_event(0));
+        handle.on_train_end(2.0);
+        let obs = inner.lock().unwrap();
+        assert_eq!(obs.events().len(), 1);
+        assert_eq!(obs.wall_secs(), Some(2.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Scoped wall-clock timing into a histogram.
+
+use crate::histogram::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records the elapsed wall-clock seconds of its scope into a histogram
+/// when dropped.
+///
+/// ```
+/// use mamdr_obs::{MetricsRegistry, ScopedTimer};
+/// let reg = MetricsRegistry::new();
+/// {
+///     let _t = ScopedTimer::new(reg.histogram("epoch_seconds"));
+///     // ... timed work ...
+/// }
+/// assert_eq!(reg.histogram("epoch_seconds").count(), 1);
+/// ```
+pub struct ScopedTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl ScopedTimer {
+    /// Starts timing; the elapsed time lands in `hist` on drop.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        ScopedTimer { hist, start: Instant::now() }
+    }
+
+    /// Seconds elapsed since the timer started (without stopping it).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let t = ScopedTimer::new(hist.clone());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(t.elapsed_secs() > 0.0);
+        }
+        assert_eq!(hist.count(), 1);
+        let s = hist.snapshot();
+        assert!(s.sum >= 0.005, "recorded {}", s.sum);
+        assert!(s.sum < 10.0, "recorded {}", s.sum);
+    }
+
+    #[test]
+    fn nested_timers_record_independently() {
+        let outer = Arc::new(Histogram::new());
+        let inner = Arc::new(Histogram::new());
+        {
+            let _o = ScopedTimer::new(outer.clone());
+            for _ in 0..3 {
+                let _i = ScopedTimer::new(inner.clone());
+            }
+        }
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 3);
+    }
+}

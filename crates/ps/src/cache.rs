@@ -14,7 +14,7 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Hit ratio in `[0, 1]` (0 when nothing was read).
-    pub fn hit_rate(&self) -> f64 {
+    pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
@@ -75,10 +75,7 @@ impl WorkerCache {
 
     /// Applies a local update to a cached row (must have been read first).
     pub fn update(&mut self, key: ParamKey, f: impl FnOnce(&mut [f32])) {
-        let row = self
-            .dynamic_cache
-            .get_mut(&key)
-            .expect("update of a row that was never read");
+        let row = self.dynamic_cache.get_mut(&key).expect("update of a row that was never read");
         f(row);
     }
 
@@ -106,11 +103,7 @@ impl WorkerCache {
         let mut out = Vec::with_capacity(self.dynamic_cache.len());
         for (key, dynamic) in self.dynamic_cache.drain() {
             let initial = self.static_cache.remove(&key).expect("static entry exists");
-            let delta: Vec<f32> = dynamic
-                .iter()
-                .zip(&initial)
-                .map(|(&d, &s)| d - s)
-                .collect();
+            let delta: Vec<f32> = dynamic.iter().zip(&initial).map(|(&d, &s)| d - s).collect();
             out.push((key, delta));
         }
         self.static_cache.clear();

@@ -93,10 +93,8 @@ pub fn load(mut r: impl Read, n_shards: usize) -> Result<ParameterServer, Checkp
         r.read_exact(&mut b4)?;
         let row = u32::from_le_bytes(b4);
         r.read_exact(&mut fbuf)?;
-        let value: Vec<f32> = fbuf
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let value: Vec<f32> =
+            fbuf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         ps.init_row(ParamKey::new(table, row), value);
     }
     Ok(ps)

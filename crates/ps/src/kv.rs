@@ -113,9 +113,7 @@ impl ParameterServer {
             .unwrap_or_else(|| panic!("pull of uninitialized key {:?}", key))
             .clone();
         self.traffic.pulls.fetch_add(1, Ordering::Relaxed);
-        self.traffic
-            .bytes_pulled
-            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        self.traffic.bytes_pulled.fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
         v
     }
 
@@ -131,16 +129,17 @@ impl ParameterServer {
     pub fn push_outer_grad(&self, key: ParamKey, grad: &[f32], lr: f32) {
         self.bump_version(key);
         self.traffic.pushes.fetch_add(1, Ordering::Relaxed);
-        self.traffic
-            .bytes_pushed
-            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        self.traffic.bytes_pushed.fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
         let si = self.shard_of(key);
         let mut acc_shard = self.adagrad[si].write();
-        let acc = acc_shard.entry(key).or_insert_with(|| vec![0.0; grad.len()]);
+        // Accumulators start at 0.1 (the TensorFlow Adagrad default): from
+        // zero, a row's first-ever update degenerates to lr * sign(g),
+        // which on rarely-touched rows amplifies noise to 10x the init
+        // scale regardless of how small the pushed delta was.
+        let acc = acc_shard.entry(key).or_insert_with(|| vec![0.1; grad.len()]);
         let mut shard = self.shards[si].write();
-        let value = shard
-            .get_mut(&key)
-            .unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
+        let value =
+            shard.get_mut(&key).unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
         assert_eq!(value.len(), grad.len(), "row width mismatch");
         for ((v, &g), a) in value.iter_mut().zip(grad).zip(acc.iter_mut()) {
             *a += g * g;
@@ -153,14 +152,11 @@ impl ParameterServer {
     pub fn push_delta(&self, key: ParamKey, delta: &[f32]) {
         self.bump_version(key);
         self.traffic.pushes.fetch_add(1, Ordering::Relaxed);
-        self.traffic
-            .bytes_pushed
-            .fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
+        self.traffic.bytes_pushed.fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
         let si = self.shard_of(key);
         let mut shard = self.shards[si].write();
-        let value = shard
-            .get_mut(&key)
-            .unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
+        let value =
+            shard.get_mut(&key).unwrap_or_else(|| panic!("push to uninitialized key {:?}", key));
         for (v, &d) in value.iter_mut().zip(delta) {
             *v += d;
         }
@@ -177,20 +173,13 @@ impl ParameterServer {
     }
 
     fn bump_version(&self, key: ParamKey) {
-        *self.versions[self.shard_of(key)]
-            .write()
-            .entry(key)
-            .or_insert(0) += 1;
+        *self.versions[self.shard_of(key)].write().entry(key).or_insert(0) += 1;
     }
 
     /// The number of pushes a row has received (0 if never pushed). Silent:
     /// a driver-side observability read, not an RPC.
     pub fn version(&self, key: ParamKey) -> u64 {
-        self.versions[self.shard_of(key)]
-            .read()
-            .get(&key)
-            .copied()
-            .unwrap_or(0)
+        self.versions[self.shard_of(key)].read().get(&key).copied().unwrap_or(0)
     }
 
     /// Copies every `(key, value)` pair out of the store (checkpointing;
@@ -237,9 +226,10 @@ mod tests {
         ps.init_row(key, vec![0.0, 0.0]);
         ps.push_outer_grad(key, &[1.0, -2.0], 0.5);
         let v = ps.read_silent(key).unwrap();
-        // first Adagrad step: lr * g / (|g| + eps) = lr * sign(g)
-        assert!((v[0] - 0.5).abs() < 1e-4, "{:?}", v);
-        assert!((v[1] + 0.5).abs() < 1e-4, "{:?}", v);
+        // first Adagrad step from the 0.1 cold-start accumulator:
+        // lr * g / sqrt(0.1 + g^2)
+        assert!((v[0] - 0.5 / 1.1f32.sqrt()).abs() < 1e-4, "{:?}", v);
+        assert!((v[1] + 1.0 / 4.1f32.sqrt()).abs() < 1e-4, "{:?}", v);
         // second identical push moves less (accumulated curvature)
         ps.push_outer_grad(key, &[1.0, -2.0], 0.5);
         let v2 = ps.read_silent(key).unwrap();
@@ -275,9 +265,7 @@ mod tests {
         })
         .unwrap();
         // All pushes landed: total added mass is 4 threads * 200 pushes.
-        let total: f32 = (0..64)
-            .map(|r| ps.read_silent(ParamKey::new(0, r)).unwrap()[0])
-            .sum();
+        let total: f32 = (0..64).map(|r| ps.read_silent(ParamKey::new(0, r)).unwrap()[0]).sum();
         assert_eq!(total, 800.0);
         assert_eq!(ps.traffic().total_rpcs(), 1600);
     }

@@ -80,6 +80,13 @@ pub fn error_signal(raw_score: f32, label: f32) -> f32 {
     sigmoid(raw_score) - label
 }
 
+/// Numerically stable binary cross-entropy from the raw (pre-sigmoid)
+/// score: `max(x, 0) − x·y + ln(1 + e^{−|x|})`.
+pub fn log_loss(raw_score: f32, label: f32) -> f32 {
+    let x = raw_score;
+    x.max(0.0) - x * label + (-x.abs()).exp().ln_1p()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +106,18 @@ mod tests {
         assert!(error_signal(5.0, 0.0) > 0.9);
         assert!(error_signal(-5.0, 1.0) < -0.9);
         assert!(error_signal(0.0, 1.0).abs() - 0.5 < 1e-6);
+    }
+
+    #[test]
+    fn log_loss_matches_naive_formula_and_stays_finite() {
+        for &(x, y) in &[(0.0f32, 1.0f32), (2.5, 0.0), (-1.5, 1.0)] {
+            let p = sigmoid(x);
+            let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            assert!((log_loss(x, y) - naive).abs() < 1e-5, "x={x} y={y}");
+        }
+        // The stable form must not overflow where the naive one would.
+        assert!(log_loss(80.0, 0.0).is_finite());
+        assert!(log_loss(-80.0, 1.0).is_finite());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 use crate::cache::{CacheStats, StalenessStats, WorkerCache};
 use crate::kv::{ParamKey, ParameterServer};
-use crate::model::{error_signal, score, tables, ExampleKeys};
+use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
 use mamdr_core::metrics::auc;
 use mamdr_data::{MdrDataset, Split};
+use mamdr_obs::MetricsRegistry;
 use mamdr_tensor::rng::{derive_seed, normal, seeded, shuffle};
 use rand::Rng;
 
@@ -73,6 +74,40 @@ pub struct DistributedReport {
     /// Worst observed end-of-round staleness across all workers and rounds
     /// (how many foreign pushes a cached row missed before the drain).
     pub max_staleness: u64,
+    /// Mean training log-loss of each outer round, in round order.
+    pub round_losses: Vec<f64>,
+}
+
+impl DistributedReport {
+    /// Publishes the report into a metrics registry under the `ps_*`
+    /// namespace: RPC/byte counters, cache hit/miss counters plus a
+    /// hit-ratio gauge, the staleness bound, final quality, and the
+    /// per-round loss curve as a histogram.
+    pub fn export(&self, registry: &MetricsRegistry) {
+        registry.counter("ps_pulls_total").add(self.pulls);
+        registry.counter("ps_pushes_total").add(self.pushes);
+        registry.counter("ps_bytes_total").add(self.total_bytes);
+        registry.counter("ps_cache_hits_total").add(self.cache.hits);
+        registry.counter("ps_cache_misses_total").add(self.cache.misses);
+        registry.gauge("ps_cache_hit_ratio").set(self.cache.hit_ratio());
+        registry.gauge("ps_max_staleness").set(self.max_staleness as f64);
+        registry.gauge("ps_mean_auc").set(self.mean_auc);
+        let rounds = registry.histogram("ps_round_loss");
+        for &loss in &self.round_losses {
+            rounds.record(loss);
+        }
+        if let Some(&last) = self.round_losses.last() {
+            registry.gauge("ps_train_loss").set(last);
+        }
+    }
+}
+
+/// One worker's accounting for one outer round.
+struct WorkerRound {
+    cache: CacheStats,
+    staleness: StalenessStats,
+    loss_sum: f64,
+    n_examples: u64,
 }
 
 /// The distributed MAMDR trainer.
@@ -107,6 +142,7 @@ impl DistributedMamdr {
         let cfg = self.cfg;
         let mut combined = CacheStats::default();
         let mut max_staleness = 0u64;
+        let mut round_losses = Vec::with_capacity(cfg.epochs);
         for epoch in 0..cfg.epochs {
             // Round-robin partition of domains over workers, reshuffled
             // each epoch (the driver-side analogue of DN's domain shuffle).
@@ -117,7 +153,7 @@ impl DistributedMamdr {
                 .map(|w| domains.iter().copied().skip(w).step_by(cfg.n_workers).collect())
                 .collect();
 
-            let stats: Vec<(CacheStats, StalenessStats)> = crossbeam::thread::scope(|scope| {
+            let stats: Vec<WorkerRound> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = partitions
                     .iter()
                     .enumerate()
@@ -137,11 +173,16 @@ impl DistributedMamdr {
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             })
             .unwrap();
-            for (s, st) in stats {
-                combined.hits += s.hits;
-                combined.misses += s.misses;
-                max_staleness = max_staleness.max(st.max);
+            let mut loss_sum = 0.0f64;
+            let mut n_examples = 0u64;
+            for w in stats {
+                combined.hits += w.cache.hits;
+                combined.misses += w.cache.misses;
+                max_staleness = max_staleness.max(w.staleness.max);
+                loss_sum += w.loss_sum;
+                n_examples += w.n_examples;
             }
+            round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
         }
         let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
         DistributedReport {
@@ -151,6 +192,7 @@ impl DistributedMamdr {
             total_bytes: bp + bs,
             cache: combined,
             max_staleness,
+            round_losses,
         }
     }
 
@@ -199,13 +241,17 @@ fn run_worker_round(
     domains: &[usize],
     cfg: DistributedConfig,
     seed: u64,
-) -> (CacheStats, StalenessStats) {
+) -> WorkerRound {
     let mut rng = seeded(seed);
+    let mut loss_sum = 0.0f64;
+    let mut n_examples = 0u64;
     match cfg.mode {
         SyncMode::Cached => {
             let mut cache = WorkerCache::new();
             for &d in domains {
-                train_domain_cached(ps, &mut cache, ds, d, cfg, &mut rng);
+                let (l, n) = train_domain_cached(ps, &mut cache, ds, d, cfg, &mut rng);
+                loss_sum += l;
+                n_examples += n;
             }
             // Measure how far the world moved while this worker trained,
             // then push Θ̃ − Θ per touched row; the server applies it with
@@ -215,18 +261,26 @@ fn run_worker_round(
             for (key, delta) in cache.drain_outer_grads() {
                 ps.push_outer_grad(key, &delta, cfg.outer_lr);
             }
-            (stats, staleness)
+            WorkerRound { cache: stats, staleness, loss_sum, n_examples }
         }
         SyncMode::NoCache => {
             for &d in domains {
-                train_domain_no_cache(ps, ds, d, cfg, &mut rng);
+                let (l, n) = train_domain_no_cache(ps, ds, d, cfg, &mut rng);
+                loss_sum += l;
+                n_examples += n;
             }
-            (CacheStats::default(), StalenessStats::default())
+            WorkerRound {
+                cache: CacheStats::default(),
+                staleness: StalenessStats::default(),
+                loss_sum,
+                n_examples,
+            }
         }
     }
 }
 
-/// Inner-loop SGD over one domain through the cache.
+/// Inner-loop SGD over one domain through the cache. Returns the summed
+/// log-loss and example count for round-level loss reporting.
 fn train_domain_cached(
     ps: &ParameterServer,
     cache: &mut WorkerCache,
@@ -234,9 +288,11 @@ fn train_domain_cached(
     domain: usize,
     cfg: DistributedConfig,
     rng: &mut impl Rng,
-) {
+) -> (f64, u64) {
     let mut order: Vec<usize> = (0..ds.domains[domain].train.len()).collect();
     shuffle(rng, &mut order);
+    let mut loss_sum = 0.0f64;
+    let n = order.len() as u64;
     for idx in order {
         let it = ds.domains[domain].train[idx];
         let keys = ExampleKeys::new(
@@ -251,7 +307,9 @@ fn train_domain_cached(
         let g = cache.get(ps, keys.ugroup).to_vec();
         let c = cache.get(ps, keys.icat).to_vec();
         let b = cache.get(ps, keys.bias).to_vec();
-        let e = error_signal(score(&u, &v, &g, &c, &b), it.label);
+        let s = score(&u, &v, &g, &c, &b);
+        loss_sum += log_loss(s, it.label) as f64;
+        let e = error_signal(s, it.label);
         let lr = cfg.inner_lr;
         cache.update(keys.user, |row| axpy_rows(row, -lr * e, &v));
         cache.update(keys.item, |row| axpy_rows(row, -lr * e, &u));
@@ -259,18 +317,22 @@ fn train_domain_cached(
         cache.update(keys.icat, |row| axpy_rows(row, -lr * e, &g));
         cache.update(keys.bias, |row| row[0] -= lr * e);
     }
+    (loss_sum, n)
 }
 
 /// Inner-loop SGD with no cache: every read pulls, every write pushes.
+/// Returns the summed log-loss and example count like the cached path.
 fn train_domain_no_cache(
     ps: &ParameterServer,
     ds: &MdrDataset,
     domain: usize,
     cfg: DistributedConfig,
     rng: &mut impl Rng,
-) {
+) -> (f64, u64) {
     let mut order: Vec<usize> = (0..ds.domains[domain].train.len()).collect();
     shuffle(rng, &mut order);
+    let mut loss_sum = 0.0f64;
+    let n = order.len() as u64;
     for idx in order {
         let it = ds.domains[domain].train[idx];
         let keys = ExampleKeys::new(
@@ -285,7 +347,9 @@ fn train_domain_no_cache(
         let g = ps.pull(keys.ugroup);
         let c = ps.pull(keys.icat);
         let b = ps.pull(keys.bias);
-        let e = error_signal(score(&u, &v, &g, &c, &b), it.label);
+        let s = score(&u, &v, &g, &c, &b);
+        loss_sum += log_loss(s, it.label) as f64;
+        let e = error_signal(s, it.label);
         let lr = cfg.inner_lr;
         ps.push_delta(keys.user, &scaled(-lr * e, &v));
         ps.push_delta(keys.item, &scaled(-lr * e, &u));
@@ -295,6 +359,7 @@ fn train_domain_no_cache(
         bias_delta[0] = -lr * e;
         ps.push_delta(keys.bias, &bias_delta);
     }
+    (loss_sum, n)
 }
 
 fn axpy_rows(row: &mut [f32], alpha: f32, x: &[f32]) {
@@ -314,9 +379,7 @@ mod tests {
 
     fn dataset() -> MdrDataset {
         let mut cfg = GeneratorConfig::base("ps", 80, 50, 55);
-        cfg.domains = (0..6)
-            .map(|i| DomainSpec::new(format!("d{i}"), 400, 0.3))
-            .collect();
+        cfg.domains = (0..6).map(|i| DomainSpec::new(format!("d{i}"), 400, 0.3)).collect();
         cfg.generate()
     }
 
@@ -333,7 +396,7 @@ mod tests {
             before,
             report.mean_auc
         );
-        assert!(report.cache.hit_rate() > 0.5, "hit rate {}", report.cache.hit_rate());
+        assert!(report.cache.hit_ratio() > 0.5, "hit ratio {}", report.cache.hit_ratio());
     }
 
     #[test]
@@ -360,11 +423,9 @@ mod tests {
         let ds = dataset();
         let base = DistributedConfig { n_workers: 1, epochs: 6, ..Default::default() };
         let cached = DistributedMamdr::new(&ds, base).train(&ds);
-        let uncached = DistributedMamdr::new(
-            &ds,
-            DistributedConfig { mode: SyncMode::NoCache, ..base },
-        )
-        .train(&ds);
+        let uncached =
+            DistributedMamdr::new(&ds, DistributedConfig { mode: SyncMode::NoCache, ..base })
+                .train(&ds);
         assert!(
             cached.mean_auc > uncached.mean_auc - 0.05,
             "cached {} vs uncached {}",
@@ -386,17 +447,45 @@ mod tests {
     }
 
     #[test]
+    fn round_losses_track_every_round_and_decrease() {
+        let ds = dataset();
+        let cfg = DistributedConfig { epochs: 6, ..Default::default() };
+        let report = DistributedMamdr::new(&ds, cfg).train(&ds);
+        assert_eq!(report.round_losses.len(), 6);
+        assert!(report.round_losses.iter().all(|l| l.is_finite() && *l > 0.0));
+        let first = report.round_losses[0];
+        let last = *report.round_losses.last().unwrap();
+        assert!(last < first, "loss should fall over rounds: {} -> {}", first, last);
+    }
+
+    #[test]
+    fn export_publishes_traffic_and_cache_metrics() {
+        let ds = dataset();
+        let report = DistributedMamdr::new(&ds, DistributedConfig::default()).train(&ds);
+        let registry = MetricsRegistry::new();
+        report.export(&registry);
+        assert_eq!(registry.counter("ps_pulls_total").get(), report.pulls);
+        assert_eq!(registry.counter("ps_pushes_total").get(), report.pushes);
+        assert_eq!(registry.counter("ps_bytes_total").get(), report.total_bytes);
+        assert_eq!(registry.counter("ps_cache_hits_total").get(), report.cache.hits);
+        assert_eq!(registry.counter("ps_cache_misses_total").get(), report.cache.misses);
+        assert_eq!(registry.gauge("ps_cache_hit_ratio").get(), report.cache.hit_ratio());
+        assert_eq!(registry.gauge("ps_mean_auc").get(), report.mean_auc);
+        let (_, snap) = registry
+            .histogram_values()
+            .into_iter()
+            .find(|(name, _)| name == "ps_round_loss")
+            .expect("round-loss histogram exported");
+        assert_eq!(snap.count, report.round_losses.len() as u64);
+    }
+
+    #[test]
     fn worker_count_does_not_break_training() {
         let ds = dataset();
         for workers in [1, 2, 8] {
             let cfg = DistributedConfig { n_workers: workers, epochs: 3, ..Default::default() };
             let report = DistributedMamdr::new(&ds, cfg).train(&ds);
-            assert!(
-                report.mean_auc > 0.53,
-                "{} workers: AUC {}",
-                workers,
-                report.mean_auc
-            );
+            assert!(report.mean_auc > 0.53, "{} workers: AUC {}", workers, report.mean_auc);
         }
     }
 }

@@ -72,11 +72,7 @@ mod tests {
     fn zeros_and_constant() {
         let mut rng = seeded(1);
         assert!(Init::Zeros.build(&mut rng, &[3, 3]).data().iter().all(|&x| x == 0.0));
-        assert!(Init::Constant(0.5)
-            .build(&mut rng, &[4])
-            .data()
-            .iter()
-            .all(|&x| x == 0.5));
+        assert!(Init::Constant(0.5).build(&mut rng, &[4]).data().iter().all(|&x| x == 0.5));
     }
 
     #[test]

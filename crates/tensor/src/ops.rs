@@ -258,16 +258,9 @@ impl Tensor {
     /// dominates; specialized fast paths above should be preferred in hot
     /// code.
     pub fn broadcast_zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        let out_shape = self
-            .shape_obj()
-            .broadcast(other.shape_obj())
-            .unwrap_or_else(|| {
-                panic!(
-                    "cannot broadcast {:?} with {:?}",
-                    self.shape_obj(),
-                    other.shape_obj()
-                )
-            });
+        let out_shape = self.shape_obj().broadcast(other.shape_obj()).unwrap_or_else(|| {
+            panic!("cannot broadcast {:?} with {:?}", self.shape_obj(), other.shape_obj())
+        });
         let rank = out_shape.rank();
         let numel = out_shape.numel();
         let strides = out_shape.strides();
@@ -283,7 +276,7 @@ impl Tensor {
             let mut bi = 0usize;
             let mut rem = lin;
             for d in 0..rank {
-                let idx = if strides[d] == 0 { 0 } else { rem / strides[d] };
+                let idx = rem.checked_div(strides[d]).unwrap_or(0);
                 rem %= strides[d].max(1);
                 if a_dims[d] != 1 {
                     ai += idx * a_strides[d];

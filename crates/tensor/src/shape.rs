@@ -77,10 +77,7 @@ impl Shape {
         let mut dims = vec![0usize; rank];
         for i in 0..rank {
             let a = *self.0.get(self.rank().wrapping_sub(1).wrapping_sub(i)).unwrap_or(&1);
-            let b = *other
-                .0
-                .get(other.rank().wrapping_sub(1).wrapping_sub(i))
-                .unwrap_or(&1);
+            let b = *other.0.get(other.rank().wrapping_sub(1).wrapping_sub(i)).unwrap_or(&1);
             let d = if a == b {
                 a
             } else if a == 1 {

@@ -148,10 +148,7 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` elementwise in place.
@@ -171,12 +168,7 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
@@ -221,11 +213,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
     }
 
     /// Sum of all elements.
@@ -255,11 +243,7 @@ impl Tensor {
     /// Maximum absolute difference to another same-shape tensor.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert!(self.shape.same(&other.shape));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 }
 
@@ -269,7 +253,13 @@ impl fmt::Debug for Tensor {
         if self.numel() <= 8 {
             write!(f, "{:?})", self.data)
         } else {
-            write!(f, "[{:.4}, {:.4}, ..., {:.4}])", self.data[0], self.data[1], self.data[self.numel() - 1])
+            write!(
+                f,
+                "[{:.4}, {:.4}, ..., {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.numel() - 1]
+            )
         }
     }
 }

@@ -14,9 +14,7 @@ fn main() {
     // A dataset with a strong conflict knob so the effect is visible.
     let mut gen = GeneratorConfig::base("conflict-demo", 400, 200, 11);
     gen.conflict = 0.8;
-    gen.domains = (0..6)
-        .map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3))
-        .collect();
+    gen.domains = (0..6).map(|i| DomainSpec::new(format!("D{}", i + 1), 2_000, 0.3)).collect();
     let ds = gen.generate();
 
     let model_cfg = ModelConfig::default();

@@ -36,7 +36,7 @@ fn main() {
             report.pulls,
             report.pushes,
             report.total_bytes,
-            report.cache.hit_rate(),
+            report.cache.hit_ratio(),
             report.mean_auc,
         );
     }

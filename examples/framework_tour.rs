@@ -26,10 +26,7 @@ fn main() {
     cfg.dr_lr = 0.5;
     cfg.dr_lookahead_batches = 8;
 
-    println!(
-        "{:<20} {:>8} {:>8} {:>8} {:>8}",
-        "framework", "rich", "mid", "sparse", "MEAN"
-    );
+    println!("{:<20} {:>8} {:>8} {:>8} {:>8}", "framework", "rich", "mid", "sparse", "MEAN");
     for fk in FrameworkKind::ALL {
         let r = run_experiment(&ds, ModelKind::Mlp, &ModelConfig::default(), fk, cfg);
         println!(

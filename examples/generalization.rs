@@ -23,11 +23,7 @@ fn main() {
     let mut cfg = TrainConfig::bench().with_epochs(12);
     cfg.outer_lr = 0.5;
 
-    println!(
-        "leave-one-domain-out on {} ({} domains)\n",
-        ds_full.name,
-        ds_full.n_domains()
-    );
+    println!("leave-one-domain-out on {} ({} domains)\n", ds_full.name, ds_full.n_domains());
     println!("{:<10} {:>12} {:>12} {:>10}", "held out", "Alternate", "DN", "delta");
 
     let mut deltas = Vec::new();
@@ -43,8 +39,7 @@ fn main() {
             let trained = fk.build().train(&mut env);
             // Evaluate on the FULL dataset's held-out domain, unseen at
             // training time.
-            let mut env_eval =
-                TrainEnv::new(&ds_full, built.model.as_ref(), built.params, cfg);
+            let mut env_eval = TrainEnv::new(&ds_full, built.model.as_ref(), built.params, cfg);
             let auc = env_eval.evaluate(&trained, Split::Test)[held_out];
             zero_shot.push(auc);
         }

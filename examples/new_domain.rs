@@ -40,7 +40,8 @@ fn main() {
     // full id space — exactly how the production system provisions it.)
     println!("\nphase 1: training shared parameters on the 9 existing domains (DN)...");
     let built = build_model(ModelKind::Mlp, &fc, &model_cfg, ds_full.n_domains(), cfg.seed);
-    let mut env_existing = TrainEnv::new(&existing, built.model.as_ref(), built.params.clone(), cfg);
+    let mut env_existing =
+        TrainEnv::new(&existing, built.model.as_ref(), built.params.clone(), cfg);
     let shared_model = FrameworkKind::Dn.build().train(&mut env_existing);
 
     // Phase 2: D10 arrives. Evaluate cold-start quality with θS alone.

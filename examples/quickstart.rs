@@ -12,7 +12,13 @@ fn main() {
     //    the dataset the paper builds to stress sparse domains, where
     //    MAMDR's Domain Regularization has the most to offer.
     let ds = amazon13(42, 0.4);
-    println!("dataset: {} — {} domains, {} users, {} items", ds.name, ds.n_domains(), ds.n_users, ds.n_items);
+    println!(
+        "dataset: {} — {} domains, {} users, {} items",
+        ds.name,
+        ds.n_domains(),
+        ds.n_users,
+        ds.n_items
+    );
 
     // 2. Shared hyper-parameters (paper §V-C, adapted to the scaled
     //    datasets — see EXPERIMENTS.md for the tuning sweep).
@@ -24,11 +30,11 @@ fn main() {
 
     // 3. Train the same architecture under two frameworks.
     println!("\ntraining MLP under Alternate and MAMDR (takes a few minutes)...");
-    let jobs = [
-        (ModelKind::Mlp, FrameworkKind::Alternate),
-        (ModelKind::Mlp, FrameworkKind::Mamdr),
-    ];
-    let results = run_many(&ds, &jobs, &model_cfg, train_cfg, 2);
+    let jobs = [(ModelKind::Mlp, FrameworkKind::Alternate), (ModelKind::Mlp, FrameworkKind::Mamdr)];
+    let results: Vec<_> = run_many(&ds, &jobs, &model_cfg, train_cfg, 2)
+        .into_iter()
+        .map(|r| r.expect("training job panicked"))
+        .collect();
 
     // 4. Report per-domain test AUC.
     println!("\n{:<28} {:>12} {:>16}", "domain", "Alternate", "MAMDR (DN+DR)");
@@ -38,10 +44,7 @@ fn main() {
             ds.domains[d].name, results[0].domain_auc[d], results[1].domain_auc[d]
         );
     }
-    println!(
-        "{:<28} {:>12.4} {:>16.4}",
-        "MEAN", results[0].mean_auc, results[1].mean_auc
-    );
+    println!("{:<28} {:>12.4} {:>16.4}", "MEAN", results[0].mean_auc, results[1].mean_auc);
     let lift = results[1].mean_auc - results[0].mean_auc;
     println!("\nMAMDR lift over Alternate: {:+.4} AUC", lift);
 }

@@ -37,12 +37,7 @@ fn trained_model_has_better_serving_metrics_than_random() {
 
     let g_rand = gauc(&random_scores);
     let g_trained = gauc(&trained_scores);
-    assert!(
-        g_trained > g_rand + 0.03,
-        "training should lift GAUC: {} -> {}",
-        g_rand,
-        g_trained
-    );
+    assert!(g_trained > g_rand + 0.03, "training should lift GAUC: {} -> {}", g_rand, g_trained);
 
     let n_trained = mean_ndcg_at_k(&trained_scores, 5);
     assert!((0.0..=1.0).contains(&n_trained));

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the workspace's `[[bench]] harness = false` targets compiling
+//! and running offline. Instead of criterion's statistical machinery it
+//! does a short warmup, times a fixed number of samples with
+//! `std::time::Instant`, and prints mean ns/iter per benchmark — enough
+//! to eyeball regressions, not a replacement for real criterion runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group sharing configuration (only `sample_size` here).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; the closure receives `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark label.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the label `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, accumulating into the sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Warmup pass, then scale iterations so one sample is not sub-tick.
+    let mut probe = Bencher { total: Duration::ZERO, iters: 1 };
+    f(&mut probe);
+    let per_iter = probe.total.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut n = 0u64;
+    for _ in 0..samples {
+        let mut b = Bencher { total: Duration::ZERO, iters };
+        f(&mut b);
+        total += b.total;
+        n += b.iters;
+    }
+    let ns = total.as_nanos() as f64 / n.max(1) as f64;
+    println!("{name:<40} time: {ns:>12.1} ns/iter ({samples} samples x {iters} iters)");
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_smoke() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

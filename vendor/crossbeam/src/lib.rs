@@ -1,0 +1,85 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::thread::scope` on top of `std::thread::scope`,
+//! matching the crossbeam-utils API shape the workspace uses: the scope
+//! closure receives a `&Scope`, spawned closures receive the scope as an
+//! argument, and `scope` returns a `Result` capturing child panics.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// The error type of [`scope`]: the payload of a panicked child.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` = panic
+        /// payload).
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope, so children can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handoff = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&handoff)) }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    ///
+    /// Unlike `std::thread::scope`, child panics are captured and returned
+    /// as `Err` rather than resumed — callers decide (the workspace
+    /// `.unwrap()`s, preserving the original behavior).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = super::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_is_captured() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> () { panic!("child died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

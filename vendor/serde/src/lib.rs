@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace uses serde only as `#[derive(Serialize, Deserialize)]`
+//! annotations on value types — no format crate is in the tree, so
+//! nothing ever calls the traits. This stand-in supplies the trait
+//! names (so `use serde::{Serialize, Deserialize}` resolves) and derive
+//! macros that expand to nothing. Swapping the real crate back in is a
+//! one-line Cargo.toml change; the annotations themselves are already
+//! real-serde-compatible.
+
+/// Marker stand-in for `serde::Serialize`. Never implemented here: the
+/// derive expands to nothing and no serializer exists in the workspace.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Both derives expand to an empty token stream: the annotations stay
+//! legal on workspace types without pulling in codegen machinery.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
