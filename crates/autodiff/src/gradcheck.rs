@@ -202,4 +202,76 @@ mod tests {
             tape.sum_all(s)
         });
     }
+
+    #[test]
+    fn gemm_all_transpose_combinations_gradcheck() {
+        // op(a) @ op(b) with m=3, k=4, n=2 — operand shapes depend on flags.
+        for (lhs_t, rhs_t) in [(false, false), (false, true), (true, false), (true, true)] {
+            let a_shape: &[usize] = if lhs_t { &[4, 3] } else { &[3, 4] };
+            let b_shape: &[usize] = if rhs_t { &[2, 4] } else { &[4, 2] };
+            let params = vec![randn(17, a_shape), randn(18, b_shape)];
+            assert_gradients_match(&params, EPS, TOL, |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let c = tape.gemm(a, b, lhs_t, rhs_t);
+                let s = tape.tanh(c);
+                tape.mean_all(s)
+            });
+        }
+    }
+
+    #[test]
+    fn fused_dense_gradcheck() {
+        use mamdr_tensor::Act;
+        let x = randn(19, &[5, 3]);
+        for act in [Act::Linear, Act::Relu, Act::Sigmoid, Act::Tanh] {
+            let params = vec![randn(20, &[3, 4]), randn(21, &[4])];
+            assert_gradients_match(&params, EPS, TOL, |tape, ps| {
+                let xin = tape.leaf(x.clone());
+                let w = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let y = tape.dense(xin, w, Some(b), act);
+                let sq = tape.square(y);
+                tape.mean_all(sq)
+            });
+        }
+        // Bias-less variant, and gradient flow into x through a param.
+        let params = vec![randn(22, &[5, 3]), randn(23, &[3, 2])];
+        assert_gradients_match(&params, EPS, TOL, |tape, ps| {
+            let xin = tape.param(0, ps[0].clone());
+            let w = tape.param(1, ps[1].clone());
+            let y = tape.dense(xin, w, None, mamdr_tensor::Act::Relu);
+            tape.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn fused_dense_matches_unfused_chain_exactly() {
+        use mamdr_tensor::Act;
+        let x = randn(24, &[6, 3]);
+        let w = randn(25, &[3, 4]);
+        let b = randn(26, &[4]);
+
+        let mut fused = Tape::new();
+        let xf = fused.leaf(x.clone());
+        let wf = fused.param(0, w.clone());
+        let bf = fused.param(1, b.clone());
+        let yf = fused.dense(xf, wf, Some(bf), Act::Sigmoid);
+        let lf = fused.sum_all(yf);
+        let gf = fused.backward(lf);
+
+        let mut plain = Tape::new();
+        let xp = plain.leaf(x);
+        let wp = plain.param(0, w);
+        let bp = plain.param(1, b);
+        let zp = plain.matmul(xp, wp);
+        let zp = plain.add_row(zp, bp);
+        let yp = plain.sigmoid(zp);
+        let lp = plain.sum_all(yp);
+        let gp = plain.backward(lp);
+
+        assert_eq!(fused.value(yf), plain.value(yp), "fused forward differs");
+        assert_eq!(gf[&0], gp[&0], "fused dw differs");
+        assert_eq!(gf[&1], gp[&1], "fused db differs");
+    }
 }

@@ -1,7 +1,11 @@
 //! The autodiff tape: op recording and the reverse pass.
 
-use mamdr_tensor::Tensor;
+use mamdr_tensor::{Act, Tensor};
 use std::collections::HashMap;
+
+/// Numerically stable logistic sigmoid (re-exported from `mamdr-tensor`,
+/// where the fused kernels need it; the old path keeps working).
+pub use mamdr_tensor::stable_sigmoid;
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,9 +55,21 @@ enum Op {
         a: Var,
         col: Var,
     },
-    Matmul {
+    /// `op(a) @ op(b)` with independent transpose flags; the backward pass
+    /// composes adjoints through the same unified GEMM kernel.
+    Gemm {
         a: Var,
         b: Var,
+        lhs_t: bool,
+        rhs_t: bool,
+    },
+    /// Fused dense layer `act(x @ w + bias)`; forward and backward are
+    /// bit-identical to the unfused gemm → add-row → activation chain.
+    Dense {
+        x: Var,
+        w: Var,
+        bias: Option<Var>,
+        act: Act,
     },
     Transpose {
         a: Var,
@@ -218,10 +234,27 @@ impl Tape {
         self.push(v, Op::MulCol { a, col })
     }
 
-    /// Matrix product.
+    /// General matrix product `op(a) @ op(b)`, transposing either operand
+    /// without materializing the transpose (see [`Tensor::gemm`]).
+    pub fn gemm(&mut self, a: Var, b: Var, lhs_t: bool, rhs_t: bool) -> Var {
+        let v = self.values[a.0].gemm(&self.values[b.0], lhs_t, rhs_t);
+        self.push(v, Op::Gemm { a, b, lhs_t, rhs_t })
+    }
+
+    /// Matrix product (legacy wrapper over [`Tape::gemm`]).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].matmul(&self.values[b.0]);
-        self.push(v, Op::Matmul { a, b })
+        self.gemm(a, b, false, false)
+    }
+
+    /// Fused dense layer `act(x @ w + bias)` as a single tape node.
+    ///
+    /// Produces bit-identical values and gradients to recording the
+    /// gemm, bias add and activation separately, but touches the output
+    /// once and stores one intermediate instead of three.
+    pub fn dense(&mut self, x: Var, w: Var, bias: Option<Var>, act: Act) -> Var {
+        let v =
+            self.values[x.0].gemm_bias_act(&self.values[w.0], bias.map(|b| &self.values[b.0]), act);
+        self.push(v, Op::Dense { x, w, bias, act })
     }
 
     /// Matrix transpose.
@@ -426,12 +459,46 @@ impl Tape {
                     accumulate(&mut adj, a, da);
                     accumulate(&mut adj, col, dcol);
                 }
-                Op::Matmul { a, b } => {
-                    let (a, b) = (*a, *b);
-                    let da = d.matmul_nt(&self.values[b.0]);
-                    let db = self.values[a.0].matmul_tn(&d);
+                Op::Gemm { a, b, lhs_t, rhs_t } => {
+                    let (a, b, lhs_t, rhs_t) = (*a, *b, *lhs_t, *rhs_t);
+                    // With C = op(a) @ op(b): dA' = d @ op(b)ᵀ and
+                    // dB' = op(a)ᵀ @ d; a transposed operand receives the
+                    // transposed adjoint, which the flags express without
+                    // ever materializing a transpose.
+                    let da = if lhs_t {
+                        self.values[b.0].gemm(&d, rhs_t, true)
+                    } else {
+                        d.gemm(&self.values[b.0], false, !rhs_t)
+                    };
+                    let db = if rhs_t {
+                        d.gemm(&self.values[a.0], true, lhs_t)
+                    } else {
+                        self.values[a.0].gemm(&d, !lhs_t, false)
+                    };
                     accumulate(&mut adj, a, da);
                     accumulate(&mut adj, b, db);
+                }
+                Op::Dense { x, w, bias, act } => {
+                    let (x, w, bias, act) = (*x, *w, *bias, *act);
+                    // The stored output y = act(z) determines act'(z)
+                    // exactly: relu's y > 0 ⟺ z > 0, and sigmoid/tanh
+                    // derivatives are functions of y — so dz matches the
+                    // unfused chain bit for bit.
+                    let y = &self.values[idx];
+                    let dz = match act {
+                        Act::Linear => d,
+                        Act::Relu => d.zip(y, |g, yv| if yv > 0.0 { g } else { 0.0 }),
+                        Act::Sigmoid => d.zip(y, |g, s| g * s * (1.0 - s)),
+                        Act::Tanh => d.zip(y, |g, t| g * (1.0 - t * t)),
+                    };
+                    let dx = dz.gemm(&self.values[w.0], false, true);
+                    let dw = self.values[x.0].gemm(&dz, true, false);
+                    accumulate(&mut adj, x, dx);
+                    accumulate(&mut adj, w, dw);
+                    if let Some(bias) = bias {
+                        let db = reshape_like(dz.sum_rows(), &self.values[bias.0]);
+                        accumulate(&mut adj, bias, db);
+                    }
                 }
                 Op::Transpose { a } => {
                     let a = *a;
@@ -569,16 +636,6 @@ impl Tape {
             }
         }
         grads
-    }
-}
-
-/// Numerically stable logistic sigmoid.
-pub fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -7,10 +7,14 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Training epochs (0 = keep the binary's default).
     pub epochs: usize,
-    /// Worker threads for independent runs.
+    /// Worker threads, both for independent runs and for the deterministic
+    /// kernel pool (results are bit-identical at any value).
     pub threads: usize,
     /// Experiment seed.
     pub seed: u64,
+    /// Smoke-run mode: shrinks the dataset scale and caps epochs so a full
+    /// table regenerates in seconds. Output keeps the same shape.
+    pub quick: bool,
     /// Telemetry sink: JSONL event/metric dump path (plus a sibling
     /// `.prom` Prometheus-style snapshot). `None` disables telemetry.
     pub metrics_out: Option<String>,
@@ -18,7 +22,14 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { scale: 1.0, epochs: 0, threads: default_threads(), seed: 42, metrics_out: None }
+        BenchArgs {
+            scale: 1.0,
+            epochs: 0,
+            threads: default_threads(),
+            seed: 42,
+            quick: false,
+            metrics_out: None,
+        }
     }
 }
 
@@ -27,7 +38,7 @@ fn default_threads() -> usize {
 }
 
 impl BenchArgs {
-    /// Parses `--scale`, `--epochs`, `--threads`, `--seed` and
+    /// Parses `--scale`, `--epochs`, `--threads`, `--seed`, `--quick` and
     /// `--metrics-out` from an argument iterator (unknown flags abort with
     /// a usage message).
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
@@ -45,10 +56,11 @@ impl BenchArgs {
                 "--epochs" => out.epochs = num("--epochs", take("--epochs")) as usize,
                 "--threads" => out.threads = (num("--threads", take("--threads")) as usize).max(1),
                 "--seed" => out.seed = num("--seed", take("--seed")) as u64,
+                "--quick" => out.quick = true,
                 "--metrics-out" => out.metrics_out = Some(take("--metrics-out")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --metrics-out <path>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path>"
                     );
                     std::process::exit(2);
                 }
@@ -57,20 +69,37 @@ impl BenchArgs {
         out
     }
 
-    /// Parses the process arguments.
+    /// Parses the process arguments and applies `--threads` to the kernel
+    /// pool, so every binary honors the knob without its own wiring.
     pub fn from_env() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let args = Self::parse(std::env::args().skip(1));
+        args.apply_kernel_threads();
+        args
     }
 
-    /// Epochs to use given a binary default.
+    /// Epochs to use given a binary default, after the `--quick` cap.
     pub fn epochs_or(&self, default: usize) -> usize {
+        let d = if self.quick { default.min(QUICK_EPOCH_CAP) } else { default };
         if self.epochs == 0 {
-            default
+            d
         } else {
             self.epochs
         }
     }
+
+    /// Applies `--threads` to the process-wide deterministic kernel pool.
+    /// Binaries call this once at startup; runs driven through
+    /// `TrainConfig::threads` re-apply the same value.
+    pub fn apply_kernel_threads(&self) {
+        mamdr_tensor::pool::set_threads(self.threads);
+    }
 }
+
+/// `--quick` caps per-binary default epochs at this many.
+pub const QUICK_EPOCH_CAP: usize = 3;
+
+/// `--quick` multiplies the dataset scale by this factor.
+pub const QUICK_SCALE_FACTOR: f64 = 0.25;
 
 #[cfg(test)]
 mod tests {
@@ -97,6 +126,16 @@ mod tests {
     fn threads_floor_is_one() {
         let a = parse(&["--threads", "0"]);
         assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn quick_caps_default_epochs_but_not_explicit_ones() {
+        let a = parse(&["--quick"]);
+        assert!(a.quick);
+        assert_eq!(a.epochs_or(20), QUICK_EPOCH_CAP);
+        assert_eq!(a.epochs_or(2), 2);
+        let a = parse(&["--quick", "--epochs", "7"]);
+        assert_eq!(a.epochs_or(20), 7);
     }
 
     #[test]

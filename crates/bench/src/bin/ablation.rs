@@ -27,26 +27,14 @@ fn main() {
 
     let variants: Vec<(&str, FrameworkKind, TrainConfig)> = vec![
         ("MAMDR (as designed)", FrameworkKind::Mamdr, base),
-        ("DN inner opt rebuilt/epoch", FrameworkKind::Mamdr, {
-            let mut c = base;
-            c.dn_fresh_inner_per_epoch = true;
-            c
-        }),
-        ("DR lookahead w/ Adam", FrameworkKind::Mamdr, {
-            let mut c = base;
-            c.dr_use_inner_optimizer = true;
-            c
-        }),
-        ("outer lr beta=0.1", FrameworkKind::Mamdr, {
-            let mut c = base;
-            c.outer_lr = 0.1;
-            c
-        }),
-        ("val-based epoch selection", FrameworkKind::Mamdr, {
-            let mut c = base;
-            c.val_select = true;
-            c
-        }),
+        (
+            "DN inner opt rebuilt/epoch",
+            FrameworkKind::Mamdr,
+            base.with_dn_fresh_inner_per_epoch(true),
+        ),
+        ("DR lookahead w/ Adam", FrameworkKind::Mamdr, base.with_dr_use_inner_optimizer(true)),
+        ("outer lr beta=0.1", FrameworkKind::Mamdr, base.with_outer_lr(0.1)),
+        ("val-based epoch selection", FrameworkKind::Mamdr, base.with_val_select(true)),
         ("DN only (reference)", FrameworkKind::Dn, base),
         ("Alternate (reference)", FrameworkKind::Alternate, base),
     ];

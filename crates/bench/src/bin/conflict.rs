@@ -23,10 +23,11 @@ fn dataset(conflict: f32, seed: u64) -> mamdr_data::MdrDataset {
 
 fn main() {
     let args = BenchArgs::from_env();
-    let mut cfg = TrainConfig::bench();
-    cfg.epochs = args.epochs_or(8);
-    cfg.outer_lr = 0.5;
-    cfg.seed = args.seed;
+    let cfg = TrainConfig::bench()
+        .with_epochs(args.epochs_or(8))
+        .with_outer_lr(0.5)
+        .with_seed(args.seed)
+        .with_threads(args.threads);
     let model_cfg = ModelConfig::default();
 
     let mut table = TableBuilder::new(&[

@@ -30,8 +30,7 @@ fn main() {
             .map(|&k| {
                 let ds = &ds;
                 scope.spawn(move || {
-                    let mut cfg = base_cfg;
-                    cfg.dr_samples = k;
+                    let cfg = base_cfg.with_dr_samples(k);
                     // Two seeds: single-seed variance at this scale is the
                     // same order as the k-effect the figure is after.
                     run_averaged(

@@ -40,9 +40,8 @@ fn main() {
             .map(|&(alpha, beta)| {
                 let ds = &ds;
                 scope.spawn(move || {
-                    let mut cfg = base_cfg;
-                    cfg.inner = OptimizerKind::Adam { lr: alpha };
-                    cfg.outer_lr = beta;
+                    let cfg =
+                        base_cfg.with_inner(OptimizerKind::Adam { lr: alpha }).with_outer_lr(beta);
                     run(ds, ModelKind::Mlp, &ModelConfig::default(), FrameworkKind::Dn, cfg)
                         .mean_auc
                 })

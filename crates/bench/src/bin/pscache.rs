@@ -41,6 +41,7 @@ fn main() {
                 epochs: args.epochs_or(3),
                 mode,
                 seed: args.seed,
+                kernel_threads: args.threads,
                 ..Default::default()
             };
             let report = DistributedMamdr::new(&ds, cfg).train(&ds);

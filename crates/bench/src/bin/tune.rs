@@ -14,10 +14,11 @@ fn main() {
     let ds = presets::taobao(30, args.seed, args.scale * 0.4);
     let mc = ModelConfig::default();
 
-    let mut base = TrainConfig::bench();
-    base.epochs = args.epochs_or(25);
-    base.outer_lr = 0.5;
-    base.seed = args.seed;
+    let base = TrainConfig::bench()
+        .with_epochs(args.epochs_or(25))
+        .with_outer_lr(0.5)
+        .with_seed(args.seed)
+        .with_threads(args.threads);
 
     // Baselines once.
     let mut table = TableBuilder::new(&["config", "AUC"]);
@@ -37,10 +38,8 @@ fn main() {
                 let ds = &ds;
                 let mc = &mc;
                 s.spawn(move || {
-                    let mut cfg = base;
-                    cfg.dr_lr = gamma;
-                    cfg.dr_lookahead_batches = look;
-                    cfg.dr_samples = k;
+                    let cfg =
+                        base.with_dr_lr(gamma).with_dr_lookahead_batches(look).with_dr_samples(k);
                     run(ds, ModelKind::Mlp, mc, FrameworkKind::Mamdr, cfg).mean_auc
                 })
             })

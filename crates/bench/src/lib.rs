@@ -19,9 +19,12 @@
 //! Criterion micro-benches (`cargo bench`) cover tensor/autodiff kernel
 //! throughput, O(n)-vs-O(n²) framework scaling, and PS cache overhead.
 //!
-//! All binaries accept `--scale <f64>` (dataset size multiplier) and
-//! `--epochs <usize>` so a fast smoke run and a full reproduction use the
-//! same code path. The table binaries and `pscache` also accept
+//! All binaries accept `--scale <f64>` (dataset size multiplier),
+//! `--epochs <usize>` and `--quick` (smoke mode: smaller scale, capped
+//! epochs) so a fast smoke run and a full reproduction use the same code
+//! path. `--threads <n>` sets both the independent-run worker count and
+//! the deterministic kernel pool size — results are bit-identical at any
+//! value. The table binaries and `pscache` also accept
 //! `--metrics-out <path>`: training runs with telemetry observers attached
 //! and the process dumps a JSONL event/metric stream to `<path>` plus a
 //! Prometheus-style text snapshot to `<path>.prom` at exit.

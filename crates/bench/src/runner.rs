@@ -25,24 +25,28 @@ pub fn benchmark_datasets(args: &BenchArgs) -> Vec<MdrDataset> {
 }
 
 /// `--scale` interpreted relative to [`DEFAULT_TABLE_SCALE`]: passing 1.0
-/// (the default) selects the documented table scale.
+/// (the default) selects the documented table scale. `--quick` shrinks it
+/// further by [`QUICK_SCALE_FACTOR`](crate::args::QUICK_SCALE_FACTOR).
 pub fn effective_scale(args: &BenchArgs) -> f64 {
-    DEFAULT_TABLE_SCALE * args.scale
+    let quick = if args.quick { crate::args::QUICK_SCALE_FACTOR } else { 1.0 };
+    DEFAULT_TABLE_SCALE * args.scale * quick
 }
 
 /// The training configuration the tables start from; `--epochs` overrides
 /// the default. Hyper-parameters follow the tuning sweep recorded in
 /// EXPERIMENTS.md (β = 0.5 per the paper's Fig. 9; γ and the DR lookahead
 /// sized so specific parameters can actually fit a domain transform).
+/// `--threads` rides along as the kernel worker count — wall-clock only,
+/// never results.
 pub fn table_config(args: &BenchArgs, default_epochs: usize) -> TrainConfig {
-    let mut cfg = TrainConfig::bench();
-    cfg.epochs = args.epochs_or(default_epochs);
-    cfg.seed = args.seed;
-    cfg.outer_lr = 0.5;
-    cfg.dr_lr = 0.5;
-    cfg.dr_lookahead_batches = 8;
-    cfg.finetune_epochs = 6;
-    cfg
+    TrainConfig::bench()
+        .with_epochs(args.epochs_or(default_epochs))
+        .with_seed(args.seed)
+        .with_outer_lr(0.5)
+        .with_dr_lr(0.5)
+        .with_dr_lookahead_batches(8)
+        .with_finetune_epochs(6)
+        .with_threads(args.threads)
 }
 
 /// Runs one model under several frameworks on one dataset, in parallel.
@@ -93,10 +97,18 @@ mod tests {
 
     #[test]
     fn config_applies_overrides() {
-        let args = BenchArgs { epochs: 3, seed: 7, ..Default::default() };
+        let args = BenchArgs { epochs: 3, seed: 7, threads: 2, ..Default::default() };
         let cfg = table_config(&args, 10);
         assert_eq!(cfg.epochs, 3);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.outer_lr, 0.5);
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn quick_shrinks_scale_and_epochs() {
+        let args = BenchArgs { quick: true, ..Default::default() };
+        assert!(effective_scale(&args) < DEFAULT_TABLE_SCALE);
+        assert_eq!(table_config(&args, 20).epochs, crate::args::QUICK_EPOCH_CAP);
     }
 }

@@ -44,6 +44,11 @@ pub struct TrainConfig {
     pub dr_use_inner_optimizer: bool,
     /// Base seed controlling shuffling, dropout and domain sampling.
     pub seed: u64,
+    /// Kernel worker threads for this run's tensor math; `0` (the default)
+    /// inherits the process-wide setting (`MAMDR_THREADS` env var /
+    /// `mamdr_tensor::pool::set_threads`). Results are bit-identical at any
+    /// value — the knob trades wall-clock only.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -62,6 +67,7 @@ impl Default for TrainConfig {
             dn_fresh_inner_per_epoch: false,
             dr_use_inner_optimizer: false,
             seed: 17,
+            threads: 0,
         }
     }
 }
@@ -105,6 +111,86 @@ impl TrainConfig {
         self.epochs = epochs;
         self
     }
+
+    /// Replaces the minibatch size (builder style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Replaces the inner-loop optimizer (builder style).
+    pub fn with_inner(mut self, inner: OptimizerKind) -> Self {
+        self.inner = inner;
+        self
+    }
+
+    /// Replaces the inner optimizer with Adam at the given rate
+    /// (builder style) — the common case at bench call sites.
+    pub fn with_lr(mut self, lr: f32) -> Self {
+        self.inner = OptimizerKind::Adam { lr };
+        self
+    }
+
+    /// Replaces the DN outer learning rate β (builder style).
+    pub fn with_outer_lr(mut self, outer_lr: f32) -> Self {
+        self.outer_lr = outer_lr;
+        self
+    }
+
+    /// Replaces the DR learning rate γ (builder style).
+    pub fn with_dr_lr(mut self, dr_lr: f32) -> Self {
+        self.dr_lr = dr_lr;
+        self
+    }
+
+    /// Replaces the DR helper-domain sample count k (builder style).
+    pub fn with_dr_samples(mut self, dr_samples: usize) -> Self {
+        self.dr_samples = dr_samples;
+        self
+    }
+
+    /// Replaces the DR lookahead batch cap (builder style).
+    pub fn with_dr_lookahead_batches(mut self, cap: usize) -> Self {
+        self.dr_lookahead_batches = cap;
+        self
+    }
+
+    /// Replaces the Alternate+Finetune epoch count (builder style).
+    pub fn with_finetune_epochs(mut self, finetune_epochs: usize) -> Self {
+        self.finetune_epochs = finetune_epochs;
+        self
+    }
+
+    /// Replaces the Reptile/MAML inner-step count (builder style).
+    pub fn with_meta_inner_steps(mut self, steps: usize) -> Self {
+        self.meta_inner_steps = steps;
+        self
+    }
+
+    /// Enables or disables validation-based epoch selection (builder style).
+    pub fn with_val_select(mut self, val_select: bool) -> Self {
+        self.val_select = val_select;
+        self
+    }
+
+    /// Sets the DN fresh-inner-optimizer ablation switch (builder style).
+    pub fn with_dn_fresh_inner_per_epoch(mut self, fresh: bool) -> Self {
+        self.dn_fresh_inner_per_epoch = fresh;
+        self
+    }
+
+    /// Sets the DR inner-optimizer ablation switch (builder style).
+    pub fn with_dr_use_inner_optimizer(mut self, use_inner: bool) -> Self {
+        self.dr_use_inner_optimizer = use_inner;
+        self
+    }
+
+    /// Replaces the kernel thread count for this run (builder style);
+    /// `0` inherits the process-wide setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +213,48 @@ mod tests {
         let c = TrainConfig::default().with_seed(9).with_epochs(3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.epochs, 3);
+    }
+
+    #[test]
+    fn builders_cover_every_field() {
+        let c = TrainConfig::default()
+            .with_seed(1)
+            .with_epochs(2)
+            .with_batch_size(32)
+            .with_lr(0.02)
+            .with_outer_lr(0.5)
+            .with_dr_lr(0.25)
+            .with_dr_samples(3)
+            .with_dr_lookahead_batches(6)
+            .with_finetune_epochs(4)
+            .with_meta_inner_steps(5)
+            .with_val_select(true)
+            .with_dn_fresh_inner_per_epoch(true)
+            .with_dr_use_inner_optimizer(true)
+            .with_threads(2);
+        assert_eq!(c.batch_size, 32);
+        match c.inner {
+            OptimizerKind::Adam { lr } => assert!((lr - 0.02).abs() < 1e-9),
+            other => panic!("expected Adam, got {:?}", other),
+        }
+        assert!((c.outer_lr - 0.5).abs() < 1e-9);
+        assert!((c.dr_lr - 0.25).abs() < 1e-9);
+        assert_eq!(c.dr_samples, 3);
+        assert_eq!(c.dr_lookahead_batches, 6);
+        assert_eq!(c.finetune_epochs, 4);
+        assert_eq!(c.meta_inner_steps, 5);
+        assert!(c.val_select);
+        assert!(c.dn_fresh_inner_per_epoch);
+        assert!(c.dr_use_inner_optimizer);
+        assert_eq!(c.threads, 2);
+        let sgd = TrainConfig::default().with_inner(OptimizerKind::Sgd { lr: 0.1, momentum: 0.9 });
+        assert!(matches!(sgd.inner, OptimizerKind::Sgd { .. }));
+    }
+
+    #[test]
+    fn threads_defaults_to_inherit() {
+        assert_eq!(TrainConfig::default().threads, 0);
+        assert_eq!(TrainConfig::quick().threads, 0);
+        assert_eq!(TrainConfig::bench().threads, 0);
     }
 }

@@ -11,6 +11,7 @@ use mamdr_data::{batches_for_domain, Batch, BatchPlan, MdrDataset, Split};
 use mamdr_models::{eval_logits, loss_and_grads, CtrModel};
 use mamdr_nn::{ForwardCtx, ParamStore};
 use mamdr_obs::{ConflictSummary, EpochEvent, TrainMeta, TrainObserver};
+use mamdr_tensor::pool;
 use mamdr_tensor::rng::{derive_seed, seeded};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -99,8 +100,25 @@ impl<'a> TrainEnv<'a> {
     /// Loss and flat gradient of the model at `flat` on one batch.
     ///
     /// `training` enables dropout (fresh mask per call, drawn from the env
-    /// RNG).
+    /// RNG). Allocates a fresh gradient vector per call; hot loops should
+    /// prefer [`grad_into`](Self::grad_into) with a reused buffer.
     pub fn grad(&mut self, flat: &[f32], batch: &Batch, training: bool) -> (f32, Vec<f32>) {
+        let mut out = vec![0.0f32; self.init_flat.len()];
+        let loss = self.grad_into(flat, batch, training, &mut out);
+        (loss, out)
+    }
+
+    /// [`grad`](Self::grad), but writing the flat gradient into a
+    /// caller-owned buffer of length [`n_params`](Self::n_params) — the
+    /// allocation-free path frameworks use inside their batch loops. Returns
+    /// the loss.
+    pub fn grad_into(
+        &mut self,
+        flat: &[f32],
+        batch: &Batch,
+        training: bool,
+        out: &mut [f32],
+    ) -> f32 {
         self.scratch.load_flat(flat);
         let mut ctx = if training {
             ForwardCtx::train(&mut self.rng)
@@ -108,7 +126,7 @@ impl<'a> TrainEnv<'a> {
             ForwardCtx::eval(&mut self.rng)
         };
         let (loss, grads) = loss_and_grads(self.model, &self.scratch, batch, &mut ctx);
-        let flat_grad = self.scratch.grads_to_flat(&grads);
+        self.scratch.grads_write_flat(&grads, out);
         // Telemetry accumulation reuses values training computed anyway
         // (plus one dot product) and touches no RNG; without an observer
         // the hot path pays this single branch.
@@ -116,7 +134,7 @@ impl<'a> TrainEnv<'a> {
             let t = &mut self.telemetry;
             t.loss_sum += loss as f64;
             t.n_batches += 1;
-            t.sq_grad_sum += flat_grad.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+            t.sq_grad_sum += out.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
             if t.domain_loss.len() <= batch.domain {
                 t.domain_loss.resize(batch.domain + 1, (0.0, 0));
             }
@@ -124,7 +142,7 @@ impl<'a> TrainEnv<'a> {
             slot.0 += loss as f64;
             slot.1 += 1;
         }
-        (loss, flat_grad)
+        loss
     }
 
     /// All training batches of one domain, shuffled.
@@ -156,6 +174,11 @@ impl<'a> TrainEnv<'a> {
     }
 
     /// Per-domain AUC of a trained model on `split`.
+    ///
+    /// Batches within a domain are scored on the kernel worker pool: each
+    /// batch's logits land in a dedicated slot and are concatenated in batch
+    /// order afterwards, so the AUC input — and therefore the reported AUC —
+    /// is bit-identical at any thread count.
     pub fn evaluate(&mut self, trained: &TrainedModel, split: Split) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.n_domains());
         for d in 0..self.n_domains() {
@@ -164,10 +187,25 @@ impl<'a> TrainEnv<'a> {
             let plan = BatchPlan::eval(self.cfg.batch_size.max(256));
             let mut rng = seeded(0);
             let batches = batches_for_domain(self.ds, d, split, plan, &mut rng);
+            let mut slots: Vec<Vec<f32>> = vec![Vec::new(); batches.len()];
+            {
+                let model = self.model;
+                let scratch = &self.scratch;
+                let batches = &batches;
+                let slot_ptr = pool::SendMutPtr(slots.as_mut_ptr());
+                pool::for_each_chunk(batches.len(), 1, move |range| {
+                    for i in range {
+                        let scores = eval_logits(model, scratch, &batches[i]);
+                        // SAFETY: each batch index is visited by exactly one
+                        // chunk, so writes to the slots are disjoint.
+                        unsafe { *slot_ptr.get().add(i) = scores };
+                    }
+                });
+            }
             let mut labels = Vec::new();
             let mut scores = Vec::new();
-            for b in &batches {
-                scores.extend(eval_logits(self.model, &self.scratch, b));
+            for (b, s) in batches.iter().zip(&slots) {
+                scores.extend_from_slice(s);
                 labels.extend_from_slice(&b.labels);
             }
             out.push(auc(&labels, &scores));
@@ -401,6 +439,36 @@ mod tests {
             domains: DomainParams::Full(vec![vec![9.0, 9.0, 9.0], vec![0.0; 3]]),
         };
         assert_eq!(tm.flat_for(0), vec![9.0; 3]);
+    }
+
+    #[test]
+    fn grad_into_matches_grad() {
+        let (ds, built) = fixture();
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let flat = env.init_flat();
+        let batch = mamdr_data::make_batch(&ds, 0, &ds.domains[0].train[..16]);
+        let (l1, g1) = env.grad(&flat, &batch, false);
+        // Pre-poison the buffer: grad_into must fully overwrite it.
+        let mut g2 = vec![7.5f32; env.n_params()];
+        let l2 = env.grad_into(&flat, &batch, false, &mut g2);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn evaluate_is_bit_identical_across_thread_counts() {
+        let (ds, built) = fixture();
+        let mut env =
+            TrainEnv::new(&ds, built.model.as_ref(), built.params.clone(), TrainConfig::quick());
+        let tm = TrainedModel::shared_only(env.init_flat());
+        let restore = mamdr_tensor::pool::configured_threads();
+        mamdr_tensor::pool::set_threads(1);
+        let serial = env.evaluate(&tm, Split::Test);
+        mamdr_tensor::pool::set_threads(4);
+        let parallel = env.evaluate(&tm, Split::Test);
+        mamdr_tensor::pool::set_threads(restore);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub fn run_observed(
     cfg: TrainConfig,
     observer: Option<Box<dyn TrainObserver>>,
 ) -> RunResult {
+    if cfg.threads > 0 {
+        // Process-wide knob: results are bit-identical at any value (the
+        // kernel layer's determinism contract), so applying it here can
+        // never change what a sibling run computes — only how fast.
+        mamdr_tensor::pool::set_threads(cfg.threads);
+    }
     let fc = FeatureConfig::from_dataset(ds);
     let built = build_model(model_kind, &fc, model_cfg, ds.n_domains(), cfg.seed);
     let mut env = TrainEnv::new(ds, built.model.as_ref(), built.params, cfg);

@@ -18,9 +18,10 @@ pub fn alternate_epoch(
 ) -> f32 {
     let mut total_loss = 0.0f32;
     let mut n_batches = 0usize;
+    let mut grad = vec![0.0f32; theta.len()];
     for d in env.shuffled_domains() {
         for batch in env.train_batches(d) {
-            let (loss, grad) = env.grad(theta, &batch, true);
+            let loss = env.grad_into(theta, &batch, true, &mut grad);
             opt.step(theta, &grad);
             total_loss += loss;
             n_batches += 1;
@@ -41,9 +42,10 @@ pub fn domain_epochs(
     domain: usize,
     epochs: usize,
 ) {
+    let mut grad = vec![0.0f32; theta.len()];
     for _ in 0..epochs {
         for batch in env.train_batches(domain) {
-            let (_, grad) = env.grad(theta, &batch, true);
+            env.grad_into(theta, &batch, true, &mut grad);
             opt.step(theta, &grad);
         }
     }

@@ -128,9 +128,10 @@ pub fn domain_negotiation_epoch_with(
     inner_opt: &mut dyn mamdr_nn::Optimizer,
 ) {
     let mut theta = shared.to_vec();
+    let mut grad = vec![0.0f32; theta.len()];
     for d in env.shuffled_domains() {
         for batch in env.train_batches(d) {
-            let (_, grad) = env.grad(&theta, &batch, true);
+            env.grad_into(&theta, &batch, true, &mut grad);
             inner_opt.step(&mut theta, &grad);
         }
     }
@@ -190,13 +191,14 @@ fn dr_lookahead(
         Box::new(mamdr_nn::Sgd::new(dr_alpha(env), 0.0, 0))
     };
     let cap = env.cfg.dr_lookahead_batches.max(1);
+    let mut grad = vec![0.0f32; tilde.len()];
     for &d in domain_order {
         let mut batches = env.train_batches(d);
         batches.truncate(cap);
         for batch in batches {
             // Composed parameters Θ = θS + θ̃.
             let full = vecmath::add(shared, &tilde);
-            let (_, grad) = env.grad(&full, &batch, true);
+            env.grad_into(&full, &batch, true, &mut grad);
             // dΘ/dθ̃ = I, so the gradient applies to the delta directly.
             opt.step(&mut tilde, &grad);
         }

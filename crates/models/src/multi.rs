@@ -8,10 +8,7 @@ use crate::features::FieldEmbeddings;
 use crate::model::CtrModel;
 use mamdr_autodiff::{Tape, Var};
 use mamdr_data::Batch;
-use mamdr_nn::{
-    layers::apply_activation, Activation, Dense, Embedding, ForwardCtx, Mlp, ParamStore,
-    ParamStoreBuilder,
-};
+use mamdr_nn::{Activation, Dense, Embedding, ForwardCtx, Mlp, ParamStore, ParamStoreBuilder};
 use mamdr_tensor::init::Init;
 
 /// Width of the per-domain tower hidden layer (paper: `[64]`, scaled).
@@ -410,9 +407,7 @@ impl StarLayer {
         let bd = tape.param(self.b_domain[domain], ps.get(self.b_domain[domain]).clone());
         let w = tape.mul(ws, wd);
         let b = tape.add(bs, bd);
-        let z = tape.matmul(x, w);
-        let z = tape.add_row(z, b);
-        apply_activation(tape, z, self.activation)
+        tape.dense(x, w, Some(b), self.activation.into())
     }
 }
 

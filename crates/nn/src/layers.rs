@@ -9,7 +9,7 @@
 use crate::store::{ParamStore, ParamStoreBuilder};
 use mamdr_autodiff::{Tape, Var};
 use mamdr_tensor::init::Init;
-use mamdr_tensor::Tensor;
+use mamdr_tensor::{Act, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -24,6 +24,17 @@ pub enum Activation {
     Sigmoid,
     /// Hyperbolic tangent.
     Tanh,
+}
+
+impl From<Activation> for Act {
+    fn from(a: Activation) -> Act {
+        match a {
+            Activation::Linear => Act::Linear,
+            Activation::Relu => Act::Relu,
+            Activation::Sigmoid => Act::Sigmoid,
+            Activation::Tanh => Act::Tanh,
+        }
+    }
 }
 
 /// Per-batch forward context: training mode and the RNG driving dropout.
@@ -98,21 +109,20 @@ impl Dense {
     }
 
     /// Applies the layer to `[batch, in_dim]`, producing `[batch, out_dim]`.
+    ///
+    /// Records one fused `Tape::dense` node — bit-identical to the former
+    /// matmul → bias-add → activation chain but one pass over the output.
     pub fn forward(&self, ps: &ParamStore, tape: &mut Tape, x: Var) -> Var {
         let w = tape.param(self.w, ps.get(self.w).clone());
         let b = tape.param(self.b, ps.get(self.b).clone());
-        let z = tape.matmul(x, w);
-        let z = tape.add_row(z, b);
-        apply_activation(tape, z, self.activation)
+        tape.dense(x, w, Some(b), self.activation.into())
     }
 
     /// Like [`Dense::forward`] but with externally supplied weight/bias
     /// nodes — used by STAR, which composes shared ⊙ specific weights before
     /// the matmul.
     pub fn forward_with(&self, tape: &mut Tape, x: Var, w: Var, b: Var) -> Var {
-        let z = tape.matmul(x, w);
-        let z = tape.add_row(z, b);
-        apply_activation(tape, z, self.activation)
+        tape.dense(x, w, Some(b), self.activation.into())
     }
 }
 

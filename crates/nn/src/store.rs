@@ -1,9 +1,13 @@
 //! Named parameter storage with flat-vector views.
 
 use mamdr_tensor::init::Init;
-use mamdr_tensor::Tensor;
+use mamdr_tensor::{pool, Tensor};
 use rand::Rng;
 use std::collections::HashMap;
+
+/// Minimum scalars per worker chunk when copying between tensor and flat
+/// storage; copies below this stay serial (dispatch would beat memcpy).
+const FLAT_COPY_GRAIN: usize = 1 << 16;
 
 /// Metadata for one parameter tensor.
 #[derive(Debug, Clone)]
@@ -109,23 +113,83 @@ impl ParamStore {
         self.offsets[idx]
     }
 
+    /// The length of the flat view ([`ParamStore::to_flat`] /
+    /// [`ParamStore::write_flat`]); an alias of [`ParamStore::n_scalars`]
+    /// named for the buffer-reuse API.
+    pub fn flat_len(&self) -> usize {
+        self.total
+    }
+
     /// Copies every tensor into one contiguous vector (registration order).
     pub fn to_flat(&self) -> Vec<f32> {
-        let mut flat = Vec::with_capacity(self.total);
-        for t in &self.tensors {
-            flat.extend_from_slice(t.data());
-        }
+        let mut flat = vec![0.0f32; self.total];
+        self.write_flat(&mut flat);
         flat
     }
 
+    /// Writes every tensor into a caller-owned flat buffer (registration
+    /// order), letting hot loops reuse one allocation across steps.
+    ///
+    /// Large stores split the copy across the kernel worker pool; each flat
+    /// element is written by exactly one worker, so the result never depends
+    /// on the thread count.
+    pub fn write_flat(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.total, "flat vector length mismatch");
+        pool::for_each_row_block(out, 1, FLAT_COPY_GRAIN, |range, block| {
+            let mut ti = self.offsets.partition_point(|&o| o <= range.start).saturating_sub(1);
+            let mut pos = range.start;
+            while pos < range.end {
+                let off = self.offsets[ti];
+                let t = &self.tensors[ti];
+                let tend = off + t.numel();
+                if tend > pos {
+                    let end = tend.min(range.end);
+                    block[pos - range.start..end - range.start]
+                        .copy_from_slice(&t.data()[pos - off..end - off]);
+                    pos = end;
+                }
+                ti += 1;
+            }
+        });
+    }
+
     /// Overwrites every tensor from a flat vector produced by
-    /// [`ParamStore::to_flat`].
+    /// [`ParamStore::to_flat`] / [`ParamStore::write_flat`].
+    ///
+    /// Large stores split the copy across the kernel worker pool (see
+    /// [`ParamStore::write_flat`] for the determinism argument).
     pub fn load_flat(&mut self, flat: &[f32]) {
         assert_eq!(flat.len(), self.total, "flat vector length mismatch");
-        for (t, &off) in self.tensors.iter_mut().zip(&self.offsets) {
-            let n = t.numel();
-            t.data_mut().copy_from_slice(&flat[off..off + n]);
-        }
+        // Raw views of each tensor's storage: `(ptr, len, offset)`. The
+        // ranges are disjoint, so concurrent chunk writes never alias.
+        let parts: Vec<(pool::SendMutPtr<f32>, usize, usize)> = self
+            .tensors
+            .iter_mut()
+            .zip(&self.offsets)
+            .map(|(t, &off)| {
+                let d = t.data_mut();
+                (pool::SendMutPtr(d.as_mut_ptr()), d.len(), off)
+            })
+            .collect();
+        pool::for_each_chunk(self.total, FLAT_COPY_GRAIN, |range| {
+            let mut ti = parts.partition_point(|p| p.2 <= range.start).saturating_sub(1);
+            let mut pos = range.start;
+            while pos < range.end {
+                let (ref ptr, len, off) = parts[ti];
+                let tend = off + len;
+                if tend > pos {
+                    let end = tend.min(range.end);
+                    // SAFETY: chunk ranges are disjoint and `parts` outlives
+                    // the dispatch (`for_each_chunk` blocks until done).
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(ptr.get().add(pos - off), end - pos)
+                    };
+                    dst.copy_from_slice(&flat[pos..end]);
+                    pos = end;
+                }
+                ti += 1;
+            }
+        });
     }
 
     /// Converts a sparse per-tensor gradient map (as returned by
@@ -133,6 +197,15 @@ impl ParamStore {
     /// parameters contribute zeros.
     pub fn grads_to_flat(&self, grads: &HashMap<usize, Tensor>) -> Vec<f32> {
         let mut flat = vec![0.0f32; self.total];
+        self.grads_write_flat(grads, &mut flat);
+        flat
+    }
+
+    /// Like [`ParamStore::grads_to_flat`] but scattering into a caller-owned
+    /// buffer (cleared first), so per-step training loops stop allocating.
+    pub fn grads_write_flat(&self, grads: &HashMap<usize, Tensor>, out: &mut [f32]) {
+        assert_eq!(out.len(), self.total, "flat vector length mismatch");
+        out.fill(0.0);
         for (&idx, g) in grads {
             let off = self.offsets[idx];
             let n = g.numel();
@@ -143,9 +216,8 @@ impl ParamStore {
                 idx,
                 self.specs[idx].name
             );
-            flat[off..off + n].copy_from_slice(g.data());
+            out[off..off + n].copy_from_slice(g.data());
         }
-        flat
     }
 
     /// A zero vector with the flat length of this store.
@@ -221,6 +293,40 @@ mod tests {
     fn load_flat_rejects_wrong_length() {
         let mut s = sample_store();
         s.load_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn write_flat_matches_to_flat_and_reuses_buffer() {
+        let s = sample_store();
+        assert_eq!(s.flat_len(), s.n_scalars());
+        let mut buf = vec![42.0f32; s.flat_len()];
+        s.write_flat(&mut buf);
+        assert_eq!(buf, s.to_flat());
+    }
+
+    #[test]
+    fn grads_write_flat_clears_previous_contents() {
+        let s = sample_store();
+        let mut buf = vec![99.0f32; s.flat_len()];
+        let mut grads = HashMap::new();
+        grads.insert(1usize, Tensor::from_vec([3], vec![1., 2., 3.]));
+        s.grads_write_flat(&grads, &mut buf);
+        assert_eq!(buf, s.grads_to_flat(&grads));
+        assert_eq!(&buf[0..6], &[0.0; 6], "stale buffer contents must be cleared");
+    }
+
+    #[test]
+    fn flat_roundtrip_survives_parallel_copy_threshold() {
+        // A store big enough to cross FLAT_COPY_GRAIN and take the pooled
+        // copy path; the round trip must still be exact.
+        let mut b = ParamStoreBuilder::new();
+        b.register("big", &[600, 300], Init::Constant(0.5));
+        b.register("tail", &[7], Init::Zeros);
+        let mut s = b.build(&mut seeded(1));
+        let flat: Vec<f32> = (0..s.flat_len()).map(|i| i as f32 * 0.25).collect();
+        s.load_flat(&flat);
+        assert_eq!(s.to_flat(), flat);
+        assert_eq!(s.get(1).data()[0], (600 * 300) as f32 * 0.25);
     }
 
     #[test]

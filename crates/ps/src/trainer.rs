@@ -8,6 +8,7 @@ use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
 use mamdr_core::metrics::auc;
 use mamdr_data::{MdrDataset, Split};
 use mamdr_obs::MetricsRegistry;
+use mamdr_tensor::pool;
 use mamdr_tensor::rng::{derive_seed, normal, seeded, shuffle};
 use rand::Rng;
 
@@ -41,6 +42,10 @@ pub struct DistributedConfig {
     pub mode: SyncMode,
     /// Master seed.
     pub seed: u64,
+    /// Kernel worker threads for driver-side tensor math (evaluation);
+    /// `0` (the default) inherits the process-wide setting. Results are
+    /// bit-identical at any value.
+    pub kernel_threads: usize,
 }
 
 impl Default for DistributedConfig {
@@ -54,6 +59,7 @@ impl Default for DistributedConfig {
             epochs: 3,
             mode: SyncMode::Cached,
             seed: 1,
+            kernel_threads: 0,
         }
     }
 }
@@ -136,9 +142,17 @@ impl DistributedMamdr {
         DistributedMamdr { ps, cfg }
     }
 
+    /// Applies the configured kernel thread count (no-op when inheriting).
+    fn apply_kernel_threads(&self) {
+        if self.cfg.kernel_threads > 0 {
+            pool::set_threads(self.cfg.kernel_threads);
+        }
+    }
+
     /// Runs the configured number of outer rounds and reports traffic and
     /// final quality.
     pub fn train(&self, ds: &MdrDataset) -> DistributedReport {
+        self.apply_kernel_threads();
         let cfg = self.cfg;
         let mut combined = CacheStats::default();
         let mut max_staleness = 0u64;
@@ -198,30 +212,42 @@ impl DistributedMamdr {
 
     /// Mean per-domain AUC using the server's current parameters (reads are
     /// traffic-free: evaluation runs driver-side).
+    ///
+    /// Interactions are scored on the kernel worker pool; each one lands in
+    /// its own slot, so the AUC input is bit-identical at any thread count.
     pub fn evaluate(&self, ds: &MdrDataset, split: Split) -> f64 {
+        self.apply_kernel_threads();
         let mut aucs = Vec::with_capacity(ds.n_domains());
         for (di, dom) in ds.domains.iter().enumerate() {
             let interactions = dom.split(split);
             if interactions.is_empty() {
                 continue;
             }
-            let mut labels = Vec::with_capacity(interactions.len());
-            let mut scores = Vec::with_capacity(interactions.len());
-            for it in interactions {
-                let keys = ExampleKeys::new(
-                    it.user,
-                    it.item,
-                    ds.user_group[it.user as usize],
-                    ds.item_cat[it.item as usize],
-                    di as u32,
-                );
-                let u = self.ps.read_silent(keys.user).expect("user row");
-                let v = self.ps.read_silent(keys.item).expect("item row");
-                let g = self.ps.read_silent(keys.ugroup).expect("group row");
-                let c = self.ps.read_silent(keys.icat).expect("cat row");
-                let b = self.ps.read_silent(keys.bias).expect("bias row");
-                scores.push(score(&u, &v, &g, &c, &b));
-                labels.push(it.label);
+            let labels: Vec<_> = interactions.iter().map(|it| it.label).collect();
+            let mut scores = vec![0.0f32; interactions.len()];
+            {
+                let ps = &self.ps;
+                let score_ptr = pool::SendMutPtr(scores.as_mut_ptr());
+                pool::for_each_chunk(interactions.len(), 512, move |range| {
+                    for i in range {
+                        let it = &interactions[i];
+                        let keys = ExampleKeys::new(
+                            it.user,
+                            it.item,
+                            ds.user_group[it.user as usize],
+                            ds.item_cat[it.item as usize],
+                            di as u32,
+                        );
+                        let u = ps.read_silent(keys.user).expect("user row");
+                        let v = ps.read_silent(keys.item).expect("item row");
+                        let g = ps.read_silent(keys.ugroup).expect("group row");
+                        let c = ps.read_silent(keys.icat).expect("cat row");
+                        let b = ps.read_silent(keys.bias).expect("bias row");
+                        // SAFETY: each interaction index is scored by exactly
+                        // one chunk, so slot writes are disjoint.
+                        unsafe { *score_ptr.get().add(i) = score(&u, &v, &g, &c, &b) };
+                    }
+                });
             }
             aucs.push(auc(&labels, &scores));
         }

@@ -1,84 +1,38 @@
 //! Linear-algebra and structural operations on [`Tensor`].
 //!
-//! These are the forward kernels the autodiff tape wraps. Matmul uses an
-//! i-k-j loop order so the inner loop streams contiguous rows of both the
-//! output and the right-hand operand, which autovectorizes well at the sizes
-//! CTR models use (batch ≤ 1024, hidden ≤ 512).
+//! These are the forward kernels the autodiff tape wraps. Matrix products
+//! live in the [`crate::gemm`] module behind the unified [`Tensor::gemm`]
+//! entry point; the legacy `matmul*` names below survive only as thin
+//! wrappers for older call sites.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 impl Tensor {
-    /// Matrix product `self @ other` for 2-D tensors (`[m,k] @ [k,n] -> [m,n]`).
+    /// Matrix product `self @ other` (`[m,k] @ [k,n] -> [m,n]`).
+    ///
+    /// Legacy wrapper: prefer `self.gemm(other, false, false)`.
+    #[doc(hidden)]
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let (m, k) = self.matrix_dims();
-        let (k2, n) = other.matrix_dims();
-        assert_eq!(k, k2, "matmul inner dims mismatch: {}x{} @ {}x{}", m, k, k2, n);
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        Tensor::from_vec([m, n], out)
+        self.gemm(other, false, false)
     }
 
     /// `self @ otherᵀ` without materializing the transpose
     /// (`[m,k] @ [n,k]ᵀ -> [m,n]`).
+    ///
+    /// Legacy wrapper: prefer `self.gemm(other, false, true)`.
+    #[doc(hidden)]
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        let (m, k) = self.matrix_dims();
-        let (n, k2) = other.matrix_dims();
-        assert_eq!(k, k2, "matmul_nt inner dims mismatch");
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec([m, n], out)
+        self.gemm(other, false, true)
     }
 
     /// `selfᵀ @ other` without materializing the transpose
     /// (`[k,m]ᵀ @ [k,n] -> [m,n]`).
+    ///
+    /// Legacy wrapper: prefer `self.gemm(other, true, false)`.
+    #[doc(hidden)]
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        let (k, m) = self.matrix_dims();
-        let (k2, n) = other.matrix_dims();
-        assert_eq!(k, k2, "matmul_tn inner dims mismatch");
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        Tensor::from_vec([m, n], out)
+        self.gemm(other, true, false)
     }
 
     /// Matrix transpose of a 2-D tensor.

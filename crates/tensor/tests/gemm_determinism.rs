@@ -1,0 +1,136 @@
+//! The kernel layer's determinism contract, checked from outside the crate:
+//! blocked/parallel [`Tensor::gemm`] must be **bit-identical** to a naive
+//! reference implementation for every transpose variant, across odd shapes
+//! (1×k, k×1, sizes that don't divide the cache blocks) and thread counts
+//! 1/2/8. The reference below fixes the same accumulation order the kernels
+//! promise: strictly k-increasing per output element, zeros of the lhs
+//! skipped for the NN and TN variants (exactly as the pre-kernel naive
+//! loops did).
+
+use mamdr_tensor::pool;
+use mamdr_tensor::rng::seeded;
+use mamdr_tensor::{Act, Tensor};
+
+/// Naive op(a) @ op(b) with the kernels' documented accumulation order.
+fn reference_gemm(a: &Tensor, b: &Tensor, lhs_t: bool, rhs_t: bool) -> Tensor {
+    let (ra, ca) = (a.shape()[0], a.shape()[1]);
+    let (rb, cb) = (b.shape()[0], b.shape()[1]);
+    let (m, k) = if lhs_t { (ca, ra) } else { (ra, ca) };
+    let n = if rhs_t { rb } else { cb };
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = if lhs_t { ad[kk * ca + i] } else { ad[i * ca + kk] };
+            // NT accumulates every term; NN/TN skip zero lhs elements.
+            if !rhs_t && av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                let bv = if rhs_t { bd[j * cb + kk] } else { bd[kk * cb + j] };
+                out[i * n + j] += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out)
+}
+
+fn randn(seed: u64, shape: &[usize]) -> Tensor {
+    Tensor::randn(&mut seeded(seed), shape, 0.0, 1.0)
+}
+
+/// Sparse-ish input: some exact zeros, to exercise the zero-skip path.
+fn randn_sparse(seed: u64, shape: &[usize]) -> Tensor {
+    let mut t = randn(seed, shape);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    t
+}
+
+/// Shapes chosen to stress the blocking: degenerate rows/cols, sizes that
+/// don't divide COL_BLOCK (128) or the NT 4-wide register block, and one
+/// comfortably past both.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 7, 5),
+    (5, 1, 3),
+    (3, 9, 1),
+    (1, 1, 1),
+    (5, 7, 129),
+    (13, 131, 4),
+    (33, 17, 257),
+    (64, 96, 130),
+];
+
+#[test]
+fn gemm_is_bit_identical_to_reference_across_threads_and_shapes() {
+    let restore = pool::configured_threads();
+    for &(m, k, n) in SHAPES {
+        for (lhs_t, rhs_t) in [(false, false), (false, true), (true, false), (true, true)] {
+            let a_shape = if lhs_t { [k, m] } else { [m, k] };
+            let b_shape = if rhs_t { [n, k] } else { [k, n] };
+            let a = randn_sparse(m as u64 * 31 + k as u64, &a_shape);
+            let b = randn_sparse(n as u64 * 17 + k as u64, &b_shape);
+            let expect = reference_gemm(&a, &b, lhs_t, rhs_t);
+            for threads in [1usize, 2, 8] {
+                pool::set_threads(threads);
+                let got = a.gemm(&b, lhs_t, rhs_t);
+                assert_eq!(got.shape(), expect.shape());
+                assert_eq!(
+                    got.data(),
+                    expect.data(),
+                    "gemm({m}x{k}x{n}, lhs_t={lhs_t}, rhs_t={rhs_t}) differs from the \
+                     reference at {threads} threads"
+                );
+            }
+        }
+    }
+    pool::set_threads(restore);
+}
+
+#[test]
+fn legacy_matmul_wrappers_agree_with_gemm() {
+    let a = randn(1, &[9, 6]);
+    let b = randn(2, &[6, 4]);
+    assert_eq!(a.matmul(&b).data(), a.gemm(&b, false, false).data());
+    let bt = randn(3, &[4, 6]);
+    assert_eq!(a.matmul_nt(&bt).data(), a.gemm(&bt, false, true).data());
+    let at = randn(4, &[6, 9]);
+    assert_eq!(at.matmul_tn(&b).data(), at.gemm(&b, true, false).data());
+}
+
+#[test]
+fn gemm_bias_act_is_bit_identical_across_threads() {
+    let restore = pool::configured_threads();
+    let x = randn_sparse(7, &[37, 19]);
+    let w = randn(8, &[19, 33]);
+    let bias = randn(9, &[33]);
+    for act in [Act::Linear, Act::Relu, Act::Sigmoid, Act::Tanh] {
+        pool::set_threads(1);
+        let serial = x.gemm_bias_act(&w, Some(&bias), act);
+        for threads in [2usize, 8] {
+            pool::set_threads(threads);
+            let parallel = x.gemm_bias_act(&w, Some(&bias), act);
+            assert_eq!(serial.data(), parallel.data(), "{act:?} differs at {threads} threads");
+        }
+    }
+    pool::set_threads(restore);
+}
+
+#[test]
+fn repeated_dispatch_stays_deterministic() {
+    // A long sequence of parallel dispatches (the training loop's shape)
+    // must produce the same bytes as its first run.
+    let restore = pool::configured_threads();
+    pool::set_threads(8);
+    let a = randn(11, &[65, 43]);
+    let b = randn(12, &[43, 29]);
+    let first = a.gemm(&b, false, false);
+    for _ in 0..50 {
+        assert_eq!(a.gemm(&b, false, false).data(), first.data());
+    }
+    pool::set_threads(restore);
+}
