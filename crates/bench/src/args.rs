@@ -54,7 +54,7 @@ impl BenchArgs {
             match flag.as_str() {
                 "--scale" => out.scale = num("--scale", take("--scale")),
                 "--epochs" => out.epochs = num("--epochs", take("--epochs")) as usize,
-                "--threads" => out.threads = (num("--threads", take("--threads")) as usize).max(1),
+                "--threads" => out.threads = num("--threads", take("--threads")) as usize,
                 "--seed" => out.seed = num("--seed", take("--seed")) as u64,
                 "--quick" => out.quick = true,
                 "--metrics-out" => out.metrics_out = Some(take("--metrics-out")),
@@ -69,12 +69,53 @@ impl BenchArgs {
         out
     }
 
-    /// Parses the process arguments and applies `--threads` to the kernel
-    /// pool, so every binary honors the knob without its own wiring.
+    /// Parses the process arguments, validates them up front (a bad
+    /// `--threads` or `--metrics-out` aborts with a clear message *before*
+    /// any dataset generation or training starts), and applies `--threads`
+    /// to the kernel pool so every binary honors the knob without its own
+    /// wiring.
     pub fn from_env() -> Self {
         let args = Self::parse(std::env::args().skip(1));
+        if let Err(msg) = args.validate() {
+            eprintln!("invalid arguments: {msg}");
+            std::process::exit(2);
+        }
         args.apply_kernel_threads();
         args
+    }
+
+    /// Checks flag values for problems that would otherwise only surface
+    /// minutes into a run: a zero or absurd `--threads`, a non-positive
+    /// `--scale`, or a `--metrics-out` path that cannot possibly be written
+    /// (missing parent directory, or an existing directory).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        if self.threads > MAX_THREADS {
+            return Err(format!(
+                "--threads {} exceeds the supported maximum of {MAX_THREADS}",
+                self.threads
+            ));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(format!("--scale must be a positive number, got {}", self.scale));
+        }
+        if let Some(path) = &self.metrics_out {
+            let p = std::path::Path::new(path);
+            if p.is_dir() {
+                return Err(format!("--metrics-out {path} is a directory; pass a file path"));
+            }
+            if let Some(parent) = p.parent() {
+                if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                    return Err(format!(
+                        "--metrics-out parent directory {} does not exist",
+                        parent.display()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Epochs to use given a binary default, after the `--quick` cap.
@@ -94,6 +135,10 @@ impl BenchArgs {
         mamdr_tensor::pool::set_threads(self.threads);
     }
 }
+
+/// Upper bound [`BenchArgs::validate`] accepts for `--threads`; values past
+/// it are always typos, and spawning that many OS threads would thrash.
+pub const MAX_THREADS: usize = 1024;
 
 /// `--quick` caps per-binary default epochs at this many.
 pub const QUICK_EPOCH_CAP: usize = 3;
@@ -123,9 +168,26 @@ mod tests {
     }
 
     #[test]
-    fn threads_floor_is_one() {
-        let a = parse(&["--threads", "0"]);
-        assert_eq!(a.threads, 1);
+    fn validation_rejects_bad_threads_and_scale() {
+        assert!(parse(&[]).validate().is_ok());
+        let err = parse(&["--threads", "0"]).validate().unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = parse(&["--threads", "1000000"]).validate().unwrap_err();
+        assert!(err.contains("maximum"), "{err}");
+        let err = parse(&["--scale", "-2"]).validate().unwrap_err();
+        assert!(err.contains("--scale"), "{err}");
+        assert!(parse(&["--threads", "4", "--scale", "0.5"]).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_unwritable_metrics_out() {
+        let err = parse(&["--metrics-out", "/no/such/dir/ever/m.jsonl"]).validate().unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+        let dir = std::env::temp_dir();
+        let err = parse(&["--metrics-out", dir.to_str().unwrap()]).validate().unwrap_err();
+        assert!(err.contains("directory"), "{err}");
+        let ok = dir.join("mamdr-args-test.jsonl");
+        assert!(parse(&["--metrics-out", ok.to_str().unwrap()]).validate().is_ok());
     }
 
     #[test]

@@ -20,6 +20,66 @@ use std::io::{Read, Write};
 
 const MAGIC: &[u8; 8] = b"MAMDRNN1";
 
+/// Incremental FNV-1a 64-bit hasher over serialized bytes.
+///
+/// Snapshot formats (this module's and `mamdr-serve`'s) append the digest
+/// after their payload so a flipped bit anywhere surfaces as a load error
+/// instead of silently corrupted parameters. FNV-1a is not cryptographic —
+/// it guards against storage/transfer corruption, not adversaries.
+#[derive(Debug, Clone)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+impl Checksum {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Checksum(Self::OFFSET)
+    }
+
+    /// Feeds bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot digest of a byte slice.
+    pub fn of(bytes: &[u8]) -> u64 {
+        let mut c = Checksum::new();
+        c.update(bytes);
+        c.digest()
+    }
+}
+
+/// Writes a little-endian f32 section (values only, caller frames lengths).
+pub fn write_f32_section(mut w: impl Write, values: &[f32]) -> Result<(), PersistError> {
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads `n` little-endian f32 values written by [`write_f32_section`].
+pub fn read_f32_section(mut r: impl Read, n: usize) -> Result<Vec<f32>, PersistError> {
+    let mut buf = vec![0u8; 4 * n];
+    r.read_exact(&mut buf)?;
+    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
 /// A persistence error.
 #[derive(Debug)]
 pub enum PersistError {
@@ -65,9 +125,7 @@ pub fn save_params(store: &ParamStore, mut w: impl Write) -> Result<(), PersistE
         for &d in dims {
             w.write_all(&(d as u32).to_le_bytes())?;
         }
-        for &v in tensor.data() {
-            w.write_all(&v.to_le_bytes())?;
-        }
+        write_f32_section(&mut w, tensor.data())?;
     }
     Ok(())
 }
@@ -124,10 +182,7 @@ pub fn load_params(store: &mut ParamStore, mut r: impl Read) -> Result<(), Persi
         }
         let numel: usize = dims.iter().product::<usize>().max(1);
         let numel = if dims.is_empty() { 1 } else { numel };
-        let mut buf = vec![0u8; 4 * numel];
-        r.read_exact(&mut buf)?;
-        let values: Vec<f32> =
-            buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+        let values = read_f32_section(&mut r, numel)?;
         store.get_mut(idx).data_mut().copy_from_slice(&values);
     }
     Ok(())
@@ -179,6 +234,30 @@ mod tests {
         b.register("emb", &[5, 2], Init::Zeros);
         let mut other = b.build(&mut seeded(3));
         assert!(load_params(&mut other, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_incremental() {
+        // Known FNV-1a 64 vector: empty input hashes to the offset basis.
+        assert_eq!(Checksum::of(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(Checksum::of(b"ab"), Checksum::of(b"ba"));
+        let mut inc = Checksum::new();
+        inc.update(b"hel");
+        inc.update(b"lo");
+        assert_eq!(inc.digest(), Checksum::of(b"hello"));
+    }
+
+    #[test]
+    fn f32_section_roundtrip_is_exact() {
+        let values = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 3.25e7, -0.0];
+        let mut buf = Vec::new();
+        write_f32_section(&mut buf, &values).unwrap();
+        assert_eq!(buf.len(), 4 * values.len());
+        let back = read_f32_section(buf.as_slice(), values.len()).unwrap();
+        // Bit-exact, including the negative-zero sign.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&values));
+        assert!(read_f32_section(buf.as_slice(), values.len() + 1).is_err());
     }
 
     #[test]

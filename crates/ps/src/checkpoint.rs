@@ -14,6 +14,7 @@
 
 use crate::kv::{ParamKey, ParameterServer};
 use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"MAMDRPS1";
 
@@ -100,6 +101,63 @@ pub fn load(mut r: impl Read, n_shards: usize) -> Result<ParameterServer, Checkp
     Ok(ps)
 }
 
+/// File extension of on-disk parameter-server checkpoints.
+pub const CHECKPOINT_EXT: &str = "mamdrps";
+
+/// Writes a checkpoint to `dir/ckpt-<round>.mamdrps` and returns the path.
+pub fn save_to_dir(
+    ps: &ParameterServer,
+    dim: usize,
+    dir: &Path,
+    round: u64,
+) -> Result<PathBuf, CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("ckpt-{round:010}.{CHECKPOINT_EXT}"));
+    let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    save(ps, dim, &mut w)?;
+    use std::io::Write as _;
+    w.flush()?;
+    Ok(path)
+}
+
+/// Finds the newest checkpoint in `dir`: the `ckpt-<round>.mamdrps` file
+/// with the highest round number (lexicographic on the zero-padded name).
+///
+/// This is the single discovery path shared by recovery (the PS trainer
+/// resuming) and serving (`mamdr-serve` building a snapshot from the most
+/// recent training state). Returns `Ok(None)` for an empty or absent
+/// directory; non-checkpoint files are ignored.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut best: Option<PathBuf> = None;
+    for entry in entries {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        let is_ckpt = name.starts_with("ckpt-")
+            && path.extension().and_then(|e| e.to_str()) == Some(CHECKPOINT_EXT);
+        if !is_ckpt {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| path.file_name() > b.file_name()) {
+            best = Some(path);
+        }
+    }
+    Ok(best)
+}
+
+/// Loads a checkpoint file into a fresh server with `n_shards` shards.
+pub fn load_from_path(path: &Path, n_shards: usize) -> Result<ParameterServer, CheckpointError> {
+    let r = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(r, n_shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +211,30 @@ mod tests {
         save(&ps, 3, &mut buf).unwrap();
         buf.truncate(buf.len() - 5);
         assert!(load(buf.as_slice(), 1).is_err());
+    }
+
+    #[test]
+    fn latest_checkpoint_finds_highest_round() {
+        let dir = std::env::temp_dir().join(format!("mamdr-ckpt-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Absent directory: no checkpoint, no error.
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+
+        let ps = sample_server();
+        let p3 = save_to_dir(&ps, 3, &dir, 3).unwrap();
+        let p12 = save_to_dir(&ps, 3, &dir, 12).unwrap();
+        assert_ne!(p3, p12);
+        // Distractors that must be ignored by discovery.
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        std::fs::write(dir.join("ckpt-9999999999.tmp"), "x").unwrap();
+        let found = latest_checkpoint(&dir).unwrap().expect("checkpoint present");
+        assert_eq!(found, p12, "round 12 must shadow round 3");
+
+        // The discovered file round-trips into a working server.
+        let restored = load_from_path(&found, 2).unwrap();
+        assert_eq!(restored.n_rows(), ps.n_rows());
+        assert_eq!(restored.value_dim(), 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -91,6 +91,11 @@ impl ParameterServer {
         }
     }
 
+    /// The per-row vector width this server was built for.
+    pub fn value_dim(&self) -> usize {
+        self.dim_bytes / std::mem::size_of::<f32>()
+    }
+
     fn shard_of(&self, key: ParamKey) -> usize {
         // Fibonacci hashing over the packed key.
         let packed = ((key.table as u64) << 32) | key.row as u64;

@@ -1,0 +1,168 @@
+//! The scoring engine: a hot-swappable snapshot pointer plus serve metrics.
+//!
+//! The engine owns the *current* [`ServingSnapshot`] behind a mutex-guarded
+//! `Arc`. Readers (`snapshot()`) take the lock only long enough to clone the
+//! `Arc` — nanoseconds, never held across a forward pass — so scoring runs on
+//! a pinned snapshot entirely outside the lock. Publishing a new snapshot
+//! (`publish()`) swaps the `Arc` under the same lock; in-flight batches keep
+//! their pinned version alive through their own `Arc` clone, and the retired
+//! snapshot is freed when the last such clone drops.
+//!
+//! Memory-ordering argument (why readers never observe a half-built
+//! snapshot): the snapshot is fully constructed *before* `publish()` is
+//! called; the mutex release in `publish()` happens-before the mutex acquire
+//! in any subsequent `snapshot()`, so every field written during
+//! construction is visible to the reader. `Arc`'s reference counting uses
+//! `Release` decrements with an `Acquire` fence before deallocation, so the
+//! retiring thread sees all reader writes before the memory is reclaimed.
+
+use crate::snapshot::ServingSnapshot;
+use mamdr_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::{Arc, Mutex};
+
+/// Cheap-to-clone handles for every `serve_*` metric the subsystem emits.
+///
+/// Names follow the registry's Prometheus conventions so `render_prometheus`
+/// and `dump_jsonl` expose them without further plumbing.
+#[derive(Clone)]
+pub struct ServeMetrics {
+    /// Requests admitted into the queue.
+    pub requests_total: Counter,
+    /// Responses delivered (scored, invalid, or deadline-exceeded).
+    pub responses_total: Counter,
+    /// Submissions refused because the queue was full.
+    pub rejected_total: Counter,
+    /// Admitted requests that expired before scoring.
+    pub deadline_exceeded_total: Counter,
+    /// Micro-batches executed.
+    pub batches_total: Counter,
+    /// Snapshot hot swaps performed.
+    pub swaps_total: Counter,
+    /// Current depth of the admission queue.
+    pub queue_depth: Gauge,
+    /// Coalesced micro-batch sizes.
+    pub batch_size: Arc<Histogram>,
+    /// Per-request latency, submit → response, in seconds.
+    pub latency_seconds: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Registers (or re-looks-up) every serve metric in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            requests_total: registry.counter("serve_requests_total"),
+            responses_total: registry.counter("serve_responses_total"),
+            rejected_total: registry.counter("serve_rejected_total"),
+            deadline_exceeded_total: registry.counter("serve_deadline_exceeded_total"),
+            batches_total: registry.counter("serve_batches_total"),
+            swaps_total: registry.counter("serve_swaps_total"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            batch_size: registry.histogram("serve_batch_size"),
+            latency_seconds: registry.histogram("serve_latency_seconds"),
+        }
+    }
+}
+
+/// Routes scoring work to the current snapshot and supports atomic hot swap.
+pub struct ScoringEngine {
+    current: Mutex<Arc<ServingSnapshot>>,
+    metrics: ServeMetrics,
+}
+
+impl ScoringEngine {
+    /// An engine serving `snapshot`, reporting into `registry`.
+    pub fn new(snapshot: ServingSnapshot, registry: &MetricsRegistry) -> Self {
+        ScoringEngine {
+            current: Mutex::new(Arc::new(snapshot)),
+            metrics: ServeMetrics::register(registry),
+        }
+    }
+
+    /// Pins the current snapshot. The returned `Arc` stays valid (and keeps
+    /// its parameters alive) across any number of subsequent `publish`
+    /// calls — a batch scored against it is scored by exactly that version.
+    pub fn snapshot(&self) -> Arc<ServingSnapshot> {
+        self.current.lock().expect("engine lock").clone()
+    }
+
+    /// Atomically replaces the served snapshot and returns the retired one.
+    ///
+    /// In-flight batches pinned to the old version finish on it; its memory
+    /// is reclaimed when the returned `Arc` and every pin drop.
+    pub fn publish(&self, snapshot: ServingSnapshot) -> Arc<ServingSnapshot> {
+        let next = Arc::new(snapshot);
+        let old = {
+            let mut cur = self.current.lock().expect("engine lock");
+            std::mem::replace(&mut *cur, next)
+        };
+        self.metrics.swaps_total.inc();
+        old
+    }
+
+    /// Version of the snapshot currently being served.
+    pub fn current_version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// The serve metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests_support::tiny_dense_snapshot;
+    use crate::ScoreRequest;
+
+    #[test]
+    fn publish_swaps_version_and_counts() {
+        let registry = MetricsRegistry::new();
+        let engine = ScoringEngine::new(tiny_dense_snapshot(1), &registry);
+        assert_eq!(engine.current_version(), 1);
+        let old = engine.publish(tiny_dense_snapshot(2));
+        assert_eq!(old.version(), 1);
+        assert_eq!(engine.current_version(), 2);
+        assert_eq!(registry.counter("serve_swaps_total").get(), 1);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_swap() {
+        let registry = MetricsRegistry::new();
+        let engine = ScoringEngine::new(tiny_dense_snapshot(7), &registry);
+        let pinned = engine.snapshot();
+        let _ = engine.publish(tiny_dense_snapshot(8));
+        // The pin still scores on version 7 even though 8 is now current.
+        assert_eq!(pinned.version(), 7);
+        let req = ScoreRequest::new(0, 0, 0, 0, 0);
+        let s = pinned.score(0, std::slice::from_ref(&req));
+        assert_eq!(s.len(), 1);
+        assert!(s[0].is_finite());
+    }
+
+    #[test]
+    fn swap_under_concurrent_readers_is_safe() {
+        let registry = MetricsRegistry::new();
+        let engine = ScoringEngine::new(tiny_dense_snapshot(0), &registry);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let snap = engine.snapshot();
+                        let req = ScoreRequest::new(0, 0, 0, 0, 0);
+                        let out = snap.score(0, std::slice::from_ref(&req));
+                        assert!(out[0].is_finite());
+                    }
+                });
+            }
+            s.spawn(|| {
+                for v in 1..=50u64 {
+                    let _ = engine.publish(tiny_dense_snapshot(v));
+                }
+            });
+        });
+        assert_eq!(engine.current_version(), 50);
+        assert_eq!(registry.counter("serve_swaps_total").get(), 50);
+    }
+}

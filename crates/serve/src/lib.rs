@@ -1,0 +1,34 @@
+//! Online inference for MAMDR: frozen serving snapshots, per-domain
+//! routing, micro-batched scoring, and hot model swap.
+//!
+//! Training (the rest of the workspace) produces Θ = θS + θi — a shared
+//! flat parameter vector plus per-domain specializations (paper Eq. 4).
+//! This crate takes that artifact online:
+//!
+//! * [`ServingSnapshot`] — an immutable, versioned, checksummed artifact
+//!   built from a [`mamdr_core::TrainedModel`] (any dense framework) or a
+//!   `mamdr-ps` parameter-server checkpoint. The effective Θ_d of every
+//!   domain is materialized once at load; the request path never composes.
+//! * [`ScoringEngine`] — routes by domain id and supports **hot swap**: an
+//!   atomically replaceable `Arc<ServingSnapshot>` where in-flight batches
+//!   finish on the version they pinned and the retired snapshot is freed
+//!   when its last pin drops.
+//! * [`Server`] — bounded-queue admission (full ⇒ explicit rejection),
+//!   a dispatcher that coalesces same-domain requests into micro-batches
+//!   (`max_batch` / `max_wait_us`), per-request deadlines, and worker
+//!   threads scoring through the same deterministic kernels as training —
+//!   scores are bit-identical at any `MAMDR_THREADS` setting.
+//!
+//! All serve-side telemetry (serve_* counters, queue-depth gauge, latency
+//! and batch-size histograms) flows through `mamdr-obs`'s
+//! [`MetricsRegistry`](mamdr_obs::MetricsRegistry).
+
+mod engine;
+mod request;
+mod server;
+mod snapshot;
+
+pub use engine::{ScoringEngine, ServeMetrics};
+pub use request::{Response, ScoreRequest, ServeResult, SubmitError};
+pub use server::{Pending, ServeConfig, Server};
+pub use snapshot::{ModelSpec, ServingSnapshot, SnapshotError};

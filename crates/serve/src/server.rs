@@ -1,0 +1,419 @@
+//! The micro-batching request server.
+//!
+//! Requests enter through a bounded admission queue (`submit` never blocks:
+//! a full queue is an explicit [`SubmitError::QueueFull`]). A dispatcher
+//! thread drains the queue and coalesces same-domain requests into
+//! micro-batches, flushing a domain when it reaches `max_batch` requests or
+//! its oldest request has waited `max_wait_us`. Worker threads pull flushed
+//! batches, pin the current snapshot, expire per-request deadlines, validate,
+//! and score the survivors in a single forward pass.
+//!
+//! Invariants:
+//!
+//! * Every **admitted** request receives exactly one [`ServeResult`] — on
+//!   shutdown the dispatcher flushes its buffers and workers drain the batch
+//!   queue before exiting, so no admitted request is ever dropped.
+//! * Each batch is scored by exactly one snapshot version (pinned up front),
+//!   and every response carries that version — under a hot swap, callers can
+//!   attribute each score to the old or the new model, never a blend.
+//! * Coalescing does not change scores for row-independent architectures:
+//!   the kernels accumulate per output row in a fixed order, so a request's
+//!   score is the same whether it was scored alone or inside a batch (STAR's
+//!   partitioned normalization is the documented exception, see DESIGN §7).
+
+use crate::engine::{ScoringEngine, ServeMetrics};
+use crate::request::{Envelope, Response, ScoreRequest, ServeResult, SubmitError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the micro-batching scheduler.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a domain's buffer as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a domain's buffer once its oldest request has waited this long
+    /// (microseconds). `0` disables coalescing: every request flushes alone.
+    pub max_wait_us: u64,
+    /// Admission bound: maximum requests in flight (queued, buffered or
+    /// being scored). Submissions beyond it are rejected, never blocked.
+    pub queue_cap: usize,
+    /// Scoring worker threads.
+    pub n_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 32, max_wait_us: 500, queue_cap: 1024, n_workers: 2 }
+    }
+}
+
+/// Handle for one admitted request; resolves to its [`ServeResult`].
+pub struct Pending {
+    id: u64,
+    rx: mpsc::Receiver<ServeResult>,
+}
+
+impl Pending {
+    /// The request id (matches the eventual result's id).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the result arrives. Admitted requests always get exactly
+    /// one result, even across server shutdown.
+    pub fn wait(&self) -> ServeResult {
+        self.rx.recv().expect("server replies to every admitted request")
+    }
+
+    /// Non-blocking check; `None` while the request is still in flight.
+    pub fn poll(&self) -> Option<ServeResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The running serving stack: admission queue, dispatcher, workers.
+pub struct Server {
+    engine: Arc<ScoringEngine>,
+    submit_tx: Option<SyncSender<Envelope>>,
+    next_id: AtomicU64,
+    depth: Arc<AtomicI64>,
+    queue_cap: usize,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the dispatcher and `config.n_workers` scoring workers against
+    /// `engine`'s current snapshot (hot-swappable via [`ScoringEngine::publish`]).
+    pub fn start(engine: Arc<ScoringEngine>, config: ServeConfig) -> Server {
+        assert!(config.n_workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be positive");
+        assert!(config.queue_cap >= 1, "queue_cap must be positive");
+        let (submit_tx, submit_rx) = mpsc::sync_channel(config.queue_cap);
+        let (batch_tx, batch_rx) = mpsc::channel();
+        let max_batch = config.max_batch;
+        let max_wait = Duration::from_micros(config.max_wait_us);
+        let dispatcher = std::thread::Builder::new()
+            .name("serve-dispatch".into())
+            .spawn(move || run_dispatcher(submit_rx, batch_tx, max_batch, max_wait))
+            .expect("spawn dispatcher");
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let depth = Arc::new(AtomicI64::new(0));
+        let workers = (0..config.n_workers)
+            .map(|i| {
+                let rx = Arc::clone(&batch_rx);
+                let engine = Arc::clone(&engine);
+                let depth = Arc::clone(&depth);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || run_worker(rx, engine, depth))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            engine,
+            submit_tx: Some(submit_tx),
+            next_id: AtomicU64::new(0),
+            depth,
+            queue_cap: config.queue_cap,
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// Submits a request. Never blocks: a full queue rejects with
+    /// [`SubmitError::QueueFull`]. `deadline` (relative to now) is checked
+    /// when a worker picks the request up; expired requests are answered
+    /// with [`ServeResult::DeadlineExceeded`] instead of being scored.
+    pub fn submit(
+        &self,
+        req: ScoreRequest,
+        deadline: Option<Duration>,
+    ) -> Result<Pending, SubmitError> {
+        let m = self.engine.metrics();
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::Closed)?;
+        if self.depth.load(Ordering::Relaxed) >= self.queue_cap as i64 {
+            m.rejected_total.inc();
+            return Err(SubmitError::QueueFull);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
+        let env = Envelope { id, req, deadline: deadline.map(|d| now + d), enqueued: now, reply };
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match tx.try_send(env) {
+            Ok(()) => {
+                m.requests_total.inc();
+                m.queue_depth.set(d as f64);
+                Ok(Pending { id, rx })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                m.rejected_total.inc();
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::Closed)
+            }
+        }
+    }
+
+    /// The engine, for hot swaps (`engine().publish(...)`) and metrics.
+    pub fn engine(&self) -> &Arc<ScoringEngine> {
+        &self.engine
+    }
+
+    /// Graceful shutdown: stops admission, flushes every buffered request
+    /// through scoring, and joins all threads. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        drop(self.submit_tx.take());
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Drains the admission queue into per-domain buffers; flushes on size or age.
+fn run_dispatcher(
+    rx: Receiver<Envelope>,
+    batch_tx: mpsc::Sender<Vec<Envelope>>,
+    max_batch: usize,
+    max_wait: Duration,
+) {
+    let mut buffers: HashMap<usize, Vec<Envelope>> = HashMap::new();
+    loop {
+        // Sleep only until the oldest buffered request is due to flush.
+        let timeout = buffers
+            .values()
+            .filter_map(|b| b.first())
+            .map(|e| (e.enqueued + max_wait).saturating_duration_since(Instant::now()))
+            .min()
+            .unwrap_or(max_wait.max(Duration::from_millis(10)));
+        match rx.recv_timeout(timeout) {
+            Ok(env) => {
+                let d = env.req.domain;
+                let buf = buffers.entry(d).or_default();
+                buf.push(env);
+                if buf.len() >= max_batch {
+                    let batch = buffers.remove(&d).expect("just filled");
+                    let _ = batch_tx.send(batch);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let now = Instant::now();
+        let due: Vec<usize> = buffers
+            .iter()
+            .filter(|(_, b)| b.first().is_some_and(|e| now.duration_since(e.enqueued) >= max_wait))
+            .map(|(&d, _)| d)
+            .collect();
+        for d in due {
+            let batch = buffers.remove(&d).expect("listed as due");
+            let _ = batch_tx.send(batch);
+        }
+    }
+    // Shutdown: flush everything still buffered so every admitted request
+    // gets its reply before the workers see the channel close.
+    for (_, batch) in buffers.drain() {
+        if !batch.is_empty() {
+            let _ = batch_tx.send(batch);
+        }
+    }
+}
+
+/// Pulls flushed batches and scores them until the dispatcher hangs up and
+/// the batch queue is drained.
+fn run_worker(
+    batch_rx: Arc<Mutex<Receiver<Vec<Envelope>>>>,
+    engine: Arc<ScoringEngine>,
+    depth: Arc<AtomicI64>,
+) {
+    loop {
+        let batch = {
+            let rx = batch_rx.lock().expect("batch queue lock");
+            match rx.recv() {
+                Ok(b) => b,
+                Err(_) => break,
+            }
+        };
+        score_batch(&engine, &depth, batch);
+    }
+}
+
+fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) {
+    let m = engine.metrics().clone();
+    // Pin one snapshot for the whole batch: every response in it is scored
+    // by exactly this version, even if a hot swap lands mid-flight.
+    let snap = engine.snapshot();
+    let now = Instant::now();
+    let mut live: Vec<Envelope> = Vec::with_capacity(batch.len());
+    for env in batch {
+        if env.deadline.is_some_and(|d| now >= d) {
+            m.deadline_exceeded_total.inc();
+            finish(&m, depth, &env, ServeResult::DeadlineExceeded { id: env.id });
+        } else if let Err(error) = snap.validate(&env.req) {
+            finish(&m, depth, &env, ServeResult::Invalid { id: env.id, error });
+        } else {
+            live.push(env);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let domain = live[0].req.domain;
+    let reqs: Vec<ScoreRequest> = live.iter().map(|e| e.req.clone()).collect();
+    let scores = snap.score(domain, &reqs);
+    m.batches_total.inc();
+    m.batch_size.record(live.len() as f64);
+    for (env, score) in live.iter().zip(scores) {
+        m.latency_seconds.record(env.enqueued.elapsed().as_secs_f64());
+        let resp = Response { id: env.id, score, snapshot_version: snap.version() };
+        finish(&m, depth, env, ServeResult::Scored(resp));
+    }
+}
+
+/// Delivers one result: count it, release the admission slot, then reply
+/// (ignoring a hung-up client). Counting happens *before* the reply so a
+/// client that reads the metrics right after `Pending::wait` returns sees
+/// its own response counted.
+fn finish(m: &ServeMetrics, depth: &AtomicI64, env: &Envelope, result: ServeResult) {
+    m.responses_total.inc();
+    let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+    m.queue_depth.set(d as f64);
+    let _ = env.reply.send(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests_support::tiny_dense_snapshot;
+    use mamdr_obs::MetricsRegistry;
+
+    fn request(domain: usize, i: u32) -> ScoreRequest {
+        ScoreRequest::new(domain, i % 30, i % 20, i % 4, i % 5)
+    }
+
+    #[test]
+    fn serves_requests_across_domains() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let pending: Vec<Pending> = (0..40)
+            .map(|i| server.submit(request(i as usize % 2, i), None).expect("admitted"))
+            .collect();
+        for p in &pending {
+            match p.wait() {
+                ServeResult::Scored(r) => {
+                    assert_eq!(r.id, p.id());
+                    assert!((0.0..=1.0).contains(&r.score));
+                    assert_eq!(r.snapshot_version, 1);
+                }
+                other => panic!("expected score, got {other:?}"),
+            }
+        }
+        server.shutdown();
+        assert_eq!(registry.counter("serve_requests_total").get(), 40);
+        assert_eq!(registry.counter("serve_responses_total").get(), 40);
+        assert_eq!(registry.counter("serve_rejected_total").get(), 0);
+        assert!(registry.counter("serve_batches_total").get() >= 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_drains_on_shutdown() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        // Huge batch + wait: nothing flushes, so depth can't drain and the
+        // cap is hit deterministically.
+        let config =
+            ServeConfig { max_batch: 1000, max_wait_us: 10_000_000, queue_cap: 8, n_workers: 1 };
+        let server = Server::start(Arc::clone(&engine), config);
+        let admitted: Vec<Pending> =
+            (0..8).map(|i| server.submit(request(0, i), None).expect("under cap")).collect();
+        assert!(matches!(server.submit(request(0, 99), None), Err(SubmitError::QueueFull)));
+        assert_eq!(registry.counter("serve_rejected_total").get(), 1);
+        // Shutdown flushes the buffered batch: every admitted request still
+        // gets scored.
+        server.shutdown();
+        for p in &admitted {
+            assert!(matches!(p.wait(), ServeResult::Scored(_)));
+        }
+        assert_eq!(registry.counter("serve_responses_total").get(), 8);
+        assert_eq!(registry.gauge("serve_queue_depth").get(), 0.0);
+    }
+
+    #[test]
+    fn expired_deadlines_are_reported_not_scored() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        // 50ms coalescing window guarantees the zero deadline has expired by
+        // the time a worker sees the request.
+        let config =
+            ServeConfig { max_batch: 100, max_wait_us: 50_000, queue_cap: 16, n_workers: 1 };
+        let server = Server::start(engine, config);
+        let expired = server.submit(request(0, 1), Some(Duration::ZERO)).expect("admitted");
+        let fine = server.submit(request(0, 2), Some(Duration::from_secs(60))).expect("admitted");
+        assert!(matches!(expired.wait(), ServeResult::DeadlineExceeded { .. }));
+        assert!(matches!(fine.wait(), ServeResult::Scored(_)));
+        server.shutdown();
+        assert_eq!(registry.counter("serve_deadline_exceeded_total").get(), 1);
+        assert_eq!(registry.counter("serve_responses_total").get(), 2);
+    }
+
+    #[test]
+    fn invalid_requests_get_an_error_result() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        let server = Server::start(engine, ServeConfig::default());
+        let mut bad = request(0, 1);
+        bad.user = 10_000;
+        let p = server.submit(bad, None).expect("admission does not validate");
+        match p.wait() {
+            ServeResult::Invalid { id, error } => {
+                assert_eq!(id, p.id());
+                assert!(error.contains("user"), "{error}");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submissions_from_many_threads_all_resolve() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        let server = Server::start(engine, ServeConfig::default());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let server = &server;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let p = server
+                            .submit(request((t % 2) as usize, t * 100 + i), None)
+                            .expect("under cap");
+                        assert!(matches!(p.wait(), ServeResult::Scored(_)));
+                    }
+                });
+            }
+        });
+        server.shutdown();
+        assert_eq!(registry.counter("serve_responses_total").get(), 200);
+    }
+}

@@ -14,6 +14,9 @@
 //!   metrics and experiment orchestration.
 //! * [`ps`] — the PS-Worker distributed-training simulation with the
 //!   embedding static/dynamic cache.
+//! * [`obs`] — unified telemetry: metrics registry, event log, observers.
+//! * [`serve`] — online inference: frozen serving snapshots, per-domain
+//!   routing, micro-batched scoring with hot model swap.
 //!
 //! ## Quickstart
 //!
@@ -39,7 +42,9 @@ pub use mamdr_core as core;
 pub use mamdr_data as data;
 pub use mamdr_models as models;
 pub use mamdr_nn as nn;
+pub use mamdr_obs as obs;
 pub use mamdr_ps as ps;
+pub use mamdr_serve as serve;
 pub use mamdr_tensor as tensor;
 
 /// The most common imports for experiments.
@@ -53,6 +58,10 @@ pub mod prelude {
     };
     pub use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
     pub use mamdr_nn::{Optimizer, OptimizerKind, ParamStore};
+    pub use mamdr_obs::MetricsRegistry;
     pub use mamdr_ps::{DistributedConfig, DistributedMamdr, SyncMode};
+    pub use mamdr_serve::{
+        ModelSpec, ScoreRequest, ScoringEngine, ServeConfig, ServeResult, Server, ServingSnapshot,
+    };
     pub use mamdr_tensor::{rng, Tensor};
 }
