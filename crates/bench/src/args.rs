@@ -18,6 +18,14 @@ pub struct BenchArgs {
     /// Telemetry sink: JSONL event/metric dump path (plus a sibling
     /// `.prom` Prometheus-style snapshot). `None` disables telemetry.
     pub metrics_out: Option<String>,
+    /// PS–worker count for the distributed binaries (0 = keep the
+    /// binary's default). Distinct from `--threads`, which sizes the
+    /// kernel pool inside each worker.
+    pub workers: usize,
+    /// Deterministic fault-injection spec for the networked runtime,
+    /// e.g. `seed=7,drop_send=0.05,dup=0.05,disconnect=3`. `None` runs a
+    /// perfect network.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -29,6 +37,8 @@ impl Default for BenchArgs {
             seed: 42,
             quick: false,
             metrics_out: None,
+            workers: 0,
+            fault_plan: None,
         }
     }
 }
@@ -38,9 +48,9 @@ fn default_threads() -> usize {
 }
 
 impl BenchArgs {
-    /// Parses `--scale`, `--epochs`, `--threads`, `--seed`, `--quick` and
-    /// `--metrics-out` from an argument iterator (unknown flags abort with
-    /// a usage message).
+    /// Parses `--scale`, `--epochs`, `--threads`, `--seed`, `--quick`,
+    /// `--metrics-out`, `--workers` and `--fault-plan` from an argument
+    /// iterator (unknown flags abort with a usage message).
     pub fn parse(args: impl Iterator<Item = String>) -> Self {
         fn num(name: &str, v: String) -> f64 {
             v.parse::<f64>().unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
@@ -58,9 +68,11 @@ impl BenchArgs {
                 "--seed" => out.seed = num("--seed", take("--seed")) as u64,
                 "--quick" => out.quick = true,
                 "--metrics-out" => out.metrics_out = Some(take("--metrics-out")),
+                "--workers" => out.workers = num("--workers", take("--workers")) as usize,
+                "--fault-plan" => out.fault_plan = Some(take("--fault-plan")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec>"
                     );
                     std::process::exit(2);
                 }
@@ -101,6 +113,17 @@ impl BenchArgs {
         if !(self.scale.is_finite() && self.scale > 0.0) {
             return Err(format!("--scale must be a positive number, got {}", self.scale));
         }
+        if self.workers > MAX_THREADS {
+            return Err(format!(
+                "--workers {} exceeds the supported maximum of {MAX_THREADS}",
+                self.workers
+            ));
+        }
+        if let Some(spec) = &self.fault_plan {
+            if let Err(e) = mamdr_rpc::FaultPlan::parse(spec) {
+                return Err(format!("--fault-plan {spec}: {e}"));
+            }
+        }
         if let Some(path) = &self.metrics_out {
             let p = std::path::Path::new(path);
             if p.is_dir() {
@@ -125,6 +148,15 @@ impl BenchArgs {
             d
         } else {
             self.epochs
+        }
+    }
+
+    /// Workers to use given a binary default (`--workers 0` keeps it).
+    pub fn workers_or(&self, default: usize) -> usize {
+        if self.workers == 0 {
+            default
+        } else {
+            self.workers
         }
     }
 
@@ -198,6 +230,24 @@ mod tests {
         assert_eq!(a.epochs_or(2), 2);
         let a = parse(&["--quick", "--epochs", "7"]);
         assert_eq!(a.epochs_or(20), 7);
+    }
+
+    #[test]
+    fn workers_and_fault_plan_parse_and_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.workers, 0);
+        assert_eq!(a.fault_plan, None);
+        assert_eq!(a.workers_or(2), 2);
+        let a = parse(&["--workers", "4", "--fault-plan", "seed=7,drop_send=0.05,disconnect=3"]);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.workers_or(2), 4);
+        assert!(a.validate().is_ok());
+        let err = parse(&["--workers", "9999"]).validate().unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = parse(&["--fault-plan", "drop_send=banana"]).validate().unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
+        let err = parse(&["--fault-plan", "nonsense=1"]).validate().unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
     }
 
     #[test]

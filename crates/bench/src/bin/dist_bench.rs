@@ -1,0 +1,162 @@
+//! `dist_bench` — loopback drill for the `mamdr-rpc` networked PS–worker
+//! runtime.
+//!
+//! Runs the same MAMDR outer-loop twice: once with the in-process
+//! synchronous trainer (the ground truth) and once with `--workers`
+//! clients training against a real loopback TCP parameter server,
+//! optionally under a deterministic `--fault-plan`. The binary fails
+//! (exit 1) if the networked run diverges from the in-process run in any
+//! round loss, in the final AUC bits, or in the number of outer updates
+//! the store applied — i.e. if the wire, retry, or dedup layer lost or
+//! double-applied a single update.
+//!
+//! Reports wall time, slowdown, and the `rpc_*` counter set on stdout;
+//! with `--metrics-out <path>` the full registry (rpc frames/retries/
+//! faults, ps traffic, kv gauges) is dumped as JSONL plus a
+//! Prometheus-style `.prom` snapshot.
+//!
+//! Knobs: `--workers` sets the client count (default 2), `--fault-plan`
+//! injects seeded drops/delays/duplicates/disconnects (default: perfect
+//! network), `--scale` multiplies the dataset size, and `--threads`,
+//! `--epochs`, `--seed`, `--quick` behave as everywhere else.
+
+use mamdr_bench::{BenchArgs, BenchTelemetry, QUICK_SCALE_FACTOR};
+use mamdr_data::presets;
+use mamdr_obs::Value;
+use mamdr_ps::{DistributedConfig, DistributedMamdr};
+use mamdr_rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, RetryPolicy};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let telemetry = BenchTelemetry::from_args(&args);
+    let scale = if args.quick { args.scale * QUICK_SCALE_FACTOR } else { args.scale };
+    let n_domains = ((12.0 * scale).round() as usize).clamp(4, 64);
+    let per_domain = ((1_200.0 * scale).round() as usize).max(100);
+    let ds = presets::industry(n_domains, per_domain, args.seed);
+    eprintln!(
+        "[dist_bench] industry simulation: {} domains, {} train interactions",
+        ds.n_domains(),
+        ds.domains.iter().map(|d| d.train.len()).sum::<usize>()
+    );
+
+    let cfg = DistributedConfig {
+        n_workers: args.workers_or(2),
+        epochs: args.epochs_or(3),
+        sync_rounds: true,
+        seed: args.seed,
+        kernel_threads: args.threads,
+        ..Default::default()
+    };
+    let plan = args
+        .fault_plan
+        .as_deref()
+        .map(|spec| FaultPlan::parse(spec).expect("validated by BenchArgs"));
+
+    eprintln!("[dist_bench] in-process ground truth ({} workers) ...", cfg.n_workers);
+    let t0 = Instant::now();
+    let local_trainer = DistributedMamdr::new(&ds, cfg);
+    let local = local_trainer.train(&ds);
+    let local_secs = t0.elapsed().as_secs_f64();
+
+    eprintln!(
+        "[dist_bench] loopback TCP run ({} workers, faults: {}) ...",
+        cfg.n_workers,
+        args.fault_plan.as_deref().unwrap_or("none"),
+    );
+    let loopback = LoopbackConfig {
+        fault: plan,
+        retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
+        ..LoopbackConfig::new(cfg)
+    };
+    let t0 = Instant::now();
+    let net_trainer = DistributedTrainer::new(&ds, loopback, telemetry.registry_arc())
+        .expect("loopback bind cannot fail");
+    let remote = net_trainer.train(&ds);
+    let remote_secs = t0.elapsed().as_secs_f64();
+    let store_pushes = net_trainer.store().traffic().snapshot().1;
+    net_trainer.shutdown();
+
+    let reg = telemetry.registry();
+    let frames = reg.counter("rpc_frames_total").get();
+    let retries = reg.counter("rpc_retries_total").get();
+    let applied = reg.counter("rpc_push_applied_total").get();
+    let deduped = reg.counter("rpc_push_deduped_total").get();
+    let dropped = reg.counter("rpc_faults_dropped_total").get();
+    let duplicated = reg.counter("rpc_faults_duplicated_total").get();
+    let disconnects = reg.counter("rpc_faults_disconnects_total").get();
+
+    println!(
+        "dist_bench: {} workers, {} rounds, {} domains, threads={}",
+        cfg.n_workers,
+        cfg.epochs,
+        ds.n_domains(),
+        args.threads
+    );
+    println!("  in_process   {local_secs:.3} s");
+    println!("  loopback     {remote_secs:.3} s  ({:.2}x)", remote_secs / local_secs.max(1e-9));
+    println!("  test_auc     {:.6}", remote.mean_auc);
+    println!("  pulls        {}", remote.pulls);
+    println!("  pushes       {}", remote.pushes);
+    println!("  MB_moved     {:.2}", remote.total_bytes as f64 / 1e6);
+    println!("  frames       {frames}");
+    println!("  retries      {retries}");
+    println!("  applied      {applied}  deduped {deduped}");
+    println!("  faults       dropped={dropped} duplicated={duplicated} disconnects={disconnects}");
+
+    if telemetry.enabled() {
+        for (round, &loss) in remote.round_losses.iter().enumerate() {
+            telemetry.log().emit(
+                "dist_round",
+                &[
+                    ("workers", Value::from(cfg.n_workers)),
+                    ("round", Value::from(round)),
+                    ("train_loss", Value::from(loss)),
+                ],
+            );
+        }
+        telemetry.log().emit(
+            "dist_bench",
+            &[
+                ("workers", Value::from(cfg.n_workers as u64)),
+                ("rounds", Value::from(cfg.epochs as u64)),
+                ("fault_plan", Value::from(args.fault_plan.as_deref().unwrap_or("none"))),
+                ("in_process_secs", Value::from(local_secs)),
+                ("loopback_secs", Value::from(remote_secs)),
+                ("mean_auc", Value::from(remote.mean_auc)),
+            ],
+        );
+        remote.export(telemetry.registry());
+    }
+    telemetry.finish();
+
+    // The acceptance gate: the network layer must be invisible to the
+    // math. Any lost, reordered, or double-applied outer update shifts a
+    // round loss or the final parameters.
+    let mut failures = Vec::new();
+    if remote.round_losses != local.round_losses {
+        failures.push(format!(
+            "round losses diverged: {:?} vs {:?}",
+            remote.round_losses, local.round_losses
+        ));
+    }
+    if remote.mean_auc.to_bits() != local.mean_auc.to_bits() {
+        failures.push(format!("AUC diverged: {} vs {}", remote.mean_auc, local.mean_auc));
+    }
+    if applied != local.pushes {
+        failures.push(format!("applied {} of {} expected outer updates", applied, local.pushes));
+    }
+    if store_pushes != local.pushes {
+        failures.push(format!("store saw {store_pushes} pushes, expected {}", local.pushes));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[dist_bench] FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[dist_bench] OK: loopback run bit-identical to in-process run, \
+         {applied} updates applied exactly once"
+    );
+}

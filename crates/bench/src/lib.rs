@@ -15,6 +15,7 @@
 //! | `fig9`      | Fig. 9 — AUC vs inner/outer learning rates |
 //! | `conflict`  | Fig. 3 motivation — gradient-conflict measurements |
 //! | `pscache`   | §IV-E — embedding-cache traffic ablation |
+//! | `dist_bench`| §IV-E over real TCP — networked-trainer loopback drill (`--workers`, `--fault-plan`) |
 //!
 //! Criterion micro-benches (`cargo bench`) cover tensor/autodiff kernel
 //! throughput, O(n)-vs-O(n²) framework scaling, and PS cache overhead.
@@ -34,6 +35,6 @@ pub mod runner;
 pub mod table;
 pub mod telemetry;
 
-pub use args::BenchArgs;
+pub use args::{BenchArgs, QUICK_SCALE_FACTOR};
 pub use table::TableBuilder;
 pub use telemetry::BenchTelemetry;

@@ -45,6 +45,12 @@ impl BenchTelemetry {
         &self.registry
     }
 
+    /// A shared handle to the registry, for subsystems that keep one
+    /// (e.g. the networked trainer's `rpc_*` instrumentation).
+    pub fn registry_arc(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
     /// The event log, for binaries emitting events outside training runs.
     pub fn log(&self) -> &EventLog {
         &self.log

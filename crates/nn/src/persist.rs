@@ -18,66 +18,23 @@
 use crate::store::ParamStore;
 use std::io::{Read, Write};
 
+/// The shared FNV-1a digest (re-exported from `mamdr-util`, the one home of
+/// the workspace's binary-format primitives).
+pub use mamdr_util::Checksum;
+
 const MAGIC: &[u8; 8] = b"MAMDRNN1";
 
-/// Incremental FNV-1a 64-bit hasher over serialized bytes.
-///
-/// Snapshot formats (this module's and `mamdr-serve`'s) append the digest
-/// after their payload so a flipped bit anywhere surfaces as a load error
-/// instead of silently corrupted parameters. FNV-1a is not cryptographic —
-/// it guards against storage/transfer corruption, not adversaries.
-#[derive(Debug, Clone)]
-pub struct Checksum(u64);
-
-impl Default for Checksum {
-    fn default() -> Self {
-        Checksum::new()
-    }
-}
-
-impl Checksum {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// A fresh hasher at the FNV offset basis.
-    pub fn new() -> Self {
-        Checksum(Self::OFFSET)
-    }
-
-    /// Feeds bytes into the digest.
-    pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    /// The current digest.
-    pub fn digest(&self) -> u64 {
-        self.0
-    }
-
-    /// One-shot digest of a byte slice.
-    pub fn of(bytes: &[u8]) -> u64 {
-        let mut c = Checksum::new();
-        c.update(bytes);
-        c.digest()
-    }
-}
-
 /// Writes a little-endian f32 section (values only, caller frames lengths).
-pub fn write_f32_section(mut w: impl Write, values: &[f32]) -> Result<(), PersistError> {
-    for &v in values {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    Ok(())
+///
+/// Thin wrapper over [`mamdr_util::write_f32_section`] that keeps this
+/// module's historical `PersistError` signature.
+pub fn write_f32_section(w: impl Write, values: &[f32]) -> Result<(), PersistError> {
+    Ok(mamdr_util::write_f32_section(w, values)?)
 }
 
 /// Reads `n` little-endian f32 values written by [`write_f32_section`].
-pub fn read_f32_section(mut r: impl Read, n: usize) -> Result<Vec<f32>, PersistError> {
-    let mut buf = vec![0u8; 4 * n];
-    r.read_exact(&mut buf)?;
-    Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+pub fn read_f32_section(r: impl Read, n: usize) -> Result<Vec<f32>, PersistError> {
+    Ok(mamdr_util::read_f32_section(r, n)?)
 }
 
 /// A persistence error.

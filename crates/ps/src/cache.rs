@@ -1,6 +1,6 @@
 //! The worker-side embedding cache (paper Fig. 7).
 
-use crate::kv::{ParamKey, ParameterServer};
+use crate::kv::{ParamKey, RowSource};
 use std::collections::HashMap;
 
 /// Hit/miss counters for one worker's cache.
@@ -59,11 +59,12 @@ impl WorkerCache {
     /// Reads the current (locally updated) value of a row.
     ///
     /// Dynamic-cache hit → no traffic. Miss → pull the latest value from
-    /// the PS, seed both caches.
-    pub fn get(&mut self, ps: &ParameterServer, key: ParamKey) -> &[f32] {
+    /// the row source (the in-process PS or an RPC client), seed both
+    /// caches.
+    pub fn get<S: RowSource + ?Sized>(&mut self, src: &S, key: ParamKey) -> &[f32] {
         if !self.dynamic_cache.contains_key(&key) {
-            let latest = ps.pull(key);
-            self.pulled_versions.insert(key, ps.version(key));
+            let (latest, version) = src.pull_versioned(key);
+            self.pulled_versions.insert(key, version);
             self.static_cache.insert(key, latest.clone());
             self.dynamic_cache.insert(key, latest);
             self.stats.misses += 1;
@@ -84,12 +85,12 @@ impl WorkerCache {
     /// worker pulled it. This is the inconsistency the §IV-E protocol
     /// bounds — it resets to zero at every round boundary because the
     /// caches are cleared and re-pulled.
-    pub fn staleness(&self, ps: &ParameterServer) -> StalenessStats {
+    pub fn staleness<S: RowSource + ?Sized>(&self, src: &S) -> StalenessStats {
         let mut max = 0u64;
         let mut total = 0u64;
         let mut n = 0u64;
         for (key, &pulled) in &self.pulled_versions {
-            let lag = ps.version(*key).saturating_sub(pulled);
+            let lag = src.version_of(*key).saturating_sub(pulled);
             max = max.max(lag);
             total += lag;
             n += 1;
@@ -130,6 +131,7 @@ impl WorkerCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv::ParameterServer;
 
     fn server() -> ParameterServer {
         let ps = ParameterServer::new(2, 2);
@@ -208,6 +210,7 @@ mod tests {
 #[cfg(test)]
 mod staleness_tests {
     use super::*;
+    use crate::kv::ParameterServer;
 
     #[test]
     fn staleness_counts_foreign_pushes() {

@@ -1,5 +1,6 @@
 //! The sharded parameter server.
 
+use mamdr_obs::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +21,23 @@ impl ParamKey {
     pub fn new(table: u32, row: u32) -> Self {
         ParamKey { table, row }
     }
+}
+
+/// Where a worker's reads come from: the in-process [`ParameterServer`] or
+/// a remote stand-in (e.g. an RPC client in `mamdr-rpc`).
+///
+/// The trait carries exactly the two read operations the worker-side cache
+/// needs; everything that mutates the store stays on the concrete server so
+/// the write path (and its exactly-once semantics over the wire) remains
+/// explicit.
+pub trait RowSource {
+    /// Pulls the latest value of a row together with its push version
+    /// (one counted RPC, like [`ParameterServer::pull`]).
+    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64);
+
+    /// Reads a row's push version without pulling the value (silent —
+    /// an observability probe, not counted traffic).
+    fn version_of(&self, key: ParamKey) -> u64;
 }
 
 /// Byte-accurate synchronization counters.
@@ -177,6 +195,32 @@ impl ParameterServer {
         self.shards.iter().map(|s| s.read().len()).sum()
     }
 
+    /// Resident payload bytes: the f32 storage of every value row plus
+    /// every materialized Adagrad accumulator. Map/key overhead is
+    /// excluded — this measures the tensor mass a real PS shard would
+    /// account against its memory budget.
+    pub fn resident_bytes(&self) -> u64 {
+        let f32s: usize = self
+            .shards
+            .iter()
+            .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+            .sum::<usize>()
+            + self
+                .adagrad
+                .iter()
+                .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+                .sum::<usize>();
+        (f32s * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Publishes store occupancy into a metrics registry:
+    /// `ps_kv_entries` (rows resident) and `ps_kv_bytes` (resident
+    /// payload bytes, see [`ParameterServer::resident_bytes`]).
+    pub fn export_kv_gauges(&self, registry: &MetricsRegistry) {
+        registry.gauge("ps_kv_entries").set(self.n_rows() as f64);
+        registry.gauge("ps_kv_bytes").set(self.resident_bytes() as f64);
+    }
+
     fn bump_version(&self, key: ParamKey) {
         *self.versions[self.shard_of(key)].write().entry(key).or_insert(0) += 1;
     }
@@ -197,6 +241,16 @@ impl ParameterServer {
             }
         }
         out
+    }
+}
+
+impl RowSource for ParameterServer {
+    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
+        (self.pull(key), self.version(key))
+    }
+
+    fn version_of(&self, key: ParamKey) -> u64 {
+        self.version(key)
     }
 }
 
@@ -239,6 +293,34 @@ mod tests {
         ps.push_outer_grad(key, &[1.0, -2.0], 0.5);
         let v2 = ps.read_silent(key).unwrap();
         assert!((v2[0] - v[0]) < 0.5 && (v2[0] - v[0]) > 0.0);
+    }
+
+    #[test]
+    fn accounting_tracks_rows_and_bytes() {
+        let ps = ParameterServer::new(2, 4);
+        ps.init_row(ParamKey::new(0, 0), vec![0.0; 4]);
+        ps.init_row(ParamKey::new(0, 1), vec![0.0; 4]);
+        // Two value rows, no accumulators yet.
+        assert_eq!(ps.n_rows(), 2);
+        assert_eq!(ps.resident_bytes(), 2 * 4 * 4);
+        // An outer push materializes one Adagrad accumulator row.
+        ps.push_outer_grad(ParamKey::new(0, 0), &[1.0; 4], 0.1);
+        assert_eq!(ps.resident_bytes(), 3 * 4 * 4);
+        let registry = MetricsRegistry::new();
+        ps.export_kv_gauges(&registry);
+        assert_eq!(registry.gauge("ps_kv_entries").get(), 2.0);
+        assert_eq!(registry.gauge("ps_kv_bytes").get(), 48.0);
+    }
+
+    #[test]
+    fn row_source_matches_direct_reads() {
+        let ps = ParameterServer::new(2, 2);
+        let key = ParamKey::new(1, 3);
+        ps.init_row(key, vec![1.0, -1.0]);
+        ps.push_delta(key, &[1.0, 0.0]);
+        let src: &dyn RowSource = &ps;
+        assert_eq!(src.pull_versioned(key), (vec![2.0, -1.0], 1));
+        assert_eq!(src.version_of(key), 1);
     }
 
     #[test]

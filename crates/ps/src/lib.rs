@@ -42,5 +42,8 @@ pub mod model;
 pub mod trainer;
 
 pub use cache::{CacheStats, StalenessStats, WorkerCache};
-pub use kv::{ParamKey, ParameterServer, TrafficStats};
-pub use trainer::{DistributedConfig, DistributedMamdr, SyncMode};
+pub use kv::{ParamKey, ParameterServer, RowSource, TrafficStats};
+pub use trainer::{
+    evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
+    CachedRoundOutput, DistributedConfig, DistributedMamdr, DistributedReport, SyncMode,
+};

@@ -3,7 +3,7 @@
 //! update on the parameter server (paper Fig. 6).
 
 use crate::cache::{CacheStats, StalenessStats, WorkerCache};
-use crate::kv::{ParamKey, ParameterServer};
+use crate::kv::{ParamKey, ParameterServer, RowSource};
 use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
 use mamdr_core::metrics::auc;
 use mamdr_data::{MdrDataset, Split};
@@ -40,6 +40,17 @@ pub struct DistributedConfig {
     pub epochs: usize,
     /// Synchronization protocol.
     pub mode: SyncMode,
+    /// When true (and the mode is [`SyncMode::Cached`]), workers train
+    /// read-only against the server and the driver applies every worker's
+    /// key-sorted outer gradients *after* the round joins, in worker
+    /// order. The server is quiescent while workers read, so the run is
+    /// bit-reproducible at any worker count — this is the protocol the
+    /// networked trainer (`mamdr-rpc`) mirrors over TCP, and what makes
+    /// "loopback training equals in-process training" testable at all.
+    /// When false (the default), workers push their own gradients as they
+    /// finish, racing each other exactly like the asynchronous real
+    /// deployment.
+    pub sync_rounds: bool,
     /// Master seed.
     pub seed: u64,
     /// Kernel worker threads for driver-side tensor math (evaluation);
@@ -58,6 +69,7 @@ impl Default for DistributedConfig {
             outer_lr: 0.5,
             epochs: 3,
             mode: SyncMode::Cached,
+            sync_rounds: false,
             seed: 1,
             kernel_threads: 0,
         }
@@ -108,12 +120,119 @@ impl DistributedReport {
     }
 }
 
+/// One worker's result for one outer round of cached training: the
+/// accounting plus — in synchronous modes — the undelivered outer
+/// gradients, key-sorted for a deterministic application order.
+///
+/// Public because the networked trainer in `mamdr-rpc` runs the same
+/// round logic against an RPC-backed [`RowSource`] and must aggregate
+/// identically.
+#[derive(Debug)]
+pub struct CachedRoundOutput {
+    /// Hit/miss counters of the worker's cache for this round.
+    pub cache: CacheStats,
+    /// End-of-round staleness of the worker's cached rows.
+    pub staleness: StalenessStats,
+    /// Summed training log-loss over the worker's examples.
+    pub loss_sum: f64,
+    /// Number of training examples the worker saw.
+    pub n_examples: u64,
+    /// Outer gradients (Θ̃ − Θ per touched row), sorted by
+    /// `(table, row)`. The caller applies them (directly or over RPC).
+    pub grads: Vec<(ParamKey, Vec<f32>)>,
+}
+
 /// One worker's accounting for one outer round.
 struct WorkerRound {
     cache: CacheStats,
     staleness: StalenessStats,
     loss_sum: f64,
     n_examples: u64,
+    /// Gradients deferred to the driver ([`DistributedConfig::sync_rounds`]);
+    /// empty when the worker already pushed them itself.
+    deferred: Vec<(ParamKey, Vec<f32>)>,
+}
+
+/// The per-epoch round-robin partition of shuffled domains over workers —
+/// shared verbatim by the in-process and the networked trainer so both
+/// assign identical work given identical seeds.
+pub fn partition_domains(
+    n_domains: usize,
+    seed: u64,
+    epoch: usize,
+    n_workers: usize,
+) -> Vec<Vec<usize>> {
+    let mut domains: Vec<usize> = (0..n_domains).collect();
+    let mut ep_rng = seeded(derive_seed(seed, 0xA0 + epoch as u64));
+    shuffle(&mut ep_rng, &mut domains);
+    (0..n_workers).map(|w| domains.iter().copied().skip(w).step_by(n_workers).collect()).collect()
+}
+
+/// The per-worker round seed (derived from the master seed, the epoch and
+/// the worker index) — shared by both trainers.
+pub fn worker_round_seed(seed: u64, epoch: usize, worker: usize) -> u64 {
+    derive_seed(seed, ((epoch as u64) << 16) | worker as u64)
+}
+
+/// Seeds every embedding row the dataset can touch into `ps`
+/// (`N(0, 0.05)`, deterministic in `seed`). Extracted from
+/// [`DistributedMamdr::new`] so a networked server can be populated
+/// identically to the in-process one.
+pub fn seed_server(ps: &ParameterServer, ds: &MdrDataset, dim: usize, seed: u64) {
+    let mut rng = seeded(derive_seed(seed, 0xF5));
+    let mut seed_table = |table: u32, rows: usize| {
+        for r in 0..rows {
+            let v: Vec<f32> = (0..dim).map(|_| 0.05 * normal(&mut rng)).collect();
+            ps.init_row(ParamKey::new(table, r as u32), v);
+        }
+    };
+    seed_table(tables::USER, ds.n_users);
+    seed_table(tables::ITEM, ds.n_items);
+    seed_table(tables::UGROUP, ds.n_user_groups);
+    seed_table(tables::ICAT, ds.n_item_cats);
+    seed_table(tables::DOMAIN_BIAS, ds.n_domains());
+}
+
+/// Mean per-domain AUC of `split` using the server's current parameters
+/// (reads are traffic-free: evaluation runs driver-side).
+///
+/// Interactions are scored on the kernel worker pool; each one lands in
+/// its own slot, so the AUC input is bit-identical at any thread count.
+pub fn evaluate_server(ps: &ParameterServer, ds: &MdrDataset, split: Split) -> f64 {
+    let mut aucs = Vec::with_capacity(ds.n_domains());
+    for (di, dom) in ds.domains.iter().enumerate() {
+        let interactions = dom.split(split);
+        if interactions.is_empty() {
+            continue;
+        }
+        let labels: Vec<_> = interactions.iter().map(|it| it.label).collect();
+        let mut scores = vec![0.0f32; interactions.len()];
+        {
+            let score_ptr = pool::SendMutPtr(scores.as_mut_ptr());
+            pool::for_each_chunk(interactions.len(), 512, move |range| {
+                for i in range {
+                    let it = &interactions[i];
+                    let keys = ExampleKeys::new(
+                        it.user,
+                        it.item,
+                        ds.user_group[it.user as usize],
+                        ds.item_cat[it.item as usize],
+                        di as u32,
+                    );
+                    let u = ps.read_silent(keys.user).expect("user row");
+                    let v = ps.read_silent(keys.item).expect("item row");
+                    let g = ps.read_silent(keys.ugroup).expect("group row");
+                    let c = ps.read_silent(keys.icat).expect("cat row");
+                    let b = ps.read_silent(keys.bias).expect("bias row");
+                    // SAFETY: each interaction index is scored by exactly
+                    // one chunk, so slot writes are disjoint.
+                    unsafe { *score_ptr.get().add(i) = score(&u, &v, &g, &c, &b) };
+                }
+            });
+        }
+        aucs.push(auc(&labels, &scores));
+    }
+    mamdr_core::metrics::mean(&aucs)
 }
 
 /// The distributed MAMDR trainer.
@@ -127,18 +246,7 @@ impl DistributedMamdr {
     /// touch (`N(0, 0.05)`, deterministic in the config seed).
     pub fn new(ds: &MdrDataset, cfg: DistributedConfig) -> Self {
         let ps = ParameterServer::new(cfg.n_shards, cfg.dim);
-        let mut rng = seeded(derive_seed(cfg.seed, 0xF5));
-        let mut seed_table = |table: u32, rows: usize| {
-            for r in 0..rows {
-                let v: Vec<f32> = (0..cfg.dim).map(|_| 0.05 * normal(&mut rng)).collect();
-                ps.init_row(ParamKey::new(table, r as u32), v);
-            }
-        };
-        seed_table(tables::USER, ds.n_users);
-        seed_table(tables::ITEM, ds.n_items);
-        seed_table(tables::UGROUP, ds.n_user_groups);
-        seed_table(tables::ICAT, ds.n_item_cats);
-        seed_table(tables::DOMAIN_BIAS, ds.n_domains());
+        seed_server(&ps, ds, cfg.dim, cfg.seed);
         DistributedMamdr { ps, cfg }
     }
 
@@ -160,12 +268,7 @@ impl DistributedMamdr {
         for epoch in 0..cfg.epochs {
             // Round-robin partition of domains over workers, reshuffled
             // each epoch (the driver-side analogue of DN's domain shuffle).
-            let mut domains: Vec<usize> = (0..ds.n_domains()).collect();
-            let mut ep_rng = seeded(derive_seed(cfg.seed, 0xA0 + epoch as u64));
-            shuffle(&mut ep_rng, &mut domains);
-            let partitions: Vec<Vec<usize>> = (0..cfg.n_workers)
-                .map(|w| domains.iter().copied().skip(w).step_by(cfg.n_workers).collect())
-                .collect();
+            let partitions = partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers);
 
             let stats: Vec<WorkerRound> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = partitions
@@ -179,7 +282,7 @@ impl DistributedMamdr {
                                 ds,
                                 part,
                                 cfg,
-                                derive_seed(cfg.seed, ((epoch as u64) << 16) | w as u64),
+                                worker_round_seed(cfg.seed, epoch, w),
                             )
                         })
                     })
@@ -195,6 +298,12 @@ impl DistributedMamdr {
                 max_staleness = max_staleness.max(w.staleness.max);
                 loss_sum += w.loss_sum;
                 n_examples += w.n_examples;
+                // Synchronous mode: the driver is the only writer, applying
+                // each worker's key-sorted gradients in worker order — the
+                // one total order the networked trainer reproduces.
+                for (key, delta) in w.deferred {
+                    self.ps.push_outer_grad(key, &delta, cfg.outer_lr);
+                }
             }
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
         }
@@ -210,54 +319,53 @@ impl DistributedMamdr {
         }
     }
 
-    /// Mean per-domain AUC using the server's current parameters (reads are
-    /// traffic-free: evaluation runs driver-side).
-    ///
-    /// Interactions are scored on the kernel worker pool; each one lands in
-    /// its own slot, so the AUC input is bit-identical at any thread count.
+    /// Mean per-domain AUC using the server's current parameters — see
+    /// [`evaluate_server`].
     pub fn evaluate(&self, ds: &MdrDataset, split: Split) -> f64 {
         self.apply_kernel_threads();
-        let mut aucs = Vec::with_capacity(ds.n_domains());
-        for (di, dom) in ds.domains.iter().enumerate() {
-            let interactions = dom.split(split);
-            if interactions.is_empty() {
-                continue;
-            }
-            let labels: Vec<_> = interactions.iter().map(|it| it.label).collect();
-            let mut scores = vec![0.0f32; interactions.len()];
-            {
-                let ps = &self.ps;
-                let score_ptr = pool::SendMutPtr(scores.as_mut_ptr());
-                pool::for_each_chunk(interactions.len(), 512, move |range| {
-                    for i in range {
-                        let it = &interactions[i];
-                        let keys = ExampleKeys::new(
-                            it.user,
-                            it.item,
-                            ds.user_group[it.user as usize],
-                            ds.item_cat[it.item as usize],
-                            di as u32,
-                        );
-                        let u = ps.read_silent(keys.user).expect("user row");
-                        let v = ps.read_silent(keys.item).expect("item row");
-                        let g = ps.read_silent(keys.ugroup).expect("group row");
-                        let c = ps.read_silent(keys.icat).expect("cat row");
-                        let b = ps.read_silent(keys.bias).expect("bias row");
-                        // SAFETY: each interaction index is scored by exactly
-                        // one chunk, so slot writes are disjoint.
-                        unsafe { *score_ptr.get().add(i) = score(&u, &v, &g, &c, &b) };
-                    }
-                });
-            }
-            aucs.push(auc(&labels, &scores));
-        }
-        mamdr_core::metrics::mean(&aucs)
+        evaluate_server(&self.ps, ds, split)
     }
 
     /// The underlying parameter server (for tests and benches).
     pub fn server(&self) -> &ParameterServer {
         &self.ps
     }
+}
+
+/// One cached worker round, generic over where reads come from: the MAMDR
+/// inner loop over `domains` through a fresh [`WorkerCache`], ending with
+/// the staleness measurement and the outer-gradient drain.
+///
+/// The gradients are *returned* (key-sorted), not pushed — the caller
+/// decides how to deliver them: the asynchronous in-process trainer pushes
+/// them from the worker thread, the synchronous one defers them to the
+/// driver, and the networked trainer ships them over RPC. This is the
+/// exact function the `mamdr-rpc` loopback workers execute, which is why
+/// fault-free networked training is bit-identical to [`DistributedMamdr`]
+/// with `sync_rounds`.
+pub fn run_cached_round<S: RowSource + ?Sized>(
+    src: &S,
+    ds: &MdrDataset,
+    domains: &[usize],
+    inner_lr: f32,
+    seed: u64,
+) -> CachedRoundOutput {
+    let mut rng = seeded(seed);
+    let mut cache = WorkerCache::new();
+    let mut loss_sum = 0.0f64;
+    let mut n_examples = 0u64;
+    for &d in domains {
+        let (l, n) = train_domain_cached(src, &mut cache, ds, d, inner_lr, &mut rng);
+        loss_sum += l;
+        n_examples += n;
+    }
+    // Measure how far the world moved while this worker trained, then
+    // hand back Θ̃ − Θ per touched row (Eq. 3's outer gradient).
+    let staleness = cache.staleness(src);
+    let stats = cache.stats();
+    let mut grads = cache.drain_outer_grads();
+    grads.sort_by_key(|(k, _)| (k.table, k.row));
+    CachedRoundOutput { cache: stats, staleness, loss_sum, n_examples, grads }
 }
 
 /// One worker's round: the MAMDR inner loop over its domain partition.
@@ -268,28 +376,29 @@ fn run_worker_round(
     cfg: DistributedConfig,
     seed: u64,
 ) -> WorkerRound {
-    let mut rng = seeded(seed);
-    let mut loss_sum = 0.0f64;
-    let mut n_examples = 0u64;
     match cfg.mode {
         SyncMode::Cached => {
-            let mut cache = WorkerCache::new();
-            for &d in domains {
-                let (l, n) = train_domain_cached(ps, &mut cache, ds, d, cfg, &mut rng);
-                loss_sum += l;
-                n_examples += n;
-            }
-            // Measure how far the world moved while this worker trained,
-            // then push Θ̃ − Θ per touched row; the server applies it with
-            // Adagrad (Eq. 3 with a server-side optimizer).
-            let staleness = cache.staleness(ps);
-            let stats = cache.stats();
-            for (key, delta) in cache.drain_outer_grads() {
-                ps.push_outer_grad(key, &delta, cfg.outer_lr);
-            }
-            WorkerRound { cache: stats, staleness, loss_sum, n_examples }
+            let out = run_cached_round(ps, ds, domains, cfg.inner_lr, seed);
+            let CachedRoundOutput { cache, staleness, loss_sum, n_examples, grads } = out;
+            let deferred = if cfg.sync_rounds {
+                // Deliver to the driver; the server stays read-only until
+                // every worker has joined.
+                grads
+            } else {
+                // Asynchronous protocol: push now, racing other workers;
+                // the server applies with Adagrad (Eq. 3 with a
+                // server-side optimizer).
+                for (key, delta) in grads {
+                    ps.push_outer_grad(key, &delta, cfg.outer_lr);
+                }
+                Vec::new()
+            };
+            WorkerRound { cache, staleness, loss_sum, n_examples, deferred }
         }
         SyncMode::NoCache => {
+            let mut rng = seeded(seed);
+            let mut loss_sum = 0.0f64;
+            let mut n_examples = 0u64;
             for &d in domains {
                 let (l, n) = train_domain_no_cache(ps, ds, d, cfg, &mut rng);
                 loss_sum += l;
@@ -300,6 +409,7 @@ fn run_worker_round(
                 staleness: StalenessStats::default(),
                 loss_sum,
                 n_examples,
+                deferred: Vec::new(),
             }
         }
     }
@@ -307,12 +417,12 @@ fn run_worker_round(
 
 /// Inner-loop SGD over one domain through the cache. Returns the summed
 /// log-loss and example count for round-level loss reporting.
-fn train_domain_cached(
-    ps: &ParameterServer,
+fn train_domain_cached<S: RowSource + ?Sized>(
+    src: &S,
     cache: &mut WorkerCache,
     ds: &MdrDataset,
     domain: usize,
-    cfg: DistributedConfig,
+    inner_lr: f32,
     rng: &mut impl Rng,
 ) -> (f64, u64) {
     let mut order: Vec<usize> = (0..ds.domains[domain].train.len()).collect();
@@ -328,15 +438,15 @@ fn train_domain_cached(
             ds.item_cat[it.item as usize],
             domain as u32,
         );
-        let u = cache.get(ps, keys.user).to_vec();
-        let v = cache.get(ps, keys.item).to_vec();
-        let g = cache.get(ps, keys.ugroup).to_vec();
-        let c = cache.get(ps, keys.icat).to_vec();
-        let b = cache.get(ps, keys.bias).to_vec();
+        let u = cache.get(src, keys.user).to_vec();
+        let v = cache.get(src, keys.item).to_vec();
+        let g = cache.get(src, keys.ugroup).to_vec();
+        let c = cache.get(src, keys.icat).to_vec();
+        let b = cache.get(src, keys.bias).to_vec();
         let s = score(&u, &v, &g, &c, &b);
         loss_sum += log_loss(s, it.label) as f64;
         let e = error_signal(s, it.label);
-        let lr = cfg.inner_lr;
+        let lr = inner_lr;
         cache.update(keys.user, |row| axpy_rows(row, -lr * e, &v));
         cache.update(keys.item, |row| axpy_rows(row, -lr * e, &u));
         cache.update(keys.ugroup, |row| axpy_rows(row, -lr * e, &c));
@@ -503,6 +613,26 @@ mod tests {
             .find(|(name, _)| name == "ps_round_loss")
             .expect("round-loss histogram exported");
         assert_eq!(snap.count, report.round_losses.len() as u64);
+    }
+
+    #[test]
+    fn sync_rounds_is_deterministic_with_many_workers() {
+        // The whole point of the synchronous protocol: multi-worker runs
+        // become exactly reproducible because the driver is the only
+        // writer and applies key-sorted gradients in worker order.
+        let ds = dataset();
+        let cfg =
+            DistributedConfig { n_workers: 4, epochs: 3, sync_rounds: true, ..Default::default() };
+        let a = DistributedMamdr::new(&ds, cfg).train(&ds);
+        let b = DistributedMamdr::new(&ds, cfg).train(&ds);
+        assert_eq!(a.mean_auc, b.mean_auc);
+        assert_eq!(a.round_losses, b.round_losses);
+        assert_eq!((a.pulls, a.pushes, a.total_bytes), (b.pulls, b.pushes, b.total_bytes));
+        // No concurrent writers during a round ⇒ cached rows never go
+        // stale before the drain.
+        assert_eq!(a.max_staleness, 0);
+        // And it still learns.
+        assert!(a.mean_auc > 0.53, "AUC {}", a.mean_auc);
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! The worker-side RPC client: per-request deadlines, bounded exponential
+//! backoff with seeded jitter, reconnect-on-failure, and idempotent
+//! retries.
+//!
+//! Every logical request is assigned one sequence number that is *reused*
+//! across its retries. Responses echo the request's sequence number, so a
+//! stale response (left over from a duplicated frame or a dropped read) is
+//! recognized and discarded instead of being mistaken for the current
+//! reply; and the server deduplicates re-sent pushes by `(client, seq)`,
+//! which is what makes a retried push exactly-once even when the original
+//! was applied but its acknowledgement was lost.
+
+use crate::fault::{FaultDecision, FaultState};
+use crate::frame::{
+    decode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
+    PushResp, FLAG_VERSION_ONLY,
+};
+use mamdr_obs::MetricsRegistry;
+use mamdr_ps::{ParamKey, RowSource};
+use mamdr_tensor::rng::{derive_seed, seeded};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cell::RefCell;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Retry and deadline policy of a [`WorkerClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per logical request before giving up.
+    pub max_attempts: u32,
+    /// First backoff interval; doubles per retry.
+    pub base_backoff_micros: u64,
+    /// Backoff ceiling.
+    pub max_backoff_micros: u64,
+    /// Read/write deadline of ordinary requests.
+    pub timeout: Duration,
+    /// Read deadline of barrier waits, which legitimately block until the
+    /// slowest worker arrives — far longer than any ordinary round trip.
+    pub barrier_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 10,
+            base_backoff_micros: 100,
+            max_backoff_micros: 50_000,
+            timeout: Duration::from_secs(5),
+            barrier_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// A client-side RPC failure.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Wire-level failure (I/O, corruption, protocol violation).
+    Frame(FrameError),
+    /// The request's deadline expired (real or injected).
+    Timeout,
+    /// The connection died; the next attempt reconnects.
+    ConnectionLost(String),
+    /// The server answered with an `Error` frame.
+    Server(String),
+    /// Every attempt failed; carries the last failure.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Description of the final failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Frame(e) => write!(f, "frame error: {e}"),
+            RpcError::Timeout => write!(f, "request deadline expired"),
+            RpcError::ConnectionLost(m) => write!(f, "connection lost: {m}"),
+            RpcError::Server(m) => write!(f, "server error: {m}"),
+            RpcError::Exhausted { attempts, last } => {
+                write!(f, "request failed after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<FrameError> for RpcError {
+    fn from(e: FrameError) -> Self {
+        RpcError::Frame(e)
+    }
+}
+
+/// The worker's connection to the parameter server.
+pub struct WorkerClient {
+    addr: SocketAddr,
+    client_id: u32,
+    stream: Option<TcpStream>,
+    next_seq: u64,
+    policy: RetryPolicy,
+    fault: Option<FaultState>,
+    backoff_rng: StdRng,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl WorkerClient {
+    /// A client for `addr`. `client_id` must be unique among concurrent
+    /// clients of the same server (it namespaces push deduplication and
+    /// barrier arrival). The connection itself is opened lazily on the
+    /// first request.
+    pub fn new(
+        addr: SocketAddr,
+        client_id: u32,
+        policy: RetryPolicy,
+        fault: Option<FaultState>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        WorkerClient {
+            addr,
+            client_id,
+            stream: None,
+            next_seq: 0,
+            policy,
+            fault,
+            // The jitter stream is seeded off the client id, not wall time:
+            // backoff schedules are reproducible like everything else.
+            backoff_rng: seeded(derive_seed(0xBAC0FF, client_id as u64)),
+            metrics,
+        }
+    }
+
+    /// This client's id.
+    pub fn client_id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Pulls one row: `(value, version)`.
+    pub fn pull(&mut self, key: ParamKey) -> Result<(Vec<f32>, u64), RpcError> {
+        let resp = self.request(OpCode::Pull, 0, PullReq { key }.encode(), false)?;
+        let resp = PullResp::decode(&resp.payload)?;
+        Ok((resp.value, resp.version))
+    }
+
+    /// Reads one row's push version without transferring the value.
+    pub fn pull_version(&mut self, key: ParamKey) -> Result<u64, RpcError> {
+        let resp =
+            self.request(OpCode::Pull, FLAG_VERSION_ONLY, PullReq { key }.encode(), false)?;
+        Ok(PullResp::decode(&resp.payload)?.version)
+    }
+
+    /// Pushes one outer gradient. Returns `false` when the server
+    /// recognized the push as a retry of an already-applied update.
+    pub fn push(&mut self, key: ParamKey, grad: &[f32], lr: f32) -> Result<bool, RpcError> {
+        let req = PushReq { client_id: self.client_id, key, lr, grad: grad.to_vec() };
+        let resp = self.request(OpCode::Push, 0, req.encode(), false)?;
+        Ok(PushResp::decode(&resp.payload)?.applied)
+    }
+
+    /// Blocks until `expected` distinct clients have arrived at `round`.
+    pub fn barrier(&mut self, round: u64, expected: u32) -> Result<(), RpcError> {
+        let req = BarrierReq { client_id: self.client_id, round, expected };
+        self.request(OpCode::BarrierSync, 0, req.encode(), true)?;
+        Ok(())
+    }
+
+    /// Asks the server to write a checkpoint; returns its path.
+    pub fn checkpoint(&mut self, round: u64) -> Result<String, RpcError> {
+        let resp = self.request(OpCode::Checkpoint, 0, CheckpointReq { round }.encode(), false)?;
+        Ok(String::from_utf8_lossy(&resp.payload).into_owned())
+    }
+
+    /// Starts the server's graceful drain.
+    pub fn shutdown(&mut self) -> Result<(), RpcError> {
+        self.request(OpCode::Shutdown, 0, Vec::new(), false)?;
+        Ok(())
+    }
+
+    /// One logical request: a single sequence number, retried with
+    /// exponential backoff until a response arrives or the attempt budget
+    /// is spent.
+    fn request(
+        &mut self,
+        opcode: OpCode,
+        flags: u8,
+        payload: Vec<u8>,
+        barrier: bool,
+    ) -> Result<Frame, RpcError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Frame { opcode, flags, seq, payload };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.attempt(&frame, barrier) {
+                Ok(resp) => return Ok(resp),
+                // An application-level refusal is authoritative: the server
+                // received the request and rejected it, so retrying cannot
+                // change the answer.
+                Err(e @ RpcError::Server(_)) => return Err(e),
+                Err(e) => e,
+            };
+            if attempt >= self.policy.max_attempts {
+                return Err(RpcError::Exhausted { attempts: attempt, last: err.to_string() });
+            }
+            self.metrics.counter("rpc_retries_total").inc();
+            let backoff = (self.policy.base_backoff_micros << (attempt - 1).min(20))
+                .min(self.policy.max_backoff_micros);
+            // Full jitter: a uniform slice of the exponential window, from
+            // the client's seeded stream.
+            let jittered = self.backoff_rng.gen_range(0..=backoff);
+            std::thread::sleep(Duration::from_micros(jittered));
+        }
+    }
+
+    /// One attempt: roll the fault dice, send, read responses until one
+    /// matches this request's sequence number.
+    fn attempt(&mut self, frame: &Frame, barrier: bool) -> Result<Frame, RpcError> {
+        let decision = match &mut self.fault {
+            Some(fs) => fs.decide(),
+            None => FaultDecision::default(),
+        };
+        if decision.disconnect {
+            self.metrics.counter("rpc_faults_disconnects_total").inc();
+            self.drop_connection();
+            return Err(RpcError::ConnectionLost("injected disconnect".into()));
+        }
+        if decision.drop_send {
+            // The frame "never left": indistinguishable from a network
+            // drop, so it surfaces as a deadline expiry. Simulated rather
+            // than slept so fault runs stay fast and their counters exact.
+            self.metrics.counter("rpc_faults_dropped_total").inc();
+            self.metrics.counter("rpc_timeouts_total").inc();
+            return Err(RpcError::Timeout);
+        }
+        if decision.delay {
+            self.metrics.counter("rpc_faults_delayed_total").inc();
+            let micros = self.fault.as_ref().expect("delay implies plan").delay_micros();
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+
+        let read_timeout = if barrier { self.policy.barrier_timeout } else { self.policy.timeout };
+        let mut buf = frame.to_bytes();
+        if decision.duplicate {
+            // Two copies of the same frame back-to-back; the server must
+            // apply at most one and answer both.
+            self.metrics.counter("rpc_faults_duplicated_total").inc();
+            buf.extend_from_slice(&frame.to_bytes());
+        }
+        let stream = self.ensure_connected()?;
+        stream.set_read_timeout(Some(read_timeout)).map_err(FrameError::Io)?;
+        if let Err(e) = stream.write_all(&buf) {
+            self.drop_connection();
+            return Err(RpcError::ConnectionLost(e.to_string()));
+        }
+
+        loop {
+            let resp = match Frame::decode(&mut *self.stream.as_mut().expect("connected")) {
+                Ok(f) => f,
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // A real deadline expiry may leave a half-read frame on
+                    // the stream; reconnect to resynchronize.
+                    self.metrics.counter("rpc_timeouts_total").inc();
+                    self.drop_connection();
+                    return Err(RpcError::Timeout);
+                }
+                Err(e) => {
+                    self.drop_connection();
+                    return Err(e.into());
+                }
+            };
+            if resp.seq != frame.seq {
+                // Leftover from a duplicated earlier request or a dropped
+                // read: discard and keep reading.
+                self.metrics.counter("rpc_stale_responses_total").inc();
+                continue;
+            }
+            if decision.drop_recv {
+                // The server processed the request but its response "got
+                // lost". The retry will re-send the same sequence number
+                // and exercise the server's exactly-once path.
+                self.metrics.counter("rpc_faults_dropped_total").inc();
+                self.metrics.counter("rpc_timeouts_total").inc();
+                return Err(RpcError::Timeout);
+            }
+            if resp.opcode == OpCode::Error {
+                return Err(RpcError::Server(decode_error(&resp.payload)));
+            }
+            return Ok(resp);
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, RpcError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.policy.timeout)
+                .map_err(|e| RpcError::ConnectionLost(e.to_string()))?;
+            stream.set_nodelay(true).map_err(FrameError::Io)?;
+            stream.set_write_timeout(Some(self.policy.timeout)).map_err(FrameError::Io)?;
+            self.metrics.counter("rpc_connects_total").inc();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    fn drop_connection(&mut self) {
+        self.stream = None;
+    }
+}
+
+/// A [`RowSource`] over a [`WorkerClient`], letting the generic cached
+/// training round ([`mamdr_ps::run_cached_round`]) read rows over the wire
+/// exactly as it reads the in-process server. Interior mutability because
+/// the socket client needs `&mut` for I/O while `RowSource` reads take
+/// `&self`; single-threaded per worker, so a `RefCell` suffices.
+pub struct RpcRowSource(RefCell<WorkerClient>);
+
+impl RpcRowSource {
+    /// Wraps a client.
+    pub fn new(client: WorkerClient) -> Self {
+        RpcRowSource(RefCell::new(client))
+    }
+
+    /// Unwraps the client (e.g. to run the end-of-round barrier).
+    pub fn into_client(self) -> WorkerClient {
+        self.0.into_inner()
+    }
+}
+
+impl RowSource for RpcRowSource {
+    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
+        self.0.borrow_mut().pull(key).unwrap_or_else(|e| panic!("rpc pull of {key:?}: {e}"))
+    }
+
+    fn version_of(&self, key: ParamKey) -> u64 {
+        self.0
+            .borrow_mut()
+            .pull_version(key)
+            .unwrap_or_else(|e| panic!("rpc version probe of {key:?}: {e}"))
+    }
+}

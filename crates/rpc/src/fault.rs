@@ -1,0 +1,230 @@
+//! Deterministic fault injection at the framing boundary.
+//!
+//! A [`FaultPlan`] describes, with probabilities and a seed, the failures a
+//! client connection suffers: dropped sends, dropped responses, delivery
+//! delays, duplicated request frames, and forced disconnects. Each client
+//! derives its own RNG stream from the plan seed and its client id, and
+//! every request attempt consumes draws in a fixed order — so two runs with
+//! the same plan, seed and workload inject *exactly* the same faults, and
+//! every `rpc_faults_*` / `rpc_retries_total` counter is reproducible down
+//! to the unit. That determinism is what lets CI grep exact counter values
+//! out of a fault-injected training run.
+
+use mamdr_tensor::rng::{derive_seed, seeded};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A deterministic schedule of injected faults.
+///
+/// All probabilities are per request attempt, in `[0, 1]`. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Root seed; client `c` draws from stream `derive_seed(seed, c)`.
+    pub seed: u64,
+    /// Probability a request frame is never sent (looks like a timeout).
+    pub drop_send: f64,
+    /// Probability a response frame is lost after the server processed the
+    /// request (the retry then exercises the exactly-once path).
+    pub drop_recv: f64,
+    /// Probability an attempt is delayed by [`FaultPlan::delay_micros`].
+    pub delay: f64,
+    /// Injected delay duration in microseconds.
+    pub delay_micros: u64,
+    /// Probability the request frame is sent twice (the server must
+    /// deduplicate the second copy).
+    pub duplicate: f64,
+    /// Request-attempt indices (per client, 0-based) at which the
+    /// connection is torn down before sending.
+    pub disconnect_at: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Parses the `dist_bench --fault-plan` spec string: comma-separated
+    /// `key=value` fields. Keys: `seed`, `drop_send`, `drop_recv`,
+    /// `dup`, `delay` (as `prob:micros`), `disconnect` (as `+`-separated
+    /// attempt indices). Example:
+    ///
+    /// ```text
+    /// seed=7,drop_send=0.05,drop_recv=0.05,delay=0.1:200,dup=0.05,disconnect=40+90
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for field in spec.split(',').filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan field '{field}' is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 =
+                    v.parse().map_err(|_| format!("fault-plan {key}: '{v}' is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault-plan {key}: probability {p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("fault-plan seed: '{value}'"))?;
+                }
+                "drop_send" => plan.drop_send = prob(value)?,
+                "drop_recv" => plan.drop_recv = prob(value)?,
+                "dup" => plan.duplicate = prob(value)?,
+                "delay" => {
+                    let (p, micros) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("fault-plan delay: '{value}' is not prob:micros"))?;
+                    plan.delay = prob(p)?;
+                    plan.delay_micros = micros
+                        .parse()
+                        .map_err(|_| format!("fault-plan delay micros: '{micros}'"))?;
+                }
+                "disconnect" => {
+                    plan.disconnect_at = value
+                        .split('+')
+                        .map(|i| i.parse().map_err(|_| format!("fault-plan disconnect: '{i}'")))
+                        .collect::<Result<_, _>>()?;
+                }
+                other => return Err(format!("fault-plan: unknown key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.drop_send == 0.0
+            && self.drop_recv == 0.0
+            && self.delay == 0.0
+            && self.duplicate == 0.0
+            && self.disconnect_at.is_empty()
+    }
+}
+
+/// The faults chosen for one request attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Tear the connection down instead of sending.
+    pub disconnect: bool,
+    /// Pretend the request frame was lost.
+    pub drop_send: bool,
+    /// Sleep [`FaultPlan::delay_micros`] before sending.
+    pub delay: bool,
+    /// Send the request frame twice.
+    pub duplicate: bool,
+    /// Read the response, then pretend it was lost.
+    pub drop_recv: bool,
+}
+
+/// One client's fault stream: the plan plus the client-specific RNG and
+/// attempt counter.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    attempts: u64,
+}
+
+impl FaultState {
+    /// The fault stream of client `client_id` under `plan`.
+    pub fn new(plan: FaultPlan, client_id: u32) -> Self {
+        let rng = seeded(derive_seed(plan.seed, client_id as u64));
+        FaultState { plan, rng, attempts: 0 }
+    }
+
+    /// Decides the faults of the next request attempt.
+    ///
+    /// Exactly four RNG draws per call, in a fixed order (`drop_send`,
+    /// `delay`, `duplicate`, `drop_recv`) regardless of the probabilities —
+    /// the stream position depends only on the attempt count, never on
+    /// which faults actually fired.
+    pub fn decide(&mut self) -> FaultDecision {
+        let attempt = self.attempts;
+        self.attempts += 1;
+        let mut d = FaultDecision {
+            disconnect: self.plan.disconnect_at.contains(&attempt),
+            drop_send: self.rng.gen_bool(self.plan.drop_send),
+            delay: self.rng.gen_bool(self.plan.delay),
+            duplicate: self.rng.gen_bool(self.plan.duplicate),
+            drop_recv: self.rng.gen_bool(self.plan.drop_recv),
+        };
+        if d.disconnect {
+            // The connection dies before any frame moves; the four draws
+            // above were still consumed to keep the stream aligned.
+            d.drop_send = false;
+            d.delay = false;
+            d.duplicate = false;
+            d.drop_recv = false;
+        }
+        d
+    }
+
+    /// Injected delay duration.
+    pub fn delay_micros(&self) -> u64 {
+        self.plan.delay_micros
+    }
+
+    /// Number of attempts decided so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_field() {
+        let plan = FaultPlan::parse(
+            "seed=7,drop_send=0.05,drop_recv=0.1,delay=0.2:300,dup=0.02,disconnect=4+9",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop_send, 0.05);
+        assert_eq!(plan.drop_recv, 0.1);
+        assert_eq!(plan.delay, 0.2);
+        assert_eq!(plan.delay_micros, 300);
+        assert_eq!(plan.duplicate, 0.02);
+        assert_eq!(plan.disconnect_at, vec![4, 9]);
+        assert!(!plan.is_noop());
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultPlan::parse("drop_send").is_err());
+        assert!(FaultPlan::parse("drop_send=2.0").is_err());
+        assert!(FaultPlan::parse("delay=0.5").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("disconnect=1+x").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_client() {
+        let plan = FaultPlan::parse("seed=3,drop_send=0.3,drop_recv=0.3,dup=0.2").unwrap();
+        let run = |client: u32| -> Vec<FaultDecision> {
+            let mut fs = FaultState::new(plan.clone(), client);
+            (0..200).map(|_| fs.decide()).collect()
+        };
+        assert_eq!(run(1), run(1));
+        // Distinct clients draw from decorrelated streams.
+        assert_ne!(run(1), run(2));
+        // With these rates, every fault kind fires at least once in 200.
+        let seq = run(1);
+        assert!(seq.iter().any(|d| d.drop_send));
+        assert!(seq.iter().any(|d| d.drop_recv));
+        assert!(seq.iter().any(|d| d.duplicate));
+    }
+
+    #[test]
+    fn disconnect_fires_at_exact_attempts_and_masks_other_faults() {
+        let plan = FaultPlan::parse("seed=1,drop_send=1.0,disconnect=2").unwrap();
+        let mut fs = FaultState::new(plan, 0);
+        assert!(!fs.decide().disconnect);
+        assert!(!fs.decide().disconnect);
+        let d = fs.decide();
+        assert!(d.disconnect && !d.drop_send);
+        assert!(!fs.decide().disconnect);
+        assert_eq!(fs.attempts(), 4);
+    }
+}

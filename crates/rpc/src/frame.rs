@@ -1,0 +1,580 @@
+//! The length-prefixed binary wire protocol between PS and workers.
+//!
+//! Every message is one frame (little-endian):
+//!
+//! ```text
+//! magic   "MAMDRRPC1"            9 bytes
+//! version u8   (= WIRE_VERSION)  op-codes are versioned by this byte
+//! opcode  u8
+//! flags   u8
+//! seq     u64                    request id, echoed by the response
+//! len     u32                    payload length, <= MAX_PAYLOAD
+//! payload len bytes
+//! crc     u64                    FNV-1a over version..payload (not magic)
+//! ```
+//!
+//! Design points:
+//!
+//! * **Checksummed.** The trailing FNV-1a digest covers the header (after
+//!   the magic) and the payload, so a flipped bit anywhere in a frame is a
+//!   typed [`FrameError::Checksum`] — never a silently corrupted update.
+//! * **Length-capped.** `len` is validated against [`MAX_PAYLOAD`] *before*
+//!   any payload allocation; attacker-controlled declared lengths cannot
+//!   make the decoder over-allocate.
+//! * **Zero-copy f32 sections.** Row payloads move through
+//!   [`mamdr_util::write_f32_section`] / [`read_f32_into`], which on
+//!   little-endian hosts write and read the f32 memory block directly.
+//! * **Sequence-numbered.** `seq` pairs responses with requests (a client
+//!   discards stale responses after a retry) and makes pushes idempotent:
+//!   the server applies each `(client, seq)` push at most once.
+
+use mamdr_ps::ParamKey;
+use mamdr_util::{read_f32_into, Checksum};
+use std::io::{Read, Write};
+
+/// The 9-byte frame magic.
+pub const MAGIC: &[u8; 9] = b"MAMDRRPC1";
+
+/// Wire-protocol version. Bumped whenever op-codes or payload layouts
+/// change; a server rejects frames from a different version with a typed
+/// error instead of misparsing them.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on a frame's declared payload length (16 MiB). Validated
+/// before allocation: a malicious or corrupt length field cannot force an
+/// absurd allocation.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Bytes of framing around the payload: 9 magic + 1 version + 1 opcode +
+/// 1 flags + 8 seq + 4 len + 8 crc.
+pub const FRAME_OVERHEAD: usize = 32;
+
+/// Pull flag: respond with the row's version only (no value section, no
+/// traffic accounting server-side) — used by staleness probes.
+pub const FLAG_VERSION_ONLY: u8 = 0b0000_0001;
+
+/// Operation codes of wire version 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Worker → PS: read one row (optionally version-only).
+    Pull = 1,
+    /// PS → worker: row version + value.
+    PullOk = 2,
+    /// Worker → PS: apply one outer-gradient push (idempotent by seq).
+    Push = 3,
+    /// PS → worker: push acknowledged (applied or deduplicated).
+    PushOk = 4,
+    /// Worker → PS: block until every worker reached this round boundary.
+    BarrierSync = 5,
+    /// PS → worker: barrier released.
+    BarrierOk = 6,
+    /// Worker → PS: snapshot the store to the server's checkpoint dir.
+    Checkpoint = 7,
+    /// PS → worker: checkpoint written (payload carries the path).
+    CheckpointOk = 8,
+    /// Driver → PS: begin graceful drain.
+    Shutdown = 9,
+    /// PS → driver: drain acknowledged.
+    ShutdownOk = 10,
+    /// PS → worker: request-level failure (message payload).
+    Error = 11,
+}
+
+impl OpCode {
+    /// Decodes an op-code byte of the current wire version.
+    pub fn from_byte(b: u8) -> Result<Self, FrameError> {
+        Ok(match b {
+            1 => OpCode::Pull,
+            2 => OpCode::PullOk,
+            3 => OpCode::Push,
+            4 => OpCode::PushOk,
+            5 => OpCode::BarrierSync,
+            6 => OpCode::BarrierOk,
+            7 => OpCode::Checkpoint,
+            8 => OpCode::CheckpointOk,
+            9 => OpCode::Shutdown,
+            10 => OpCode::ShutdownOk,
+            11 => OpCode::Error,
+            other => return Err(FrameError::UnknownOpcode(other)),
+        })
+    }
+}
+
+/// A decode/transport error. Every way untrusted bytes can be malformed
+/// maps to a typed variant — the decoder never panics.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure (includes truncation mid-frame).
+    Io(std::io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic([u8; 9]),
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The op-code byte is not defined in this wire version.
+    UnknownOpcode(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// The FNV-1a digest does not match the received bytes.
+    Checksum { stored: u64, computed: u64 },
+    /// A payload body is shorter/longer than its op-code requires.
+    Malformed(String),
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            FrameError::UnknownOpcode(b) => write!(f, "unknown op-code {b}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "declared payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::Checksum { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            FrameError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Operation code.
+    pub opcode: OpCode,
+    /// Op-specific flags (e.g. [`FLAG_VERSION_ONLY`]).
+    pub flags: u8,
+    /// Request id; responses echo the request's `seq`.
+    pub seq: u64,
+    /// Op-specific payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with no flags.
+    pub fn new(opcode: OpCode, seq: u64, payload: Vec<u8>) -> Self {
+        Frame { opcode, flags: 0, seq, payload }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn wire_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload.len()
+    }
+
+    /// Encodes the frame into `w`.
+    pub fn encode(&self, mut w: impl Write) -> Result<(), FrameError> {
+        if self.payload.len() > MAX_PAYLOAD as usize {
+            return Err(FrameError::TooLarge(self.payload.len() as u32));
+        }
+        let mut head = [0u8; 15];
+        head[0] = WIRE_VERSION;
+        head[1] = self.opcode as u8;
+        head[2] = self.flags;
+        head[3..11].copy_from_slice(&self.seq.to_le_bytes());
+        head[11..15].copy_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let mut crc = Checksum::new();
+        crc.update(&head);
+        crc.update(&self.payload);
+        w.write_all(MAGIC)?;
+        w.write_all(&head)?;
+        w.write_all(&self.payload)?;
+        w.write_all(&crc.digest().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        self.encode(&mut buf).expect("Vec write is infallible");
+        buf
+    }
+
+    /// Decodes one frame from `r`.
+    ///
+    /// Validation order matters for robustness against untrusted bytes:
+    /// magic, version and the length cap are all checked *before* the
+    /// payload allocation, and the checksum is verified before the frame is
+    /// handed to any payload parser.
+    pub fn decode(mut r: impl Read) -> Result<Self, FrameError> {
+        let mut magic = [0u8; 9];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let mut head = [0u8; 15];
+        r.read_exact(&mut head)?;
+        if head[0] != WIRE_VERSION {
+            return Err(FrameError::UnsupportedVersion(head[0]));
+        }
+        let opcode_byte = head[1];
+        let flags = head[2];
+        let seq = u64::from_le_bytes(head[3..11].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(head[11..15].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        let mut crc_bytes = [0u8; 8];
+        r.read_exact(&mut crc_bytes)?;
+        let stored = u64::from_le_bytes(crc_bytes);
+        let mut crc = Checksum::new();
+        crc.update(&head);
+        crc.update(&payload);
+        let computed = crc.digest();
+        if stored != computed {
+            return Err(FrameError::Checksum { stored, computed });
+        }
+        // The op-code is validated *after* the checksum so corruption inside
+        // the opcode byte reports as corruption, not as a protocol gap.
+        let opcode = OpCode::from_byte(opcode_byte)?;
+        Ok(Frame { opcode, flags, seq, payload })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Cursor-style readers over `&[u8]`, mirroring the style of
+// `serve::snapshot`: every read is bounds-checked and returns a typed error.
+// ---------------------------------------------------------------------------
+
+fn take<'a>(r: &mut &'a [u8], n: usize) -> Result<&'a [u8], FrameError> {
+    if r.len() < n {
+        return Err(FrameError::Malformed(format!(
+            "payload needs {n} more bytes, has {}",
+            r.len()
+        )));
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Ok(head)
+}
+
+fn read_u32(r: &mut &[u8]) -> Result<u32, FrameError> {
+    Ok(u32::from_le_bytes(take(r, 4)?.try_into().expect("4 bytes")))
+}
+
+fn read_u64(r: &mut &[u8]) -> Result<u64, FrameError> {
+    Ok(u64::from_le_bytes(take(r, 8)?.try_into().expect("8 bytes")))
+}
+
+fn read_f32(r: &mut &[u8]) -> Result<f32, FrameError> {
+    Ok(f32::from_le_bytes(take(r, 4)?.try_into().expect("4 bytes")))
+}
+
+fn expect_empty(r: &[u8]) -> Result<(), FrameError> {
+    if r.is_empty() {
+        Ok(())
+    } else {
+        Err(FrameError::Malformed(format!("{} trailing bytes", r.len())))
+    }
+}
+
+/// Reads a `u32`-counted f32 section, bounds-checking the count against the
+/// remaining payload before allocating.
+fn read_counted_f32s(r: &mut &[u8]) -> Result<Vec<f32>, FrameError> {
+    let n = read_u32(r)? as usize;
+    if n * 4 > r.len() {
+        return Err(FrameError::Malformed(format!("{n} f32s declared, {} bytes left", r.len())));
+    }
+    let mut values = vec![0.0f32; n];
+    read_f32_into(take(r, n * 4)?, &mut values).expect("length checked");
+    Ok(values)
+}
+
+fn write_counted_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    mamdr_util::write_f32_section(&mut *out, values).expect("Vec write is infallible");
+}
+
+/// `Pull` request payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullReq {
+    /// The row to read.
+    pub key: ParamKey,
+}
+
+impl PullReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        out.extend_from_slice(&self.key.table.to_le_bytes());
+        out.extend_from_slice(&self.key.row.to_le_bytes());
+        out
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let table = read_u32(&mut r)?;
+        let row = read_u32(&mut r)?;
+        expect_empty(r)?;
+        Ok(PullReq { key: ParamKey::new(table, row) })
+    }
+}
+
+/// `PullOk` response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullResp {
+    /// The row's push version at read time.
+    pub version: u64,
+    /// Row values (empty for a version-only probe).
+    pub value: Vec<f32>,
+}
+
+impl PullResp {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + 4 * self.value.len());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        write_counted_f32s(&mut out, &self.value);
+        out
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let version = read_u64(&mut r)?;
+        let value = read_counted_f32s(&mut r)?;
+        expect_empty(r)?;
+        Ok(PullResp { version, value })
+    }
+}
+
+/// `Push` request payload: one outer-gradient row update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushReq {
+    /// The pushing worker (dedup namespace for `seq`).
+    pub client_id: u32,
+    /// The row to update.
+    pub key: ParamKey,
+    /// Server-side Adagrad learning rate.
+    pub lr: f32,
+    /// The outer gradient (Θ̃ − Θ for this row).
+    pub grad: Vec<f32>,
+}
+
+impl PushReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20 + 4 * self.grad.len());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&self.key.table.to_le_bytes());
+        out.extend_from_slice(&self.key.row.to_le_bytes());
+        out.extend_from_slice(&self.lr.to_le_bytes());
+        write_counted_f32s(&mut out, &self.grad);
+        out
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let client_id = read_u32(&mut r)?;
+        let table = read_u32(&mut r)?;
+        let row = read_u32(&mut r)?;
+        let lr = read_f32(&mut r)?;
+        let grad = read_counted_f32s(&mut r)?;
+        expect_empty(r)?;
+        Ok(PushReq { client_id, key: ParamKey::new(table, row), lr, grad })
+    }
+}
+
+/// `PushOk` response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushResp {
+    /// False when the push was recognized as a duplicate and skipped —
+    /// the retry saw its original already applied.
+    pub applied: bool,
+}
+
+impl PushResp {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![self.applied as u8]
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let b = take(&mut r, 1)?[0];
+        expect_empty(r)?;
+        Ok(PushResp { applied: b != 0 })
+    }
+}
+
+/// `BarrierSync` request payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierReq {
+    /// The worker arriving at the barrier (dedup: a retried arrival does
+    /// not count twice).
+    pub client_id: u32,
+    /// The round boundary being synchronized.
+    pub round: u64,
+    /// Number of distinct workers that must arrive before release.
+    pub expected: u32,
+}
+
+impl BarrierReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.expected.to_le_bytes());
+        out
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let client_id = read_u32(&mut r)?;
+        let round = read_u64(&mut r)?;
+        let expected = read_u32(&mut r)?;
+        expect_empty(r)?;
+        Ok(BarrierReq { client_id, round, expected })
+    }
+}
+
+/// `Checkpoint` request payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReq {
+    /// Round label baked into the checkpoint filename.
+    pub round: u64,
+}
+
+impl CheckpointReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        self.round.to_le_bytes().to_vec()
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let round = read_u64(&mut r)?;
+        expect_empty(r)?;
+        Ok(CheckpointReq { round })
+    }
+}
+
+/// Encodes an `Error` frame's message payload.
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    msg.as_bytes().to_vec()
+}
+
+/// Decodes an `Error` frame's message payload.
+pub fn decode_error(payload: &[u8]) -> String {
+    String::from_utf8_lossy(payload).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &Frame) -> Frame {
+        Frame::decode(frame.to_bytes().as_slice()).unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrips_bit_exactly() {
+        let frame = Frame::new(OpCode::Push, 42, vec![1, 2, 3, 255, 0]);
+        assert_eq!(roundtrip(&frame), frame);
+        let empty = Frame { opcode: OpCode::Shutdown, flags: 3, seq: u64::MAX, payload: vec![] };
+        assert_eq!(roundtrip(&empty), empty);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_detected() {
+        let buf =
+            Frame::new(OpCode::Pull, 7, PullReq { key: ParamKey::new(1, 9) }.encode()).to_bytes();
+        for pos in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(Frame::decode(bad.as_slice()).is_err(), "flip at byte {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let buf = Frame::new(OpCode::Pull, 1, vec![0u8; 16]).to_bytes();
+        for keep in 0..buf.len() {
+            let err = Frame::decode(&buf[..keep]).unwrap_err();
+            assert!(
+                matches!(err, FrameError::Io(_) | FrameError::BadMagic(_)),
+                "keep={keep}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_declared_length_is_rejected_before_allocation() {
+        // Hand-build a header declaring a payload over the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        let mut head = [0u8; 15];
+        head[0] = WIRE_VERSION;
+        head[1] = OpCode::Pull as u8;
+        head[11..15].copy_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&head);
+        assert!(matches!(Frame::decode(buf.as_slice()), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn wrong_version_and_opcode_are_typed_errors() {
+        let mut buf = Frame::new(OpCode::Pull, 1, vec![]).to_bytes();
+        buf[9] = 2; // version byte
+        assert!(matches!(Frame::decode(buf.as_slice()), Err(FrameError::UnsupportedVersion(2))));
+
+        // A valid checksum over an unknown op-code byte.
+        let mut frame = Frame::new(OpCode::Pull, 1, vec![]);
+        frame.opcode = OpCode::Error;
+        let mut buf = frame.to_bytes();
+        // Re-encode with opcode byte 200 and a matching checksum.
+        buf[10] = 200;
+        let mut crc = Checksum::new();
+        crc.update(&buf[9..buf.len() - 8]);
+        let crc = crc.digest().to_le_bytes();
+        let n = buf.len();
+        buf[n - 8..].copy_from_slice(&crc);
+        assert!(matches!(Frame::decode(buf.as_slice()), Err(FrameError::UnknownOpcode(200))));
+    }
+
+    #[test]
+    fn payload_codecs_roundtrip() {
+        let pull = PullReq { key: ParamKey::new(3, 77) };
+        assert_eq!(PullReq::decode(&pull.encode()).unwrap(), pull);
+        let resp = PullResp { version: 12, value: vec![1.5, -2.25, 0.0] };
+        assert_eq!(PullResp::decode(&resp.encode()).unwrap(), resp);
+        let push =
+            PushReq { client_id: 2, key: ParamKey::new(0, 5), lr: 0.5, grad: vec![0.25, -0.125] };
+        assert_eq!(PushReq::decode(&push.encode()).unwrap(), push);
+        let bar = BarrierReq { client_id: 1, round: 9, expected: 4 };
+        assert_eq!(BarrierReq::decode(&bar.encode()).unwrap(), bar);
+        let ck = CheckpointReq { round: 3 };
+        assert_eq!(CheckpointReq::decode(&ck.encode()).unwrap(), ck);
+        assert!(PushResp::decode(&PushResp { applied: true }.encode()).unwrap().applied);
+        assert_eq!(decode_error(&encode_error("boom")), "boom");
+    }
+
+    #[test]
+    fn payload_codecs_reject_truncation_and_trailing_garbage() {
+        let push =
+            PushReq { client_id: 2, key: ParamKey::new(0, 5), lr: 0.5, grad: vec![0.25, -0.125] };
+        let bytes = push.encode();
+        assert!(PushReq::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(PushReq::decode(&long).is_err());
+        // A counted f32 section whose count exceeds the remaining bytes
+        // must error before allocating.
+        let mut lying = PullResp { version: 1, value: vec![1.0] }.encode();
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PullResp::decode(&lying).is_err());
+    }
+}

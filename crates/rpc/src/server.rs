@@ -1,0 +1,240 @@
+//! The networked parameter server: a thread-per-connection TCP front end
+//! over the in-process [`ParameterServer`] store.
+//!
+//! Responsibilities beyond plain request dispatch:
+//!
+//! * **Exactly-once pushes.** Clients send pushes with monotonically
+//!   increasing sequence numbers; the server remembers the highest applied
+//!   sequence per client and applies a push only when its sequence is new.
+//!   A retried or duplicated push frame is acknowledged (`applied: false`)
+//!   without touching the store. The check-and-apply holds one lock, so
+//!   the guarantee survives concurrent connections.
+//! * **Round barriers.** `BarrierSync` blocks its connection thread until
+//!   the expected number of *distinct* clients has arrived at the round —
+//!   arrival is a set insert, so a retried arrival cannot double-count.
+//! * **Graceful drain.** `Shutdown` stops the accept loop; existing
+//!   connections keep being served until their clients hang up, then
+//!   [`PsServer::join`] returns.
+//!
+//! Every frame in or out is counted (`rpc_frames_total`,
+//! `rpc_bytes_in_total`, `rpc_bytes_out_total`), and push dedup is visible
+//! as `rpc_push_applied_total` / `rpc_push_deduped_total`.
+
+use crate::frame::{
+    encode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
+    PushResp, FLAG_VERSION_ONLY,
+};
+use mamdr_obs::MetricsRegistry;
+use mamdr_ps::{checkpoint, ParameterServer};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Inner {
+    ps: Arc<ParameterServer>,
+    dim: usize,
+    metrics: Arc<MetricsRegistry>,
+    /// Highest applied push sequence per client id.
+    last_push_seq: Mutex<HashMap<u32, u64>>,
+    /// Distinct clients arrived at each barrier round.
+    barrier: Mutex<HashMap<u64, HashSet<u32>>>,
+    barrier_cv: Condvar,
+    draining: AtomicBool,
+    checkpoint_dir: Option<PathBuf>,
+}
+
+/// The TCP parameter-server front end.
+pub struct PsServer {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl PsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop. The store is shared — the driver keeps direct access
+    /// for evaluation and checkpoint comparison.
+    pub fn bind(
+        addr: &str,
+        ps: Arc<ParameterServer>,
+        dim: usize,
+        metrics: Arc<MetricsRegistry>,
+        checkpoint_dir: Option<PathBuf>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking so the accept loop can observe the drain flag.
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            ps,
+            dim,
+            metrics,
+            last_push_seq: Mutex::new(HashMap::new()),
+            barrier: Mutex::new(HashMap::new()),
+            barrier_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            checkpoint_dir,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                if accept_inner.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_inner = Arc::clone(&accept_inner);
+                        conns.push(std::thread::spawn(move || serve_conn(stream, &conn_inner)));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Drain: wait for every open connection to finish.
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(PsServer { addr, inner, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared store.
+    pub fn store(&self) -> &Arc<ParameterServer> {
+        &self.inner.ps
+    }
+
+    /// Waits for the accept loop (and every connection it spawned) to
+    /// finish. Returns immediately useful only after a `Shutdown` request
+    /// and the clients disconnecting.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// True once a `Shutdown` request was processed.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Serves one client connection until EOF, error, or drain + hangup.
+fn serve_conn(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_nodelay(true);
+    let m = &inner.metrics;
+    loop {
+        let req = match Frame::decode(&mut stream) {
+            Ok(f) => f,
+            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => return,
+            Err(_) => {
+                // Undecodable bytes: the stream cannot be resynchronized,
+                // so count and hang up; the client reconnects and retries.
+                m.counter("rpc_frames_bad_total").inc();
+                return;
+            }
+        };
+        m.counter("rpc_frames_total").inc();
+        m.counter("rpc_bytes_in_total").add(req.wire_len() as u64);
+        let resp = handle(&req, inner);
+        m.counter("rpc_bytes_out_total").add(resp.wire_len() as u64);
+        if resp.encode(&mut stream).is_err() || stream.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request frame to the store. The response echoes the
+/// request's sequence number.
+fn handle(req: &Frame, inner: &Inner) -> Frame {
+    let seq = req.seq;
+    let error = |msg: String| Frame::new(OpCode::Error, seq, encode_error(&msg));
+    match req.opcode {
+        OpCode::Pull => match PullReq::decode(&req.payload) {
+            Ok(pull) => {
+                if req.flags & FLAG_VERSION_ONLY != 0 {
+                    // Silent observability probe: no value bytes, no
+                    // traffic accounting — mirrors `ParameterServer::version`.
+                    let version = inner.ps.version(pull.key);
+                    let payload = PullResp { version, value: Vec::new() }.encode();
+                    return Frame::new(OpCode::PullOk, seq, payload);
+                }
+                if inner.ps.read_silent(pull.key).is_none() {
+                    return error(format!("pull of uninitialized key {:?}", pull.key));
+                }
+                let value = inner.ps.pull(pull.key);
+                let version = inner.ps.version(pull.key);
+                Frame::new(OpCode::PullOk, seq, PullResp { version, value }.encode())
+            }
+            Err(e) => error(format!("bad pull payload: {e}")),
+        },
+        OpCode::Push => match PushReq::decode(&req.payload) {
+            Ok(push) => {
+                if inner.ps.read_silent(push.key).is_none() {
+                    return error(format!("push to uninitialized key {:?}", push.key));
+                }
+                // Exactly-once: check-and-apply under one lock so retries
+                // and concurrent clients cannot double-apply.
+                let mut last = inner.last_push_seq.lock().expect("push-seq lock");
+                let applied = match last.get(&push.client_id) {
+                    Some(&prev) if seq <= prev => false,
+                    _ => {
+                        inner.ps.push_outer_grad(push.key, &push.grad, push.lr);
+                        last.insert(push.client_id, seq);
+                        true
+                    }
+                };
+                drop(last);
+                let name =
+                    if applied { "rpc_push_applied_total" } else { "rpc_push_deduped_total" };
+                inner.metrics.counter(name).inc();
+                Frame::new(OpCode::PushOk, seq, PushResp { applied }.encode())
+            }
+            Err(e) => error(format!("bad push payload: {e}")),
+        },
+        OpCode::BarrierSync => match BarrierReq::decode(&req.payload) {
+            Ok(bar) => {
+                let mut rounds = inner.barrier.lock().expect("barrier lock");
+                rounds.entry(bar.round).or_default().insert(bar.client_id);
+                inner.barrier_cv.notify_all();
+                while rounds.get(&bar.round).map_or(0, HashSet::len) < bar.expected as usize {
+                    rounds = inner.barrier_cv.wait(rounds).expect("barrier wait");
+                }
+                Frame::new(OpCode::BarrierOk, seq, Vec::new())
+            }
+            Err(e) => error(format!("bad barrier payload: {e}")),
+        },
+        OpCode::Checkpoint => match CheckpointReq::decode(&req.payload) {
+            Ok(ck) => match &inner.checkpoint_dir {
+                Some(dir) => match checkpoint::save_to_dir(&inner.ps, inner.dim, dir, ck.round) {
+                    Ok(path) => Frame::new(
+                        OpCode::CheckpointOk,
+                        seq,
+                        path.to_string_lossy().into_owned().into_bytes(),
+                    ),
+                    Err(e) => error(format!("checkpoint failed: {e}")),
+                },
+                None => error("server has no checkpoint directory".into()),
+            },
+            Err(e) => error(format!("bad checkpoint payload: {e}")),
+        },
+        OpCode::Shutdown => {
+            inner.draining.store(true, Ordering::SeqCst);
+            Frame::new(OpCode::ShutdownOk, seq, Vec::new())
+        }
+        // Response op-codes arriving as requests are protocol violations.
+        other => error(format!("unexpected request op-code {other:?}")),
+    }
+}

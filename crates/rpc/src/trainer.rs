@@ -1,0 +1,206 @@
+//! Networked MAMDR training against the loopback [`PsServer`].
+//!
+//! The driver mirrors the in-process synchronous trainer
+//! (`DistributedConfig::sync_rounds`) move for move: identical domain
+//! partitions, identical per-worker seeds, identical aggregation, and the
+//! same single-writer gradient application — worker order, keys sorted.
+//! The only difference is *where* reads and writes go: worker threads pull
+//! rows through [`WorkerClient`]s over TCP, and the driver delivers the
+//! outer gradients as sequence-numbered `Push` RPCs. With fault injection
+//! off, a loopback run therefore produces bit-identical parameters,
+//! traffic counters and report to the in-process trainer; with faults on,
+//! retries and deduplication keep the *parameters* identical while the
+//! `rpc_*` counters record exactly what the fault plan injected.
+
+use crate::client::{RetryPolicy, RpcRowSource, WorkerClient};
+use crate::fault::{FaultPlan, FaultState};
+use crate::server::PsServer;
+use mamdr_data::{MdrDataset, Split};
+use mamdr_obs::MetricsRegistry;
+use mamdr_ps::trainer::{
+    evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
+    CachedRoundOutput,
+};
+use mamdr_ps::{CacheStats, DistributedConfig, DistributedReport, ParameterServer, SyncMode};
+use mamdr_tensor::pool;
+use mamdr_tensor::rng::derive_seed;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Configuration of a loopback distributed run.
+#[derive(Debug, Clone)]
+pub struct LoopbackConfig {
+    /// The training hyper-parameters, shared verbatim with the in-process
+    /// trainer. `mode` must be [`SyncMode::Cached`] — the no-cache
+    /// baseline's per-example round trips are an in-process measurement
+    /// tool, not a wire protocol.
+    pub train: DistributedConfig,
+    /// Deterministic fault schedule; `None` injects nothing.
+    pub fault: Option<FaultPlan>,
+    /// Client retry/deadline policy.
+    pub retry: RetryPolicy,
+    /// Where `Checkpoint` RPCs write snapshots (`None` disables them).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl LoopbackConfig {
+    /// A loopback config over training hyper-parameters, no faults.
+    pub fn new(train: DistributedConfig) -> Self {
+        LoopbackConfig { train, fault: None, retry: RetryPolicy::default(), checkpoint_dir: None }
+    }
+}
+
+/// The networked PS–worker trainer: a loopback [`PsServer`] plus N worker
+/// threads driving it through [`WorkerClient`]s.
+pub struct DistributedTrainer {
+    ps: Arc<ParameterServer>,
+    server: Option<PsServer>,
+    cfg: LoopbackConfig,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl DistributedTrainer {
+    /// Seeds a fresh store exactly like [`mamdr_ps::DistributedMamdr::new`]
+    /// and starts the loopback server on an ephemeral port.
+    pub fn new(
+        ds: &MdrDataset,
+        cfg: LoopbackConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> std::io::Result<Self> {
+        assert_eq!(
+            cfg.train.mode,
+            SyncMode::Cached,
+            "the networked trainer implements the cached §IV-E protocol only"
+        );
+        let ps = Arc::new(ParameterServer::new(cfg.train.n_shards, cfg.train.dim));
+        seed_server(&ps, ds, cfg.train.dim, cfg.train.seed);
+        let server = PsServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&ps),
+            cfg.train.dim,
+            Arc::clone(&metrics),
+            cfg.checkpoint_dir.clone(),
+        )?;
+        Ok(DistributedTrainer { ps, server: Some(server), cfg, metrics })
+    }
+
+    /// The server's loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.as_ref().expect("server running").addr()
+    }
+
+    /// The server-side store (for evaluation and checkpoint comparison).
+    pub fn store(&self) -> &Arc<ParameterServer> {
+        &self.ps
+    }
+
+    /// A client with this run's retry policy and — when a fault plan is
+    /// configured — a fault stream decorrelated by `(stream, client_id)`.
+    fn make_client(&self, client_id: u32, stream: u64) -> WorkerClient {
+        let fault = self.cfg.fault.as_ref().map(|plan| {
+            let mut p = plan.clone();
+            p.seed = derive_seed(plan.seed, stream);
+            FaultState::new(p, client_id)
+        });
+        WorkerClient::new(self.addr(), client_id, self.cfg.retry, fault, Arc::clone(&self.metrics))
+    }
+
+    /// Runs the configured number of outer rounds over the wire and
+    /// reports exactly like the in-process trainer.
+    pub fn train(&self, ds: &MdrDataset) -> DistributedReport {
+        let cfg = self.cfg.train;
+        if cfg.kernel_threads > 0 {
+            pool::set_threads(cfg.kernel_threads);
+        }
+        let mut combined = CacheStats::default();
+        let mut max_staleness = 0u64;
+        let mut round_losses = Vec::with_capacity(cfg.epochs);
+        // Client id 0 is the driver; workers are 1..=n. The driver's
+        // pushes carry the fault plan too, so retries exercise the
+        // server's exactly-once path where it matters most.
+        let mut driver = self.make_client(0, 0xD0);
+        for epoch in 0..cfg.epochs {
+            let partitions = partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers);
+            let outputs: Vec<CachedRoundOutput> = std::thread::scope(|scope| {
+                let handles: Vec<_> = partitions
+                    .iter()
+                    .enumerate()
+                    .map(|(w, part)| {
+                        scope.spawn(move || {
+                            // Per-epoch fault stream: the same plan seeds a
+                            // different fault sequence each round.
+                            let client = self.make_client(w as u32 + 1, epoch as u64);
+                            let src = RpcRowSource::new(client);
+                            let out = run_cached_round(
+                                &src,
+                                ds,
+                                part,
+                                cfg.inner_lr,
+                                worker_round_seed(cfg.seed, epoch, w),
+                            );
+                            let mut client = src.into_client();
+                            client
+                                .barrier(epoch as u64, cfg.n_workers as u32)
+                                .unwrap_or_else(|e| panic!("worker {w} barrier: {e}"));
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let mut loss_sum = 0.0f64;
+            let mut n_examples = 0u64;
+            for out in outputs {
+                combined.hits += out.cache.hits;
+                combined.misses += out.cache.misses;
+                max_staleness = max_staleness.max(out.staleness.max);
+                loss_sum += out.loss_sum;
+                n_examples += out.n_examples;
+                // Single writer, worker order, keys pre-sorted: the same
+                // total order the in-process synchronous driver applies.
+                for (key, delta) in out.grads {
+                    driver
+                        .push(key, &delta, cfg.outer_lr)
+                        .unwrap_or_else(|e| panic!("driver push of {key:?}: {e}"));
+                }
+            }
+            round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
+        }
+        let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
+        self.ps.export_kv_gauges(&self.metrics);
+        DistributedReport {
+            mean_auc: evaluate_server(&self.ps, ds, Split::Test),
+            pulls,
+            pushes,
+            total_bytes: bp + bs,
+            cache: combined,
+            max_staleness,
+            round_losses,
+        }
+    }
+
+    /// Writes a server-side checkpoint via the `Checkpoint` RPC and
+    /// returns its path. Requires [`LoopbackConfig::checkpoint_dir`].
+    pub fn checkpoint(&self, round: u64) -> Result<String, crate::client::RpcError> {
+        self.make_client(u32::MAX, 0xCC).checkpoint(round)
+    }
+
+    /// Gracefully drains the server: `Shutdown` RPC, then joins the accept
+    /// loop and every connection thread.
+    pub fn shutdown(mut self) {
+        // The drain request itself must not be fault-injected away.
+        let mut client = WorkerClient::new(
+            self.addr(),
+            u32::MAX - 1,
+            self.cfg.retry,
+            None,
+            Arc::clone(&self.metrics),
+        );
+        client.shutdown().expect("shutdown rpc");
+        drop(client);
+        if let Some(server) = self.server.take() {
+            server.join();
+        }
+    }
+}

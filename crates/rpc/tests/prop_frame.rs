@@ -1,0 +1,129 @@
+//! Property-based tests of the RPC wire codec: round trips are
+//! bit-identical, corruption and truncation surface as typed errors, and
+//! attacker-controlled bytes can never panic the decoder or trick it into
+//! allocating more than the declared-length cap permits.
+
+use mamdr_ps::ParamKey;
+use mamdr_rpc::frame::{
+    BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq, PushResp,
+    FRAME_OVERHEAD, MAX_PAYLOAD,
+};
+use proptest::prelude::*;
+
+fn opcode_from(byte: u8) -> OpCode {
+    // Map an arbitrary byte onto the valid op-code range.
+    OpCode::from_byte(1 + byte % 11).expect("in range")
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip_is_bit_identical(
+        op in 0u8..=255,
+        flags in 0u8..=255,
+        seq in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..600),
+    ) {
+        let frame = Frame { opcode: opcode_from(op), flags, seq, payload };
+        let decoded = Frame::decode(frame.to_bytes().as_slice()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn corrupting_any_byte_is_a_typed_error(
+        op in 0u8..=255,
+        seq in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..200),
+        pos in 0usize..4096,
+        xor in 1u8..=255,
+    ) {
+        let frame = Frame::new(opcode_from(op), seq, payload);
+        let mut bytes = frame.to_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        // Every single-byte flip lands in the magic, the checksummed
+        // header+payload region, or the checksum itself — all detected.
+        prop_assert!(Frame::decode(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncating_anywhere_is_an_error_not_a_panic(
+        seq in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..=255, 0..200),
+        keep in 0usize..4096,
+    ) {
+        let bytes = Frame::new(OpCode::Push, seq, payload).to_bytes();
+        let keep = keep % bytes.len();
+        prop_assert!(Frame::decode(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn attacker_bytes_never_panic_and_never_overallocate(
+        junk in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // Raw junk as a frame stream: must return (almost surely an
+        // error), never panic. The decoder validates the length cap before
+        // allocating, so even junk that happens to spell an enormous
+        // declared length cannot balloon memory.
+        let _ = Frame::decode(junk.as_slice());
+        // The same junk fed to every payload parser.
+        let _ = PullReq::decode(&junk);
+        let _ = PullResp::decode(&junk);
+        let _ = PushReq::decode(&junk);
+        let _ = PushResp::decode(&junk);
+        let _ = BarrierReq::decode(&junk);
+        let _ = CheckpointReq::decode(&junk);
+    }
+
+    #[test]
+    fn declared_length_above_cap_is_rejected_before_payload_reads(
+        seq in 0u64..u64::MAX,
+        excess in 1u32..=u32::MAX - MAX_PAYLOAD,
+    ) {
+        // Hand-forge a header whose length field exceeds the cap; the
+        // decoder must reject it from the 32 header bytes alone.
+        let mut bytes = Frame::new(OpCode::Pull, seq, Vec::new()).to_bytes();
+        bytes.truncate(FRAME_OVERHEAD - 8); // keep magic + header only
+        let lying = MAX_PAYLOAD + excess;
+        bytes[20..24].copy_from_slice(&lying.to_le_bytes());
+        prop_assert!(matches!(
+            Frame::decode(bytes.as_slice()),
+            Err(FrameError::TooLarge(n)) if n == lying
+        ));
+    }
+
+    #[test]
+    fn pull_and_push_payloads_roundtrip(
+        table in 0u32..16,
+        row in 0u32..u32::MAX,
+        client in 0u32..64,
+        version in 0u64..u64::MAX,
+        lr in -10.0f32..10.0,
+        values in proptest::collection::vec(-1e30f32..1e30, 0..64),
+    ) {
+        let key = ParamKey::new(table, row);
+        let pull = PullReq { key };
+        prop_assert_eq!(PullReq::decode(&pull.encode()).unwrap(), pull);
+        let resp = PullResp { version, value: values.clone() };
+        prop_assert_eq!(PullResp::decode(&resp.encode()).unwrap(), resp);
+        let push = PushReq { client_id: client, key, lr, grad: values };
+        prop_assert_eq!(PushReq::decode(&push.encode()).unwrap(), push);
+        let bar = BarrierReq { client_id: client, round: version, expected: table };
+        prop_assert_eq!(BarrierReq::decode(&bar.encode()).unwrap(), bar);
+    }
+
+    #[test]
+    fn truncated_payload_bodies_error(
+        values in proptest::collection::vec(-1e6f32..1e6, 1..32),
+        cut in 1usize..256,
+    ) {
+        let push = PushReq {
+            client_id: 1,
+            key: ParamKey::new(2, 3),
+            lr: 0.5,
+            grad: values,
+        };
+        let bytes = push.encode();
+        let cut = 1 + cut % (bytes.len() - 1);
+        prop_assert!(PushReq::decode(&bytes[..bytes.len() - cut]).is_err());
+    }
+}

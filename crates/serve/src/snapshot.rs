@@ -32,10 +32,11 @@ use mamdr_core::env::DomainParams;
 use mamdr_core::TrainedModel;
 use mamdr_data::Batch;
 use mamdr_models::{build_model, CtrModel, FeatureConfig, ModelConfig, ModelKind};
-use mamdr_nn::persist::{read_f32_section, write_f32_section, Checksum, PersistError};
+use mamdr_nn::persist::PersistError;
 use mamdr_nn::ParamStore;
 use mamdr_ps::{model as ps_model, ParamKey, ParameterServer};
 use mamdr_tensor::Tensor;
+use mamdr_util::{read_f32_section, write_f32_section, Checksum};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::Path;

@@ -17,6 +17,9 @@
 //! * [`obs`] — unified telemetry: metrics registry, event log, observers.
 //! * [`serve`] — online inference: frozen serving snapshots, per-domain
 //!   routing, micro-batched scoring with hot model swap.
+//! * [`rpc`] — the networked PS–worker runtime: checksummed TCP wire
+//!   protocol, retrying clients, deterministic fault injection, and a
+//!   loopback distributed trainer.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use mamdr_models as models;
 pub use mamdr_nn as nn;
 pub use mamdr_obs as obs;
 pub use mamdr_ps as ps;
+pub use mamdr_rpc as rpc;
 pub use mamdr_serve as serve;
 pub use mamdr_tensor as tensor;
 
@@ -60,6 +64,7 @@ pub mod prelude {
     pub use mamdr_nn::{Optimizer, OptimizerKind, ParamStore};
     pub use mamdr_obs::MetricsRegistry;
     pub use mamdr_ps::{DistributedConfig, DistributedMamdr, SyncMode};
+    pub use mamdr_rpc::{DistributedTrainer, FaultPlan, LoopbackConfig};
     pub use mamdr_serve::{
         ModelSpec, ScoreRequest, ScoringEngine, ServeConfig, ServeResult, Server, ServingSnapshot,
     };

@@ -1,0 +1,148 @@
+//! Whole-system tests of the networked PS–worker runtime: fault-free
+//! loopback training must be bit-identical to the in-process synchronous
+//! trainer, and training under an aggressive fault plan must still apply
+//! every outer update exactly once — same final parameters, all rounds
+//! completed, with the chaos fully visible in the `rpc_*` counters.
+
+use mamdr::data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr::obs::MetricsRegistry;
+use mamdr::ps::{checkpoint, DistributedConfig, DistributedMamdr};
+use mamdr::rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, RetryPolicy};
+use std::sync::Arc;
+
+fn dataset() -> MdrDataset {
+    let mut cfg = GeneratorConfig::base("rpc", 80, 50, 55);
+    cfg.domains = (0..6).map(|i| DomainSpec::new(format!("d{i}"), 300, 0.3)).collect();
+    cfg.generate()
+}
+
+fn train_config() -> DistributedConfig {
+    DistributedConfig {
+        n_workers: 2,
+        epochs: 3,
+        sync_rounds: true,
+        kernel_threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Byte-exact snapshot of a store (checkpoint::save sorts rows, so equal
+/// parameters mean equal bytes).
+fn snapshot_bytes(ps: &mamdr::ps::ParameterServer, dim: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    checkpoint::save(ps, dim, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn fault_free_loopback_training_is_bit_identical_to_in_process() {
+    let ds = dataset();
+    let cfg = train_config();
+
+    let local_trainer = DistributedMamdr::new(&ds, cfg);
+    let local = local_trainer.train(&ds);
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let net_trainer =
+        DistributedTrainer::new(&ds, LoopbackConfig::new(cfg), Arc::clone(&metrics)).unwrap();
+    let remote = net_trainer.train(&ds);
+
+    // Every report field matches exactly — same losses, same AUC bits,
+    // same RPC and byte counts.
+    assert_eq!(remote.mean_auc.to_bits(), local.mean_auc.to_bits());
+    assert_eq!(remote.round_losses, local.round_losses);
+    assert_eq!(remote.pulls, local.pulls);
+    assert_eq!(remote.pushes, local.pushes);
+    assert_eq!(remote.total_bytes, local.total_bytes);
+    assert_eq!(remote.cache, local.cache);
+    assert_eq!(remote.max_staleness, 0);
+
+    // The stores themselves are byte-identical.
+    assert_eq!(
+        snapshot_bytes(net_trainer.store(), cfg.dim),
+        snapshot_bytes(local_trainer.server(), cfg.dim),
+        "loopback and in-process parameters diverged"
+    );
+
+    // A clean network: frames flowed, nothing retried, nothing deduped.
+    assert!(metrics.counter("rpc_frames_total").get() > 0);
+    assert_eq!(metrics.counter("rpc_retries_total").get(), 0);
+    assert_eq!(metrics.counter("rpc_push_deduped_total").get(), 0);
+    assert_eq!(metrics.counter("rpc_push_applied_total").get(), local.pushes);
+    net_trainer.shutdown();
+}
+
+#[test]
+fn faulted_training_completes_with_zero_lost_or_double_applied_updates() {
+    let ds = dataset();
+    let cfg = train_config();
+
+    // The ground truth: the same run with a perfect network.
+    let local_trainer = DistributedMamdr::new(&ds, cfg);
+    let local = local_trainer.train(&ds);
+
+    // Drops, delays, duplicates, and a mid-round disconnect on every
+    // client's fourth attempt.
+    let plan = FaultPlan::parse(
+        "seed=11,drop_send=0.02,drop_recv=0.02,delay=0.05:100,dup=0.03,disconnect=3",
+    )
+    .unwrap();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let loopback = LoopbackConfig {
+        fault: Some(plan),
+        retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
+        ..LoopbackConfig::new(cfg)
+    };
+    let net_trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+    let remote = net_trainer.train(&ds);
+
+    // All rounds ran, and the learning signal is the exact one the clean
+    // run produced: the fault layer is invisible to the math.
+    assert_eq!(remote.round_losses.len(), cfg.epochs);
+    assert_eq!(remote.round_losses, local.round_losses);
+    assert_eq!(remote.mean_auc.to_bits(), local.mean_auc.to_bits());
+    assert_eq!(
+        snapshot_bytes(net_trainer.store(), cfg.dim),
+        snapshot_bytes(local_trainer.server(), cfg.dim),
+        "faults lost or double-applied at least one update"
+    );
+
+    // Sequence-number audit: the store received exactly the clean run's
+    // update count; every surviving duplicate or retried push landed in
+    // the dedup path instead of the apply path.
+    let applied = metrics.counter("rpc_push_applied_total").get();
+    let deduped = metrics.counter("rpc_push_deduped_total").get();
+    assert_eq!(applied, local.pushes);
+    assert_eq!(net_trainer.store().traffic().snapshot().1, local.pushes);
+
+    // The chaos actually happened and was counted.
+    assert!(metrics.counter("rpc_retries_total").get() > 0);
+    assert!(metrics.counter("rpc_faults_dropped_total").get() > 0);
+    assert!(metrics.counter("rpc_faults_duplicated_total").get() > 0);
+    assert!(metrics.counter("rpc_faults_disconnects_total").get() > 0);
+    assert!(deduped > 0, "duplicates/retries should have exercised dedup");
+    net_trainer.shutdown();
+}
+
+#[test]
+fn identical_fault_plans_produce_identical_fault_counters() {
+    let ds = dataset();
+    let cfg = train_config();
+    let run = || {
+        let plan =
+            FaultPlan::parse("seed=9,drop_send=0.05,drop_recv=0.05,dup=0.05,disconnect=5").unwrap();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let loopback = LoopbackConfig {
+            fault: Some(plan),
+            retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
+            ..LoopbackConfig::new(cfg)
+        };
+        let trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+        trainer.train(&ds);
+        trainer.shutdown();
+        metrics.counter_values()
+    };
+    // Determinism down to every counter: this is what lets CI grep exact
+    // values out of the dist-smoke run.
+    assert_eq!(run(), run());
+}
