@@ -26,6 +26,15 @@ pub struct BenchArgs {
     /// e.g. `seed=7,drop_send=0.05,dup=0.05,disconnect=3`. `None` runs a
     /// perfect network.
     pub fault_plan: Option<String>,
+    /// Write a parameter checkpoint + round journal every this many
+    /// rounds (0 disables journaling). Requires `--checkpoint-dir` or
+    /// `--resume`.
+    pub checkpoint_every: usize,
+    /// Directory the distributed binaries write checkpoints/journals to.
+    pub checkpoint_dir: Option<String>,
+    /// Resume a distributed run from the newest valid journal in this
+    /// directory (also used as the checkpoint destination).
+    pub resume: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -39,6 +48,9 @@ impl Default for BenchArgs {
             metrics_out: None,
             workers: 0,
             fault_plan: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            resume: None,
         }
     }
 }
@@ -70,9 +82,15 @@ impl BenchArgs {
                 "--metrics-out" => out.metrics_out = Some(take("--metrics-out")),
                 "--workers" => out.workers = num("--workers", take("--workers")) as usize,
                 "--fault-plan" => out.fault_plan = Some(take("--fault-plan")),
+                "--checkpoint-every" => {
+                    out.checkpoint_every =
+                        num("--checkpoint-every", take("--checkpoint-every")) as usize;
+                }
+                "--checkpoint-dir" => out.checkpoint_dir = Some(take("--checkpoint-dir")),
+                "--resume" => out.resume = Some(take("--resume")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir>"
                     );
                     std::process::exit(2);
                 }
@@ -122,6 +140,16 @@ impl BenchArgs {
         if let Some(spec) = &self.fault_plan {
             if let Err(e) = mamdr_rpc::FaultPlan::parse(spec) {
                 return Err(format!("--fault-plan {spec}: {e}"));
+            }
+        }
+        if self.checkpoint_every > 0 && self.checkpoint_dir.is_none() && self.resume.is_none() {
+            return Err(
+                "--checkpoint-every requires --checkpoint-dir <dir> (or --resume <dir>)".into()
+            );
+        }
+        if let Some(dir) = &self.resume {
+            if !std::path::Path::new(dir).is_dir() {
+                return Err(format!("--resume {dir} is not an existing directory"));
             }
         }
         if let Some(path) = &self.metrics_out {
@@ -248,6 +276,34 @@ mod tests {
         assert!(err.contains("--fault-plan"), "{err}");
         let err = parse(&["--fault-plan", "nonsense=1"]).validate().unwrap_err();
         assert!(err.contains("--fault-plan"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_parse_and_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.checkpoint_every, 0);
+        assert_eq!(a.checkpoint_dir, None);
+        assert_eq!(a.resume, None);
+        assert!(a.validate().is_ok());
+
+        // Journaling needs a destination directory.
+        let err = parse(&["--checkpoint-every", "2"]).validate().unwrap_err();
+        assert!(err.contains("--checkpoint-every"), "{err}");
+        let a = parse(&["--checkpoint-every", "2", "--checkpoint-dir", "/tmp/ckpts"]);
+        assert_eq!(a.checkpoint_every, 2);
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("/tmp/ckpts"));
+        assert!(a.validate().is_ok());
+
+        // Resume demands an existing directory up front.
+        let err = parse(&["--resume", "/no/such/dir/ever"]).validate().unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        let dir = std::env::temp_dir();
+        let a = parse(&["--resume", dir.to_str().unwrap()]);
+        assert_eq!(a.resume.as_deref(), dir.to_str());
+        assert!(a.validate().is_ok());
+        // A resume directory doubles as the checkpoint destination.
+        let a = parse(&["--checkpoint-every", "2", "--resume", dir.to_str().unwrap()]);
+        assert!(a.validate().is_ok());
     }
 
     #[test]

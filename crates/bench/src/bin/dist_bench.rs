@@ -16,15 +16,24 @@
 //! Prometheus-style `.prom` snapshot.
 //!
 //! Knobs: `--workers` sets the client count (default 2), `--fault-plan`
-//! injects seeded drops/delays/duplicates/disconnects (default: perfect
-//! network), `--scale` multiplies the dataset size, and `--threads`,
-//! `--epochs`, `--seed`, `--quick` behave as everywhere else.
+//! injects seeded drops/delays/duplicates/disconnects plus scheduled
+//! worker kills/hangs/poisons (default: perfect network), `--scale`
+//! multiplies the dataset size, and `--threads`, `--epochs`, `--seed`,
+//! `--quick` behave as everywhere else.
+//!
+//! Crash-resume drill: `--checkpoint-every N --checkpoint-dir <dir>`
+//! journals every N rounds; a later invocation with `--resume <dir>`
+//! restores the newest journal and runs only the remaining rounds. The
+//! resumed run must still match the uninterrupted in-process ground truth
+//! in every round loss and the final AUC bits (the push-count gates are
+//! skipped, since the RPC counters only cover the resumed segment).
 
 use mamdr_bench::{BenchArgs, BenchTelemetry, QUICK_SCALE_FACTOR};
 use mamdr_data::presets;
 use mamdr_obs::Value;
 use mamdr_ps::{DistributedConfig, DistributedMamdr};
 use mamdr_rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, RetryPolicy};
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
@@ -59,20 +68,37 @@ fn main() {
     let local = local_trainer.train(&ds);
     let local_secs = t0.elapsed().as_secs_f64();
 
+    let resuming = args.resume.is_some();
+    let checkpoint_dir: Option<PathBuf> =
+        args.resume.as_deref().or(args.checkpoint_dir.as_deref()).map(PathBuf::from);
     eprintln!(
-        "[dist_bench] loopback TCP run ({} workers, faults: {}) ...",
+        "[dist_bench] loopback TCP run ({} workers, faults: {}, journal every {} rounds{}) ...",
         cfg.n_workers,
         args.fault_plan.as_deref().unwrap_or("none"),
+        args.checkpoint_every,
+        if resuming { ", resuming" } else { "" },
     );
     let loopback = LoopbackConfig {
         fault: plan,
         retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
+        checkpoint_dir,
+        checkpoint_every: args.checkpoint_every,
+        resume: resuming,
         ..LoopbackConfig::new(cfg)
     };
     let t0 = Instant::now();
-    let net_trainer = DistributedTrainer::new(&ds, loopback, telemetry.registry_arc())
-        .expect("loopback bind cannot fail");
-    let remote = net_trainer.train(&ds);
+    let mut net_trainer = DistributedTrainer::new(&ds, loopback, telemetry.registry_arc())
+        .unwrap_or_else(|e| {
+            eprintln!("[dist_bench] FAILED to start the loopback trainer: {e}");
+            std::process::exit(1);
+        });
+    if resuming {
+        eprintln!("[dist_bench] resumed at round {}", net_trainer.start_epoch());
+    }
+    let remote = net_trainer.train(&ds).unwrap_or_else(|e| {
+        eprintln!("[dist_bench] FAILED: distributed run did not complete: {e}");
+        std::process::exit(1);
+    });
     let remote_secs = t0.elapsed().as_secs_f64();
     let store_pushes = net_trainer.store().traffic().snapshot().1;
     net_trainer.shutdown();
@@ -143,11 +169,17 @@ fn main() {
     if remote.mean_auc.to_bits() != local.mean_auc.to_bits() {
         failures.push(format!("AUC diverged: {} vs {}", remote.mean_auc, local.mean_auc));
     }
-    if applied != local.pushes {
-        failures.push(format!("applied {} of {} expected outer updates", applied, local.pushes));
-    }
-    if store_pushes != local.pushes {
-        failures.push(format!("store saw {store_pushes} pushes, expected {}", local.pushes));
+    // The RPC push counters only cover the resumed segment, so the
+    // exactly-once audit against the full-run push count applies to
+    // uninterrupted runs only; a resumed run is gated on losses and AUC.
+    if !resuming {
+        if applied != local.pushes {
+            failures
+                .push(format!("applied {} of {} expected outer updates", applied, local.pushes));
+        }
+        if store_pushes != local.pushes {
+            failures.push(format!("store saw {store_pushes} pushes, expected {}", local.pushes));
+        }
     }
     if !failures.is_empty() {
         for f in &failures {
@@ -155,8 +187,15 @@ fn main() {
         }
         std::process::exit(1);
     }
-    eprintln!(
-        "[dist_bench] OK: loopback run bit-identical to in-process run, \
-         {applied} updates applied exactly once"
-    );
+    if resuming {
+        eprintln!(
+            "[dist_bench] OK: resumed run bit-identical to uninterrupted in-process run \
+             ({applied} updates applied in the resumed segment)"
+        );
+    } else {
+        eprintln!(
+            "[dist_bench] OK: loopback run bit-identical to in-process run, \
+             {applied} updates applied exactly once"
+        );
+    }
 }

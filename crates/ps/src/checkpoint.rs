@@ -13,6 +13,7 @@
 //! ```
 
 use crate::kv::{ParamKey, ParameterServer};
+use mamdr_obs::{EventLog, Value};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -120,20 +121,51 @@ pub fn save_to_dir(
     Ok(path)
 }
 
-/// Finds the newest checkpoint in `dir`: the `ckpt-<round>.mamdrps` file
-/// with the highest round number (lexicographic on the zero-padded name).
+/// Quick structural validation of a checkpoint file: magic, plausible
+/// header, and an exact file-length match against the declared row count.
+/// Catches truncation and header corruption without parsing every row
+/// (payload bit flips are the journal's checksum's job — the v1 checkpoint
+/// format predates `mamdr-util` and carries no digest).
+fn validate_checkpoint(path: &Path) -> Result<(), CheckpointError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; 8 + 4 + 8];
+    f.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let dim = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as u64;
+    let n_rows = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let expected = 20 + n_rows.saturating_mul(8 + 4 * dim);
+    let actual = f.metadata()?.len();
+    if actual != expected {
+        return Err(CheckpointError::Corrupt(format!(
+            "file is {actual} bytes, header declares {expected} ({n_rows} rows × dim {dim})"
+        )));
+    }
+    Ok(())
+}
+
+/// Finds the newest *structurally valid* checkpoint in `dir`: candidates
+/// (`ckpt-<round>.mamdrps`, lexicographic on the zero-padded name) are
+/// scanned newest-first, and a corrupt or truncated file is skipped — with
+/// a `checkpoint_skipped` event when `log` is given — falling back to the
+/// next-newest instead of failing the whole discovery.
 ///
 /// This is the single discovery path shared by recovery (the PS trainer
 /// resuming) and serving (`mamdr-serve` building a snapshot from the most
 /// recent training state). Returns `Ok(None)` for an empty or absent
-/// directory; non-checkpoint files are ignored.
-pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+/// directory, or when every candidate is corrupt; non-checkpoint files are
+/// ignored.
+pub fn latest_checkpoint(
+    dir: &Path,
+    log: Option<&EventLog>,
+) -> Result<Option<PathBuf>, CheckpointError> {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
-    let mut best: Option<PathBuf> = None;
+    let mut candidates: Vec<PathBuf> = Vec::new();
     for entry in entries {
         let path = entry?.path();
         let name = match path.file_name().and_then(|n| n.to_str()) {
@@ -142,14 +174,28 @@ pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError>
         };
         let is_ckpt = name.starts_with("ckpt-")
             && path.extension().and_then(|e| e.to_str()) == Some(CHECKPOINT_EXT);
-        if !is_ckpt {
-            continue;
-        }
-        if best.as_ref().is_none_or(|b| path.file_name() > b.file_name()) {
-            best = Some(path);
+        if is_ckpt {
+            candidates.push(path);
         }
     }
-    Ok(best)
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        match validate_checkpoint(&path) {
+            Ok(()) => return Ok(Some(path)),
+            Err(e) => {
+                if let Some(log) = log {
+                    log.emit(
+                        "checkpoint_skipped",
+                        &[
+                            ("path", Value::from(path.to_string_lossy().into_owned())),
+                            ("error", Value::from(e.to_string())),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Loads a checkpoint file into a fresh server with `n_shards` shards.
@@ -218,7 +264,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mamdr-ckpt-test-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         // Absent directory: no checkpoint, no error.
-        assert!(latest_checkpoint(&dir).unwrap().is_none());
+        assert!(latest_checkpoint(&dir, None).unwrap().is_none());
 
         let ps = sample_server();
         let p3 = save_to_dir(&ps, 3, &dir, 3).unwrap();
@@ -227,13 +273,38 @@ mod tests {
         // Distractors that must be ignored by discovery.
         std::fs::write(dir.join("notes.txt"), "x").unwrap();
         std::fs::write(dir.join("ckpt-9999999999.tmp"), "x").unwrap();
-        let found = latest_checkpoint(&dir).unwrap().expect("checkpoint present");
+        let found = latest_checkpoint(&dir, None).unwrap().expect("checkpoint present");
         assert_eq!(found, p12, "round 12 must shadow round 3");
 
         // The discovered file round-trips into a working server.
         let restored = load_from_path(&found, 2).unwrap();
         assert_eq!(restored.n_rows(), ps.n_rows());
         assert_eq!(restored.value_dim(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_checkpoint_skips_corrupt_files_and_logs() {
+        let dir = std::env::temp_dir().join(format!("mamdr-ckpt-skip-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ps = sample_server();
+        let good = save_to_dir(&ps, 3, &dir, 4).unwrap();
+        let newer = save_to_dir(&ps, 3, &dir, 9).unwrap();
+
+        // Truncate the newest: discovery must fall back to round 4 and log.
+        let bytes = std::fs::read(&newer).unwrap();
+        std::fs::write(&newer, &bytes[..bytes.len() - 3]).unwrap();
+        let log = mamdr_obs::EventLog::in_memory();
+        let found = latest_checkpoint(&dir, Some(&log)).unwrap().expect("fallback present");
+        assert_eq!(found, good);
+        let lines = log.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("checkpoint_skipped"), "{}", lines[0]);
+        assert!(lines[0].contains("ckpt-0000000009"), "{}", lines[0]);
+
+        // Bad magic on the fallback too: nothing valid remains.
+        std::fs::write(&good, b"NOTMAGIC________________").unwrap();
+        assert!(latest_checkpoint(&dir, None).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

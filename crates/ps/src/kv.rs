@@ -242,6 +242,52 @@ impl ParameterServer {
         }
         out
     }
+
+    /// Copies every materialized Adagrad accumulator row out of the store
+    /// (order unspecified — callers sort). Together with
+    /// [`ParameterServer::dump_rows`] this is the complete optimizer state
+    /// a resumed run needs to continue bit-identically: values alone are
+    /// not enough, because a cold-started accumulator rescales the next
+    /// update of every previously-touched row.
+    pub fn dump_adagrad(&self) -> Vec<(ParamKey, Vec<f32>)> {
+        let mut out = Vec::new();
+        for shard in &self.adagrad {
+            for (k, v) in shard.read().iter() {
+                out.push((*k, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Seeds one Adagrad accumulator row verbatim (resume/rollback; no
+    /// traffic accounting, no version bump).
+    pub fn restore_adagrad_row(&self, key: ParamKey, acc: Vec<f32>) {
+        self.adagrad[self.shard_of(key)].write().insert(key, acc);
+    }
+
+    /// Restores the full training state — values and Adagrad accumulators —
+    /// in place, replacing whatever the store currently holds. Traffic
+    /// counters and row versions are deliberately left alone: the RPCs that
+    /// moved the now-discarded updates really happened, and versions only
+    /// ever need to be monotonic (staleness is measured as a delta within
+    /// one round).
+    ///
+    /// This is the rollback primitive: the server object stays shared (the
+    /// RPC front end holds an `Arc` to it), only its contents rewind.
+    pub fn restore_state(&self, rows: &[(ParamKey, Vec<f32>)], adagrad: &[(ParamKey, Vec<f32>)]) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        for shard in &self.adagrad {
+            shard.write().clear();
+        }
+        for (k, v) in rows {
+            self.init_row(*k, v.clone());
+        }
+        for (k, a) in adagrad {
+            self.restore_adagrad_row(*k, a.clone());
+        }
+    }
 }
 
 impl RowSource for ParameterServer {
@@ -321,6 +367,31 @@ mod tests {
         let src: &dyn RowSource = &ps;
         assert_eq!(src.pull_versioned(key), (vec![2.0, -1.0], 1));
         assert_eq!(src.version_of(key), 1);
+    }
+
+    #[test]
+    fn restore_state_rewinds_values_and_accumulators() {
+        let ps = ParameterServer::new(2, 2);
+        let key = ParamKey::new(0, 0);
+        ps.init_row(key, vec![1.0, 2.0]);
+        ps.push_outer_grad(key, &[1.0, -1.0], 0.5);
+        let rows = ps.dump_rows();
+        let acc = ps.dump_adagrad();
+        assert_eq!(acc.len(), 1, "one accumulator materialized");
+        // Move further, then rewind.
+        ps.push_outer_grad(key, &[4.0, 4.0], 0.5);
+        ps.init_row(ParamKey::new(1, 1), vec![9.0, 9.0]);
+        ps.restore_state(&rows, &acc);
+        assert_eq!(ps.n_rows(), 1, "extra row dropped by restore");
+        assert_eq!(ps.read_silent(key), rows[0].1.clone().into());
+        assert_eq!(ps.dump_adagrad(), acc);
+        // A post-restore push continues from the restored accumulator: it
+        // must match a push applied directly after the snapshot point.
+        let twin = ParameterServer::new(2, 2);
+        twin.restore_state(&rows, &acc);
+        ps.push_outer_grad(key, &[1.0, 1.0], 0.5);
+        twin.push_outer_grad(key, &[1.0, 1.0], 0.5);
+        assert_eq!(ps.read_silent(key), twin.read_silent(key));
     }
 
     #[test]

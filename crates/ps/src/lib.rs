@@ -37,11 +37,15 @@
 
 pub mod cache;
 pub mod checkpoint;
+pub mod guard;
+pub mod journal;
 pub mod kv;
 pub mod model;
 pub mod trainer;
 
 pub use cache::{CacheStats, StalenessStats, WorkerCache};
+pub use guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
+pub use journal::{latest_journal, JournalError, RoundJournal};
 pub use kv::{ParamKey, ParameterServer, RowSource, TrafficStats};
 pub use trainer::{
     evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,

@@ -3,6 +3,7 @@
 //! update on the parameter server (paper Fig. 6).
 
 use crate::cache::{CacheStats, StalenessStats, WorkerCache};
+use crate::guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
 use crate::kv::{ParamKey, ParameterServer, RowSource};
 use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
 use mamdr_core::metrics::auc;
@@ -57,6 +58,10 @@ pub struct DistributedConfig {
     /// `0` (the default) inherits the process-wide setting. Results are
     /// bit-identical at any value.
     pub kernel_threads: usize,
+    /// Divergence guard over the synchronous apply path (disabled by
+    /// default; only consulted when [`DistributedConfig::sync_rounds`] is
+    /// set, because only then does the driver see every update).
+    pub guard: GuardConfig,
 }
 
 impl Default for DistributedConfig {
@@ -72,6 +77,7 @@ impl Default for DistributedConfig {
             sync_rounds: false,
             seed: 1,
             kernel_threads: 0,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -94,6 +100,10 @@ pub struct DistributedReport {
     pub max_staleness: u64,
     /// Mean training log-loss of each outer round, in round order.
     pub round_losses: Vec<f64>,
+    /// Guard trips (worker updates skipped or rolled back as divergent).
+    pub guard_trips: u64,
+    /// Guard-demanded rollbacks to the last good round boundary.
+    pub guard_rollbacks: u64,
 }
 
 impl DistributedReport {
@@ -117,6 +127,8 @@ impl DistributedReport {
         if let Some(&last) = self.round_losses.last() {
             registry.gauge("ps_train_loss").set(last);
         }
+        registry.counter("ps_guard_trips_total").add(self.guard_trips);
+        registry.counter("ps_guard_rollbacks_total").add(self.guard_rollbacks);
     }
 }
 
@@ -265,6 +277,14 @@ impl DistributedMamdr {
         let mut combined = CacheStats::default();
         let mut max_staleness = 0u64;
         let mut round_losses = Vec::with_capacity(cfg.epochs);
+        // The guard only makes sense when the driver is the sole writer:
+        // asynchronous workers apply their own pushes before the driver
+        // could vet them. The last-good snapshot carries both values and
+        // Adagrad accumulators so a rollback rewinds the optimizer too.
+        let guard_active = cfg.sync_rounds && cfg.guard.enabled;
+        let mut guard = GuardRail::new(cfg.guard);
+        let mut last_good =
+            if guard_active { Some((self.ps.dump_rows(), self.ps.dump_adagrad())) } else { None };
         for epoch in 0..cfg.epochs {
             // Round-robin partition of domains over workers, reshuffled
             // each epoch (the driver-side analogue of DN's domain shuffle).
@@ -292,10 +312,34 @@ impl DistributedMamdr {
             .unwrap();
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
+            let mut round_tripped = false;
             for w in stats {
                 combined.hits += w.cache.hits;
                 combined.misses += w.cache.misses;
                 max_staleness = max_staleness.max(w.staleness.max);
+                if guard_active {
+                    let worker_loss =
+                        if w.n_examples == 0 { 0.0 } else { w.loss_sum / w.n_examples as f64 };
+                    match guard.check(worker_loss, outer_grad_norm(&w.deferred)).0 {
+                        GuardVerdict::Accept => {}
+                        GuardVerdict::Skip => {
+                            // Drop the update *and* its loss contribution:
+                            // a NaN loss would otherwise poison the report.
+                            round_tripped = true;
+                            continue;
+                        }
+                        GuardVerdict::Rollback => {
+                            // Rewind to the last clean round boundary; this
+                            // also discards whatever this round already
+                            // applied (the round is atomic under rollback).
+                            round_tripped = true;
+                            if let Some((rows, acc)) = &last_good {
+                                self.ps.restore_state(rows, acc);
+                            }
+                            continue;
+                        }
+                    }
+                }
                 loss_sum += w.loss_sum;
                 n_examples += w.n_examples;
                 // Synchronous mode: the driver is the only writer, applying
@@ -306,6 +350,10 @@ impl DistributedMamdr {
                 }
             }
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
+            // Only a round with zero trips advances the rollback target.
+            if guard_active && !round_tripped {
+                last_good = Some((self.ps.dump_rows(), self.ps.dump_adagrad()));
+            }
         }
         let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
         DistributedReport {
@@ -316,6 +364,8 @@ impl DistributedMamdr {
             cache: combined,
             max_staleness,
             round_losses,
+            guard_trips: guard.trips(),
+            guard_rollbacks: guard.rollbacks(),
         }
     }
 

@@ -319,29 +319,76 @@ impl WorkerClient {
 /// exactly as it reads the in-process server. Interior mutability because
 /// the socket client needs `&mut` for I/O while `RowSource` reads take
 /// `&self`; single-threaded per worker, so a `RefCell` suffices.
-pub struct RpcRowSource(RefCell<WorkerClient>);
+///
+/// The `RowSource` trait is infallible (the in-process store cannot fail)
+/// but the wire can. Instead of panicking — which would abort the whole
+/// training process on one worker's bad connection — the source records
+/// the *first* RPC failure, stops touching the network, and serves
+/// zero-filled rows for the remainder of the round. The worker loop then
+/// finds the poisoned flag via [`RpcRowSource::take_error`] and reports a
+/// typed failure to the supervisor, which discards the round's output and
+/// re-runs the partition.
+pub struct RpcRowSource {
+    client: RefCell<WorkerClient>,
+    dim: usize,
+    error: RefCell<Option<RpcError>>,
+}
 
 impl RpcRowSource {
-    /// Wraps a client.
-    pub fn new(client: WorkerClient) -> Self {
-        RpcRowSource(RefCell::new(client))
+    /// Wraps a client serving rows of width `dim` (the width of the
+    /// zero rows served after a failure).
+    pub fn new(client: WorkerClient, dim: usize) -> Self {
+        RpcRowSource { client: RefCell::new(client), dim, error: RefCell::new(None) }
     }
 
     /// Unwraps the client (e.g. to run the end-of-round barrier).
     pub fn into_client(self) -> WorkerClient {
-        self.0.into_inner()
+        self.client.into_inner()
+    }
+
+    /// Takes the first RPC failure, if any read failed. Once set, every
+    /// subsequent read was served locally as zeros — the round's output is
+    /// garbage and must be discarded.
+    pub fn take_error(&self) -> Option<RpcError> {
+        self.error.borrow_mut().take()
+    }
+
+    fn poisoned(&self) -> bool {
+        self.error.borrow().is_some()
+    }
+
+    fn record(&self, e: RpcError) {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
     }
 }
 
 impl RowSource for RpcRowSource {
     fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
-        self.0.borrow_mut().pull(key).unwrap_or_else(|e| panic!("rpc pull of {key:?}: {e}"))
+        if self.poisoned() {
+            return (vec![0.0; self.dim], 0);
+        }
+        match self.client.borrow_mut().pull(key) {
+            Ok(row) => row,
+            Err(e) => {
+                self.record(e);
+                (vec![0.0; self.dim], 0)
+            }
+        }
     }
 
     fn version_of(&self, key: ParamKey) -> u64 {
-        self.0
-            .borrow_mut()
-            .pull_version(key)
-            .unwrap_or_else(|e| panic!("rpc version probe of {key:?}: {e}"))
+        if self.poisoned() {
+            return 0;
+        }
+        match self.client.borrow_mut().pull_version(key) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record(e);
+                0
+            }
+        }
     }
 }

@@ -37,16 +37,33 @@ pub struct FaultPlan {
     /// Request-attempt indices (per client, 0-based) at which the
     /// connection is torn down before sending.
     pub disconnect_at: Vec<u64>,
+    /// `(round, worker)` pairs at which the worker *crashes* before doing
+    /// any work: it reports a [`crate::trainer::WorkerFailure::Killed`] and
+    /// the supervisor must recover the round without it.
+    pub kill_worker: Vec<(u64, u32)>,
+    /// `(round, worker)` pairs at which the worker *hangs* for
+    /// [`FaultPlan::hang_micros`] before starting — long enough to trip the
+    /// supervisor's deadline, which restarts the partition elsewhere.
+    pub hang_worker: Vec<(u64, u32)>,
+    /// How long a hung worker sleeps, in microseconds.
+    pub hang_micros: u64,
+    /// `(round, worker)` pairs whose outer gradients are poisoned with a
+    /// NaN after the round — the deterministic trigger for the divergence
+    /// guard.
+    pub poison: Vec<(u64, u32)>,
 }
 
 impl FaultPlan {
     /// Parses the `dist_bench --fault-plan` spec string: comma-separated
     /// `key=value` fields. Keys: `seed`, `drop_send`, `drop_recv`,
     /// `dup`, `delay` (as `prob:micros`), `disconnect` (as `+`-separated
-    /// attempt indices). Example:
+    /// attempt indices), and the scheduled worker faults `kill`, `hang`
+    /// and `poison` (each `+`-separated `round:worker` pairs) plus
+    /// `hang_micros`. Example:
     ///
     /// ```text
     /// seed=7,drop_send=0.05,drop_recv=0.05,delay=0.1:200,dup=0.05,disconnect=40+90
+    /// kill=1:0+2:3,hang=1:2,hang_micros=200000,poison=2:1
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
@@ -84,6 +101,13 @@ impl FaultPlan {
                         .map(|i| i.parse().map_err(|_| format!("fault-plan disconnect: '{i}'")))
                         .collect::<Result<_, _>>()?;
                 }
+                "kill" => plan.kill_worker = parse_round_worker("kill", value)?,
+                "hang" => plan.hang_worker = parse_round_worker("hang", value)?,
+                "poison" => plan.poison = parse_round_worker("poison", value)?,
+                "hang_micros" => {
+                    plan.hang_micros =
+                        value.parse().map_err(|_| format!("fault-plan hang_micros: '{value}'"))?;
+                }
                 other => return Err(format!("fault-plan: unknown key '{other}'")),
             }
         }
@@ -97,7 +121,47 @@ impl FaultPlan {
             && self.delay == 0.0
             && self.duplicate == 0.0
             && self.disconnect_at.is_empty()
+            && self.kill_worker.is_empty()
+            && self.hang_worker.is_empty()
+            && self.poison.is_empty()
     }
+
+    /// True when `worker` is scheduled to crash in `round`. Consulted by
+    /// the supervisor on *initial* worker launch only — a restarted worker
+    /// is never re-killed, so recovery always terminates. These checks
+    /// consume no RNG draws: adding a kill/hang/poison schedule leaves the
+    /// wire-fault stream (and every `rpc_faults_*` counter) untouched.
+    pub fn should_kill(&self, round: u64, worker: u32) -> bool {
+        self.kill_worker.contains(&(round, worker))
+    }
+
+    /// True when `worker` is scheduled to hang in `round` (initial launch
+    /// only, like [`FaultPlan::should_kill`]).
+    pub fn should_hang(&self, round: u64, worker: u32) -> bool {
+        self.hang_worker.contains(&(round, worker))
+    }
+
+    /// True when `worker`'s round-`round` gradients are to be poisoned
+    /// with a NaN (applies to restarts too: the poison models divergent
+    /// *data*, which a re-run reproduces).
+    pub fn should_poison(&self, round: u64, worker: u32) -> bool {
+        self.poison.contains(&(round, worker))
+    }
+}
+
+/// Parses `+`-separated `round:worker` pairs (e.g. `2:1+3:0`).
+fn parse_round_worker(key: &str, value: &str) -> Result<Vec<(u64, u32)>, String> {
+    value
+        .split('+')
+        .map(|pair| {
+            let (r, w) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("fault-plan {key}: '{pair}' is not round:worker"))?;
+            let round = r.parse().map_err(|_| format!("fault-plan {key} round: '{r}'"))?;
+            let worker = w.parse().map_err(|_| format!("fault-plan {key} worker: '{w}'"))?;
+            Ok((round, worker))
+        })
+        .collect()
 }
 
 /// The faults chosen for one request attempt.
@@ -197,6 +261,39 @@ mod tests {
         assert!(FaultPlan::parse("delay=0.5").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("disconnect=1+x").is_err());
+        assert!(FaultPlan::parse("kill=2").is_err());
+        assert!(FaultPlan::parse("kill=x:0").is_err());
+        assert!(FaultPlan::parse("hang_micros=soon").is_err());
+    }
+
+    #[test]
+    fn parse_scheduled_worker_faults() {
+        let plan = FaultPlan::parse("kill=1:0+2:3,hang=1:2,hang_micros=250000,poison=2:1").unwrap();
+        assert_eq!(plan.kill_worker, vec![(1, 0), (2, 3)]);
+        assert_eq!(plan.hang_worker, vec![(1, 2)]);
+        assert_eq!(plan.hang_micros, 250_000);
+        assert_eq!(plan.poison, vec![(2, 1)]);
+        assert!(!plan.is_noop());
+        assert!(plan.should_kill(1, 0) && plan.should_kill(2, 3));
+        assert!(!plan.should_kill(1, 3));
+        assert!(plan.should_hang(1, 2) && !plan.should_hang(2, 2));
+        assert!(plan.should_poison(2, 1) && !plan.should_poison(1, 1));
+    }
+
+    #[test]
+    fn scheduled_faults_do_not_shift_the_wire_fault_stream() {
+        // A kill/hang/poison schedule must not perturb the per-attempt RNG
+        // draws — CI greps exact wire-fault counters across such runs.
+        let base = FaultPlan::parse("seed=3,drop_send=0.3,drop_recv=0.3,dup=0.2").unwrap();
+        let mut with_sched = base.clone();
+        with_sched.kill_worker = vec![(1, 0)];
+        with_sched.hang_worker = vec![(2, 1)];
+        with_sched.poison = vec![(0, 2)];
+        let run = |plan: &FaultPlan| -> Vec<FaultDecision> {
+            let mut fs = FaultState::new(plan.clone(), 1);
+            (0..100).map(|_| fs.decide()).collect()
+        };
+        assert_eq!(run(&base), run(&with_sched));
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub use client::{RetryPolicy, RpcError, RpcRowSource, WorkerClient};
 pub use fault::{FaultDecision, FaultPlan, FaultState};
 pub use frame::{Frame, FrameError, OpCode, MAX_PAYLOAD, WIRE_VERSION};
 pub use server::PsServer;
-pub use trainer::{DistributedTrainer, LoopbackConfig};
+pub use trainer::{DistributedTrainer, LoopbackConfig, TrainerError, WorkerFailure};

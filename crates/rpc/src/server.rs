@@ -129,6 +129,13 @@ impl PsServer {
     pub fn is_draining(&self) -> bool {
         self.inner.draining.load(Ordering::SeqCst)
     }
+
+    /// Starts the drain directly, bypassing the `Shutdown` RPC — the
+    /// fallback the trainer uses when the drain request itself fails, so a
+    /// dead wire can never wedge [`PsServer::join`].
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
 }
 
 /// Serves one client connection until EOF, error, or drain + hangup.

@@ -1,4 +1,5 @@
-//! Networked MAMDR training against the loopback [`PsServer`].
+//! Networked MAMDR training against the loopback [`PsServer`], with worker
+//! supervision, crash-resumable rounds, and divergence guardrails.
 //!
 //! The driver mirrors the in-process synchronous trainer
 //! (`DistributedConfig::sync_rounds`) move for move: identical domain
@@ -11,22 +12,185 @@
 //! traffic counters and report to the in-process trainer; with faults on,
 //! retries and deduplication keep the *parameters* identical while the
 //! `rpc_*` counters record exactly what the fault plan injected.
+//!
+//! ## Supervision
+//!
+//! Workers are supervised, not trusted: each one reports its round result
+//! (or a typed [`WorkerFailure`]) to the driver over a channel *before*
+//! entering the round barrier. A worker that crashes ([`FaultPlan`]
+//! `kill`), hangs past [`LoopbackConfig::worker_deadline`], or exhausts
+//! its RPC retries is restarted: the supervisor re-runs its domain
+//! partition on a fresh thread with the *same* client id and round seed.
+//! Because workers are read-only during a round (the server is quiescent
+//! until every worker joins), the re-run produces bit-identical gradients
+//! — so a recovered round is indistinguishable from an undisturbed one,
+//! down to the parameter bits. Restarts are visible as
+//! `rpc_worker_restarts_total`; a partition that keeps failing past
+//! [`LoopbackConfig::max_worker_retries`] fails the round with
+//! [`TrainerError::RoundFailed`] instead of looping forever.
+//!
+//! ## Crash-resumable rounds
+//!
+//! With [`LoopbackConfig::checkpoint_every`] set, the driver writes a
+//! parameter checkpoint plus a [`RoundJournal`] (round index, report
+//! aggregates, and the Adagrad accumulators the checkpoint format omits)
+//! at each boundary. The journal is written *after* the checkpoint and is
+//! the commit point: a torn write is detected by its checksum and resume
+//! falls back to the previous boundary. A restarted driver with
+//! [`LoopbackConfig::resume`] restores the store and re-runs the remaining
+//! rounds; since every RNG stream is derived statelessly from
+//! `(seed, epoch, worker)`, the resumed run's final parameters and report
+//! are bit-identical to an uninterrupted run.
+//!
+//! ## Divergence guardrails
+//!
+//! When [`mamdr_ps::GuardConfig`] is enabled, every worker-round update is
+//! vetted (in application order) before the driver pushes it: non-finite
+//! or exploding loss / gradient norms are skipped, and after K consecutive
+//! trips the store is rolled back in place to the last clean round
+//! boundary — values *and* optimizer state.
 
 use crate::client::{RetryPolicy, RpcRowSource, WorkerClient};
 use crate::fault::{FaultPlan, FaultState};
 use crate::server::PsServer;
 use mamdr_data::{MdrDataset, Split};
 use mamdr_obs::MetricsRegistry;
+use mamdr_ps::journal::{latest_journal, RoundJournal};
 use mamdr_ps::trainer::{
     evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
     CachedRoundOutput,
 };
-use mamdr_ps::{CacheStats, DistributedConfig, DistributedReport, ParameterServer, SyncMode};
+use mamdr_ps::{
+    checkpoint, outer_grad_norm, CacheStats, DistributedConfig, DistributedReport, GuardRail,
+    GuardVerdict, ParamKey, ParameterServer, SyncMode,
+};
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::derive_seed;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// One worker's typed failure, as observed by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailure {
+    /// The worker crashed before doing any work (injected via the fault
+    /// plan's `kill` schedule, or a real thread death).
+    Killed {
+        /// Worker index within the round.
+        worker: usize,
+    },
+    /// The worker missed the supervisor's deadline.
+    Hung {
+        /// Worker index within the round.
+        worker: usize,
+    },
+    /// The worker's row reads failed past the client's retry budget.
+    Rpc {
+        /// Worker index within the round.
+        worker: usize,
+        /// The first RPC failure.
+        error: String,
+    },
+    /// The worker finished its round but could not register at the
+    /// barrier.
+    Barrier {
+        /// Worker index within the round.
+        worker: usize,
+        /// The barrier failure.
+        error: String,
+    },
+    /// The worker thread panicked.
+    Panicked {
+        /// Worker index within the round.
+        worker: usize,
+    },
+}
+
+impl WorkerFailure {
+    /// The worker index the failure belongs to.
+    pub fn worker(&self) -> usize {
+        match self {
+            WorkerFailure::Killed { worker }
+            | WorkerFailure::Hung { worker }
+            | WorkerFailure::Rpc { worker, .. }
+            | WorkerFailure::Barrier { worker, .. }
+            | WorkerFailure::Panicked { worker } => *worker,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerFailure::Killed { worker } => write!(f, "worker {worker} killed"),
+            WorkerFailure::Hung { worker } => write!(f, "worker {worker} missed its deadline"),
+            WorkerFailure::Rpc { worker, error } => write!(f, "worker {worker} rpc: {error}"),
+            WorkerFailure::Barrier { worker, error } => {
+                write!(f, "worker {worker} barrier: {error}")
+            }
+            WorkerFailure::Panicked { worker } => write!(f, "worker {worker} panicked"),
+        }
+    }
+}
+
+/// A distributed-training failure the driver could not recover from.
+#[derive(Debug)]
+pub enum TrainerError {
+    /// The configuration is inconsistent (e.g. resume without a
+    /// checkpoint directory).
+    Config(String),
+    /// Binding or running the loopback server failed.
+    Io(std::io::Error),
+    /// The server was already shut down.
+    ServerStopped,
+    /// A round could not be completed even after restarting its failed
+    /// workers.
+    RoundFailed {
+        /// The failed round.
+        epoch: usize,
+        /// The unrecovered failures.
+        failures: Vec<WorkerFailure>,
+    },
+    /// A driver-side RPC (gradient push or checkpoint) failed past its
+    /// retry budget.
+    Driver(String),
+    /// Resume state could not be loaded (no journal, or a checkpoint /
+    /// journal mismatch).
+    Resume(String),
+}
+
+impl std::fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainerError::Config(m) => write!(f, "bad trainer config: {m}"),
+            TrainerError::Io(e) => write!(f, "server I/O: {e}"),
+            TrainerError::ServerStopped => write!(f, "server already shut down"),
+            TrainerError::RoundFailed { epoch, failures } => {
+                write!(f, "round {epoch} failed: ")?;
+                for (i, fail) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{fail}")?;
+                }
+                Ok(())
+            }
+            TrainerError::Driver(m) => write!(f, "driver rpc: {m}"),
+            TrainerError::Resume(m) => write!(f, "resume: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {}
+
+impl From<std::io::Error> for TrainerError {
+    fn from(e: std::io::Error) -> Self {
+        TrainerError::Io(e)
+    }
+}
 
 /// Configuration of a loopback distributed run.
 #[derive(Debug, Clone)]
@@ -42,39 +206,97 @@ pub struct LoopbackConfig {
     pub retry: RetryPolicy,
     /// Where `Checkpoint` RPCs write snapshots (`None` disables them).
     pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint + round journal every this many rounds
+    /// (`0` disables journaling). Requires a checkpoint directory.
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid journal in the checkpoint directory
+    /// instead of starting from round 0.
+    pub resume: bool,
+    /// How long the supervisor waits without hearing from *any* worker
+    /// before presuming the missing ones hung and restarting them.
+    pub worker_deadline: Duration,
+    /// Restarts per worker per round before the round is failed.
+    pub max_worker_retries: u32,
 }
 
 impl LoopbackConfig {
-    /// A loopback config over training hyper-parameters, no faults.
+    /// A loopback config over training hyper-parameters, no faults, no
+    /// journaling, and a supervision deadline generous enough that only a
+    /// genuinely wedged worker trips it.
     pub fn new(train: DistributedConfig) -> Self {
-        LoopbackConfig { train, fault: None, retry: RetryPolicy::default(), checkpoint_dir: None }
+        LoopbackConfig {
+            train,
+            fault: None,
+            retry: RetryPolicy::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            resume: false,
+            worker_deadline: Duration::from_secs(60),
+            max_worker_retries: 2,
+        }
     }
 }
 
+/// The aggregates a resumed run starts from (all zero for a fresh run).
+#[derive(Default)]
+struct ResumeBase {
+    start_epoch: usize,
+    cache: CacheStats,
+    max_staleness: u64,
+    round_losses: Vec<f64>,
+    traffic: (u64, u64, u64, u64),
+    guard_trips: u64,
+    guard_rollbacks: u64,
+}
+
+/// A full store snapshot — parameter rows plus Adagrad accumulators — the
+/// guard's rollback target.
+type StoreSnapshot = (Vec<(ParamKey, Vec<f32>)>, Vec<(ParamKey, Vec<f32>)>);
+
 /// The networked PS–worker trainer: a loopback [`PsServer`] plus N worker
-/// threads driving it through [`WorkerClient`]s.
+/// threads driving it through [`WorkerClient`]s, under driver-side
+/// supervision.
 pub struct DistributedTrainer {
     ps: Arc<ParameterServer>,
     server: Option<PsServer>,
+    addr: SocketAddr,
     cfg: LoopbackConfig,
     metrics: Arc<MetricsRegistry>,
+    resume_base: ResumeBase,
 }
 
 impl DistributedTrainer {
     /// Seeds a fresh store exactly like [`mamdr_ps::DistributedMamdr::new`]
-    /// and starts the loopback server on an ephemeral port.
+    /// and starts the loopback server on an ephemeral port. With
+    /// [`LoopbackConfig::resume`], the newest valid journal in the
+    /// checkpoint directory is loaded on top: parameter rows from its
+    /// checkpoint, Adagrad accumulators and report aggregates from the
+    /// journal itself.
     pub fn new(
         ds: &MdrDataset,
         cfg: LoopbackConfig,
         metrics: Arc<MetricsRegistry>,
-    ) -> std::io::Result<Self> {
-        assert_eq!(
-            cfg.train.mode,
-            SyncMode::Cached,
-            "the networked trainer implements the cached §IV-E protocol only"
-        );
+    ) -> Result<Self, TrainerError> {
+        if cfg.train.mode != SyncMode::Cached {
+            return Err(TrainerError::Config(
+                "the networked trainer implements the cached §IV-E protocol only".into(),
+            ));
+        }
+        if (cfg.checkpoint_every > 0 || cfg.resume) && cfg.checkpoint_dir.is_none() {
+            return Err(TrainerError::Config(
+                "checkpoint_every / resume require a checkpoint directory".into(),
+            ));
+        }
         let ps = Arc::new(ParameterServer::new(cfg.train.n_shards, cfg.train.dim));
         seed_server(&ps, ds, cfg.train.dim, cfg.train.seed);
+        let resume_base = if cfg.resume {
+            match &cfg.checkpoint_dir {
+                Some(dir) => load_resume_state(&ps, dir, &cfg.train)?,
+                None => ResumeBase::default(),
+            }
+        } else {
+            ResumeBase::default()
+        };
         let server = PsServer::bind(
             "127.0.0.1:0",
             Arc::clone(&ps),
@@ -82,17 +304,29 @@ impl DistributedTrainer {
             Arc::clone(&metrics),
             cfg.checkpoint_dir.clone(),
         )?;
-        Ok(DistributedTrainer { ps, server: Some(server), cfg, metrics })
+        let addr = server.addr();
+        Ok(DistributedTrainer { ps, server: Some(server), addr, cfg, metrics, resume_base })
     }
 
-    /// The server's loopback address.
-    pub fn addr(&self) -> SocketAddr {
-        self.server.as_ref().expect("server running").addr()
+    /// The server's loopback address, or [`TrainerError::ServerStopped`]
+    /// once the server was drained.
+    pub fn addr(&self) -> Result<SocketAddr, TrainerError> {
+        if self.server.is_some() {
+            Ok(self.addr)
+        } else {
+            Err(TrainerError::ServerStopped)
+        }
     }
 
     /// The server-side store (for evaluation and checkpoint comparison).
     pub fn store(&self) -> &Arc<ParameterServer> {
         &self.ps
+    }
+
+    /// The round the next `train` call starts at (nonzero after a
+    /// resume).
+    pub fn start_epoch(&self) -> usize {
+        self.resume_base.start_epoch
     }
 
     /// A client with this run's retry policy and — when a fault plan is
@@ -103,58 +337,273 @@ impl DistributedTrainer {
             p.seed = derive_seed(plan.seed, stream);
             FaultState::new(p, client_id)
         });
-        WorkerClient::new(self.addr(), client_id, self.cfg.retry, fault, Arc::clone(&self.metrics))
+        WorkerClient::new(self.addr, client_id, self.cfg.retry, fault, Arc::clone(&self.metrics))
     }
 
-    /// Runs the configured number of outer rounds over the wire and
-    /// reports exactly like the in-process trainer.
-    pub fn train(&self, ds: &MdrDataset) -> DistributedReport {
+    /// One worker's round: scheduled-fault checks, the cached inner loop
+    /// over RPC reads, and the poison injection. Returns the round output
+    /// plus the client so the caller can run the barrier *after* reporting
+    /// the result to the supervisor.
+    fn worker_round(
+        &self,
+        ds: &MdrDataset,
+        epoch: usize,
+        w: usize,
+        part: &[usize],
+        is_replacement: bool,
+    ) -> Result<(CachedRoundOutput, WorkerClient), WorkerFailure> {
+        let cfg = self.cfg.train;
+        if !is_replacement {
+            if let Some(plan) = &self.cfg.fault {
+                if plan.should_kill(epoch as u64, w as u32) {
+                    // Simulated crash: no client, no reads, no barrier.
+                    self.metrics.counter("rpc_faults_worker_kills_total").inc();
+                    return Err(WorkerFailure::Killed { worker: w });
+                }
+                if plan.should_hang(epoch as u64, w as u32) {
+                    self.metrics.counter("rpc_faults_worker_hangs_total").inc();
+                    std::thread::sleep(Duration::from_micros(plan.hang_micros));
+                }
+            }
+        }
+        let client = self.make_client(w as u32 + 1, epoch as u64);
+        let src = RpcRowSource::new(client, cfg.dim);
+        let mut out =
+            run_cached_round(&src, ds, part, cfg.inner_lr, worker_round_seed(cfg.seed, epoch, w));
+        if let Some(e) = src.take_error() {
+            // The round trained against zero-filled fallback rows after the
+            // first failure; its output is garbage and must be re-run.
+            return Err(WorkerFailure::Rpc { worker: w, error: e.to_string() });
+        }
+        if self.cfg.fault.as_ref().is_some_and(|p| p.should_poison(epoch as u64, w as u32)) {
+            // Divergent-data injection: one NaN component is enough for the
+            // guard's norm check to catch the whole update.
+            if let Some(first) = out.grads.first_mut().and_then(|(_, g)| g.first_mut()) {
+                *first = f32::NAN;
+            }
+        }
+        Ok((out, src.into_client()))
+    }
+
+    /// Runs one supervised round: spawns every worker, collects results
+    /// (or typed failures) over a channel, restarts failed or hung
+    /// partitions with the same client id and seed, and releases the
+    /// barrier for workers the supervisor gave up on. Returns the round
+    /// outputs in worker order.
+    fn run_round(
+        &self,
+        ds: &MdrDataset,
+        epoch: usize,
+        partitions: &[Vec<usize>],
+    ) -> Result<Vec<CachedRoundOutput>, TrainerError> {
+        let n = partitions.len();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, Result<CachedRoundOutput, WorkerFailure>)>();
+            let launch = |w: usize, is_replacement: bool| {
+                let tx = tx.clone();
+                let part = &partitions[w];
+                scope.spawn(move || {
+                    let ran = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.worker_round(ds, epoch, w, part, is_replacement)
+                    }));
+                    match ran {
+                        Err(_) => {
+                            let _ = tx.send((w, Err(WorkerFailure::Panicked { worker: w })));
+                        }
+                        Ok(Err(fail)) => {
+                            let _ = tx.send((w, Err(fail)));
+                        }
+                        Ok(Ok((out, mut client))) => {
+                            // Result first, barrier second: the supervisor
+                            // learns the outcome even while slower workers
+                            // hold the barrier open.
+                            let _ = tx.send((w, Ok(out)));
+                            if let Err(e) = client.barrier(epoch as u64, n as u32) {
+                                let fail =
+                                    WorkerFailure::Barrier { worker: w, error: e.to_string() };
+                                let _ = tx.send((w, Err(fail)));
+                            }
+                        }
+                    }
+                });
+            };
+            // Barrier arrival is a set insert keyed by client id, so a
+            // stand-in arriving with a dead worker's id releases everyone
+            // else. Rescue clients carry no fault plan: the recovery path
+            // must be reliable even under an adversarial schedule.
+            let release_barrier = |w: usize| {
+                let mut client = WorkerClient::new(
+                    self.addr,
+                    w as u32 + 1,
+                    self.cfg.retry,
+                    None,
+                    Arc::clone(&self.metrics),
+                );
+                scope.spawn(move || {
+                    let _ = client.barrier(epoch as u64, n as u32);
+                });
+            };
+            for w in 0..n {
+                launch(w, false);
+            }
+            let mut outputs: Vec<Option<CachedRoundOutput>> = (0..n).map(|_| None).collect();
+            let mut retries = vec![0u32; n];
+            let mut given_up = vec![false; n];
+            let mut failures: Vec<WorkerFailure> = Vec::new();
+            let mut outstanding = n;
+            // One shared handler for "worker w failed with `fail`":
+            // restart while the budget lasts, otherwise record the failure
+            // and unblock the barrier in its place.
+            let on_failure = |w: usize,
+                              fail: WorkerFailure,
+                              retries: &mut Vec<u32>,
+                              given_up: &mut Vec<bool>,
+                              failures: &mut Vec<WorkerFailure>,
+                              outstanding: &mut usize| {
+                self.metrics.counter("rpc_worker_failures_total").inc();
+                if retries[w] < self.cfg.max_worker_retries {
+                    retries[w] += 1;
+                    self.metrics.counter("rpc_worker_restarts_total").inc();
+                    launch(w, true);
+                } else {
+                    given_up[w] = true;
+                    *outstanding -= 1;
+                    failures.push(fail);
+                    release_barrier(w);
+                }
+            };
+            while outstanding > 0 {
+                match rx.recv_timeout(self.cfg.worker_deadline) {
+                    Ok((w, Ok(out))) => {
+                        // A revived hung worker can race its replacement;
+                        // both computed identical output (same seed,
+                        // read-only server), so first-in wins safely.
+                        if outputs[w].is_none() && !given_up[w] {
+                            outputs[w] = Some(out);
+                            outstanding -= 1;
+                        }
+                    }
+                    Ok((w, Err(fail))) => {
+                        if matches!(fail, WorkerFailure::Barrier { .. }) && outputs[w].is_some() {
+                            // The work is done but the arrival never
+                            // registered; arrive in its place so the other
+                            // workers are not held hostage.
+                            self.metrics.counter("rpc_barrier_rescues_total").inc();
+                            release_barrier(w);
+                        } else if outputs[w].is_none() && !given_up[w] {
+                            on_failure(
+                                w,
+                                fail,
+                                &mut retries,
+                                &mut given_up,
+                                &mut failures,
+                                &mut outstanding,
+                            );
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Nobody reported for a full deadline: every
+                        // partition still outstanding is presumed hung.
+                        for w in 0..n {
+                            if outputs[w].is_none() && !given_up[w] {
+                                on_failure(
+                                    w,
+                                    WorkerFailure::Hung { worker: w },
+                                    &mut retries,
+                                    &mut given_up,
+                                    &mut failures,
+                                    &mut outstanding,
+                                );
+                            }
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // Unreachable while the supervisor holds `tx`, but
+                        // never hang on it: fail what is left.
+                        for w in 0..n {
+                            if outputs[w].is_none() && !given_up[w] {
+                                given_up[w] = true;
+                                outstanding -= 1;
+                                failures.push(WorkerFailure::Panicked { worker: w });
+                                release_barrier(w);
+                            }
+                        }
+                    }
+                }
+            }
+            if failures.is_empty() {
+                let collected: Vec<CachedRoundOutput> = outputs.into_iter().flatten().collect();
+                if collected.len() == n {
+                    Ok(collected)
+                } else {
+                    Err(TrainerError::RoundFailed { epoch, failures: Vec::new() })
+                }
+            } else {
+                Err(TrainerError::RoundFailed { epoch, failures })
+            }
+        })
+    }
+
+    /// Runs the configured rounds over the wire and reports exactly like
+    /// the in-process trainer. Recovers killed / hung / disconnected
+    /// workers, skips or rolls back divergent updates when the guard is
+    /// enabled, and journals every [`LoopbackConfig::checkpoint_every`]
+    /// rounds.
+    pub fn train(&self, ds: &MdrDataset) -> Result<DistributedReport, TrainerError> {
         let cfg = self.cfg.train;
         if cfg.kernel_threads > 0 {
             pool::set_threads(cfg.kernel_threads);
         }
-        let mut combined = CacheStats::default();
-        let mut max_staleness = 0u64;
-        let mut round_losses = Vec::with_capacity(cfg.epochs);
+        let base = &self.resume_base;
+        let mut combined = base.cache;
+        let mut max_staleness = base.max_staleness;
+        let mut round_losses = base.round_losses.clone();
+        // The networked protocol is always synchronous (the driver is the
+        // only writer), so the guard is active whenever it is enabled.
+        let guard_active = cfg.guard.enabled;
+        let mut guard = GuardRail::new(cfg.guard);
+        let mut last_good: Option<StoreSnapshot> =
+            if guard_active { Some((self.ps.dump_rows(), self.ps.dump_adagrad())) } else { None };
         // Client id 0 is the driver; workers are 1..=n. The driver's
         // pushes carry the fault plan too, so retries exercise the
         // server's exactly-once path where it matters most.
         let mut driver = self.make_client(0, 0xD0);
-        for epoch in 0..cfg.epochs {
+        for epoch in base.start_epoch..cfg.epochs {
             let partitions = partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers);
-            let outputs: Vec<CachedRoundOutput> = std::thread::scope(|scope| {
-                let handles: Vec<_> = partitions
-                    .iter()
-                    .enumerate()
-                    .map(|(w, part)| {
-                        scope.spawn(move || {
-                            // Per-epoch fault stream: the same plan seeds a
-                            // different fault sequence each round.
-                            let client = self.make_client(w as u32 + 1, epoch as u64);
-                            let src = RpcRowSource::new(client);
-                            let out = run_cached_round(
-                                &src,
-                                ds,
-                                part,
-                                cfg.inner_lr,
-                                worker_round_seed(cfg.seed, epoch, w),
-                            );
-                            let mut client = src.into_client();
-                            client
-                                .barrier(epoch as u64, cfg.n_workers as u32)
-                                .unwrap_or_else(|e| panic!("worker {w} barrier: {e}"));
-                            out
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
+            let outputs = self.run_round(ds, epoch, &partitions)?;
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
+            let mut round_tripped = false;
             for out in outputs {
                 combined.hits += out.cache.hits;
                 combined.misses += out.cache.misses;
                 max_staleness = max_staleness.max(out.staleness.max);
+                if guard_active {
+                    let worker_loss = if out.n_examples == 0 {
+                        0.0
+                    } else {
+                        out.loss_sum / out.n_examples as f64
+                    };
+                    match guard.check(worker_loss, outer_grad_norm(&out.grads)).0 {
+                        GuardVerdict::Accept => {}
+                        GuardVerdict::Skip => {
+                            round_tripped = true;
+                            continue;
+                        }
+                        GuardVerdict::Rollback => {
+                            // Rewind values and accumulators to the last
+                            // clean boundary, discarding whatever this
+                            // round already applied. Direct store access:
+                            // the driver owns the apply phase, so there is
+                            // no concurrent writer to race.
+                            round_tripped = true;
+                            if let Some((rows, acc)) = &last_good {
+                                self.ps.restore_state(rows, acc);
+                            }
+                            continue;
+                        }
+                    }
+                }
                 loss_sum += out.loss_sum;
                 n_examples += out.n_examples;
                 // Single writer, worker order, keys pre-sorted: the same
@@ -162,45 +611,146 @@ impl DistributedTrainer {
                 for (key, delta) in out.grads {
                     driver
                         .push(key, &delta, cfg.outer_lr)
-                        .unwrap_or_else(|e| panic!("driver push of {key:?}: {e}"));
+                        .map_err(|e| TrainerError::Driver(format!("push of {key:?}: {e}")))?;
                 }
             }
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
+            if guard_active && !round_tripped {
+                last_good = Some((self.ps.dump_rows(), self.ps.dump_adagrad()));
+            }
+            let rounds_done = epoch + 1;
+            if self.cfg.checkpoint_every > 0 && rounds_done % self.cfg.checkpoint_every == 0 {
+                self.write_journal(
+                    rounds_done as u64,
+                    combined,
+                    max_staleness,
+                    &round_losses,
+                    &guard,
+                )?;
+            }
         }
         let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
         self.ps.export_kv_gauges(&self.metrics);
-        DistributedReport {
+        Ok(DistributedReport {
             mean_auc: evaluate_server(&self.ps, ds, Split::Test),
-            pulls,
-            pushes,
-            total_bytes: bp + bs,
+            pulls: base.traffic.0 + pulls,
+            pushes: base.traffic.1 + pushes,
+            total_bytes: base.traffic.2 + base.traffic.3 + bp + bs,
             cache: combined,
             max_staleness,
             round_losses,
-        }
+            guard_trips: base.guard_trips + guard.trips(),
+            guard_rollbacks: base.guard_rollbacks + guard.rollbacks(),
+        })
+    }
+
+    /// Writes the round-boundary checkpoint (over RPC, so the server-side
+    /// path is exercised) and then the journal that commits it.
+    fn write_journal(
+        &self,
+        rounds_done: u64,
+        cache: CacheStats,
+        max_staleness: u64,
+        round_losses: &[f64],
+        guard: &GuardRail,
+    ) -> Result<(), TrainerError> {
+        let Some(dir) = &self.cfg.checkpoint_dir else {
+            return Err(TrainerError::Config("journaling requires a checkpoint directory".into()));
+        };
+        let ckpt_path = self.checkpoint(rounds_done)?;
+        let checkpoint_file = Path::new(&ckpt_path)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(str::to_owned)
+            .unwrap_or_else(|| ckpt_path.clone());
+        let base = &self.resume_base;
+        let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
+        let journal = RoundJournal {
+            rounds_done,
+            checkpoint_file,
+            cache,
+            max_staleness,
+            traffic: (
+                base.traffic.0 + pulls,
+                base.traffic.1 + pushes,
+                base.traffic.2 + bp,
+                base.traffic.3 + bs,
+            ),
+            guard_trips: base.guard_trips + guard.trips(),
+            guard_rollbacks: base.guard_rollbacks + guard.rollbacks(),
+            round_losses: round_losses.to_vec(),
+            dim: self.cfg.train.dim as u32,
+            adagrad: self.ps.dump_adagrad(),
+        };
+        journal
+            .write_to_dir(dir)
+            .map_err(|e| TrainerError::Driver(format!("journal write: {e}")))?;
+        self.metrics.counter("rpc_journal_writes_total").inc();
+        Ok(())
     }
 
     /// Writes a server-side checkpoint via the `Checkpoint` RPC and
     /// returns its path. Requires [`LoopbackConfig::checkpoint_dir`].
-    pub fn checkpoint(&self, round: u64) -> Result<String, crate::client::RpcError> {
-        self.make_client(u32::MAX, 0xCC).checkpoint(round)
+    pub fn checkpoint(&self, round: u64) -> Result<String, TrainerError> {
+        self.make_client(u32::MAX, 0xCC)
+            .checkpoint(round)
+            .map_err(|e| TrainerError::Driver(format!("checkpoint rpc: {e}")))
     }
 
     /// Gracefully drains the server: `Shutdown` RPC, then joins the accept
-    /// loop and every connection thread.
-    pub fn shutdown(mut self) {
+    /// loop and every connection thread. A failed drain request is
+    /// non-fatal — the drain flag is set directly instead (counted as
+    /// `rpc_drain_fallback_total`), so a dead wire can never wedge the
+    /// join. Idempotent: a second call is a no-op.
+    pub fn shutdown(&mut self) {
+        let Some(server) = self.server.take() else { return };
         // The drain request itself must not be fault-injected away.
         let mut client = WorkerClient::new(
-            self.addr(),
+            self.addr,
             u32::MAX - 1,
             self.cfg.retry,
             None,
             Arc::clone(&self.metrics),
         );
-        client.shutdown().expect("shutdown rpc");
-        drop(client);
-        if let Some(server) = self.server.take() {
-            server.join();
+        if client.shutdown().is_err() {
+            self.metrics.counter("rpc_drain_fallback_total").inc();
+            server.begin_drain();
         }
+        drop(client);
+        server.join();
     }
+}
+
+/// Restores a resumed run's store and aggregates from the newest valid
+/// journal in `dir`: parameter rows from the journal's checkpoint file,
+/// Adagrad accumulators and report aggregates from the journal itself.
+fn load_resume_state(
+    ps: &ParameterServer,
+    dir: &Path,
+    train: &DistributedConfig,
+) -> Result<ResumeBase, TrainerError> {
+    let (journal_path, journal) = latest_journal(dir, None)
+        .map_err(|e| TrainerError::Resume(format!("journal discovery: {e}")))?
+        .ok_or_else(|| TrainerError::Resume(format!("no valid journal in {}", dir.display())))?;
+    if journal.dim as usize != train.dim {
+        return Err(TrainerError::Resume(format!(
+            "journal {} has dim {}, config wants {}",
+            journal_path.display(),
+            journal.dim,
+            train.dim
+        )));
+    }
+    let ckpt_path = dir.join(&journal.checkpoint_file);
+    let loaded = checkpoint::load_from_path(&ckpt_path, train.n_shards)
+        .map_err(|e| TrainerError::Resume(format!("{}: {e}", ckpt_path.display())))?;
+    ps.restore_state(&loaded.dump_rows(), &journal.adagrad);
+    Ok(ResumeBase {
+        start_epoch: journal.rounds_done as usize,
+        cache: journal.cache,
+        max_staleness: journal.max_staleness,
+        round_losses: journal.round_losses,
+        traffic: journal.traffic,
+        guard_trips: journal.guard_trips,
+        guard_rollbacks: journal.guard_rollbacks,
+    })
 }

@@ -194,7 +194,7 @@ impl ServingSnapshot {
         dir: &Path,
         n_domains: usize,
     ) -> Result<Option<Self>, SnapshotError> {
-        let path = mamdr_ps::checkpoint::latest_checkpoint(dir)
+        let path = mamdr_ps::checkpoint::latest_checkpoint(dir, None)
             .map_err(|e| SnapshotError::Invalid(format!("checkpoint discovery: {e}")))?;
         let Some(path) = path else { return Ok(None) };
         let ps = mamdr_ps::checkpoint::load_from_path(&path, 1)

@@ -1,0 +1,363 @@
+//! Whole-system tests of the fault-tolerance layer: worker supervision
+//! (killed / hung workers restarted without divergence), crash-resumable
+//! rounds (a resumed driver is bit-identical to an uninterrupted one),
+//! and the divergence guardrails (poisoned gradients skipped, rollbacks
+//! byte-exact). Plus a source-level gate: the supervised round path must
+//! stay free of panicking escape hatches.
+
+use mamdr::data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr::obs::MetricsRegistry;
+use mamdr::ps::{checkpoint, DistributedConfig, DistributedMamdr, GuardConfig};
+use mamdr::rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, TrainerError};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset() -> MdrDataset {
+    let mut cfg = GeneratorConfig::base("recovery", 80, 50, 55);
+    cfg.domains = (0..6).map(|i| DomainSpec::new(format!("d{i}"), 300, 0.3)).collect();
+    cfg.generate()
+}
+
+fn train_config(n_workers: usize, epochs: usize) -> DistributedConfig {
+    DistributedConfig {
+        n_workers,
+        epochs,
+        sync_rounds: true,
+        kernel_threads: 1,
+        ..Default::default()
+    }
+}
+
+/// Byte-exact snapshot of a store (checkpoint::save sorts rows, so equal
+/// parameters mean equal bytes).
+fn snapshot_bytes(ps: &mamdr::ps::ParameterServer, dim: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    checkpoint::save(ps, dim, &mut buf).unwrap();
+    buf
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mamdr-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Interrupt a run after `interrupt_after` rounds (by simply configuring
+/// that many epochs — the driver process "dies" when the trainer is
+/// dropped), then resume from the journal directory and compare every
+/// report field and the final parameter bytes against an uninterrupted
+/// run. Exercised at 1 and 4 workers.
+fn resume_is_bit_identical(n_workers: usize) {
+    let ds = dataset();
+    let full = train_config(n_workers, 4);
+    let dir = scratch_dir(&format!("resume-w{n_workers}"));
+
+    // Ground truth: one uninterrupted run, no journaling at all.
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut uninterrupted =
+        DistributedTrainer::new(&ds, LoopbackConfig::new(full), metrics).unwrap();
+    let expected = uninterrupted.train(&ds).unwrap();
+    let expected_bytes = snapshot_bytes(uninterrupted.store(), full.dim);
+    uninterrupted.shutdown();
+
+    // The "crashed" driver: journals every round, stops after round 2.
+    let crashed_cfg = LoopbackConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        ..LoopbackConfig::new(train_config(n_workers, 2))
+    };
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut crashed = DistributedTrainer::new(&ds, crashed_cfg, Arc::clone(&metrics)).unwrap();
+    crashed.train(&ds).unwrap();
+    crashed.shutdown();
+    assert_eq!(metrics.counter("rpc_journal_writes_total").get(), 2);
+
+    // The restarted driver: resumes at round 2 and finishes the schedule.
+    let resumed_cfg = LoopbackConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        resume: true,
+        ..LoopbackConfig::new(full)
+    };
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut resumed = DistributedTrainer::new(&ds, resumed_cfg, metrics).unwrap();
+    assert_eq!(resumed.start_epoch(), 2, "resume should pick up the newest journal");
+    let report = resumed.train(&ds).unwrap();
+
+    // Bit-identity, in the parameters and in every report aggregate: the
+    // interruption is invisible.
+    assert_eq!(report.round_losses, expected.round_losses);
+    assert_eq!(report.mean_auc.to_bits(), expected.mean_auc.to_bits());
+    assert_eq!(report.pulls, expected.pulls);
+    assert_eq!(report.pushes, expected.pushes);
+    assert_eq!(report.total_bytes, expected.total_bytes);
+    assert_eq!(report.cache, expected.cache);
+    assert_eq!(
+        snapshot_bytes(resumed.store(), full.dim),
+        expected_bytes,
+        "resumed parameters diverged from the uninterrupted run"
+    );
+    resumed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_is_bit_identical_with_one_worker() {
+    resume_is_bit_identical(1);
+}
+
+#[test]
+fn resume_is_bit_identical_with_four_workers() {
+    resume_is_bit_identical(4);
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupt_journal() {
+    let ds = dataset();
+    let full = train_config(2, 3);
+    let dir = scratch_dir("corrupt-journal");
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let mut uninterrupted =
+        DistributedTrainer::new(&ds, LoopbackConfig::new(full), metrics).unwrap();
+    let expected = uninterrupted.train(&ds).unwrap();
+    let expected_bytes = snapshot_bytes(uninterrupted.store(), full.dim);
+    uninterrupted.shutdown();
+
+    let crashed_cfg = LoopbackConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        ..LoopbackConfig::new(train_config(2, 2))
+    };
+    let mut crashed =
+        DistributedTrainer::new(&ds, crashed_cfg, Arc::new(MetricsRegistry::new())).unwrap();
+    crashed.train(&ds).unwrap();
+    crashed.shutdown();
+
+    // Tear the newest journal (a crash mid-write); resume must fall back
+    // to the round-1 boundary and re-run rounds 1 and 2.
+    let newest = dir.join("journal-0000000002.mamdrj");
+    let bytes = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+    let resumed_cfg = LoopbackConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 1,
+        resume: true,
+        ..LoopbackConfig::new(full)
+    };
+    let mut resumed =
+        DistributedTrainer::new(&ds, resumed_cfg, Arc::new(MetricsRegistry::new())).unwrap();
+    assert_eq!(resumed.start_epoch(), 1, "the torn journal must be skipped");
+    let report = resumed.train(&ds).unwrap();
+    assert_eq!(report.round_losses, expected.round_losses);
+    assert_eq!(report.mean_auc.to_bits(), expected.mean_auc.to_bits());
+    assert_eq!(snapshot_bytes(resumed.store(), full.dim), expected_bytes);
+    resumed.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_is_a_typed_error() {
+    let ds = dataset();
+    let dir = scratch_dir("empty-resume");
+    let cfg = LoopbackConfig {
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+        ..LoopbackConfig::new(train_config(1, 1))
+    };
+    match DistributedTrainer::new(&ds, cfg, Arc::new(MetricsRegistry::new())) {
+        Err(TrainerError::Resume(_)) => {}
+        Err(other) => panic!("expected TrainerError::Resume, got {other}"),
+        Ok(_) => panic!("resume from an empty directory should fail"),
+    }
+    // And resume/journaling without a directory is rejected up front.
+    let cfg = LoopbackConfig { checkpoint_every: 3, ..LoopbackConfig::new(train_config(1, 1)) };
+    assert!(matches!(
+        DistributedTrainer::new(&ds, cfg, Arc::new(MetricsRegistry::new())),
+        Err(TrainerError::Config(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_workers_are_restarted_with_exact_counters_and_identical_parameters() {
+    let ds = dataset();
+    let cfg = train_config(2, 3);
+
+    // In-process ground truth (no network, no faults).
+    let local_trainer = DistributedMamdr::new(&ds, cfg);
+    let local = local_trainer.train(&ds);
+
+    // Kill worker 1 in round 0 and worker 0 in round 2. A killed worker
+    // dies before its first read, so its replacement re-runs the partition
+    // exactly once — traffic stays identical to a clean run.
+    let plan = FaultPlan::parse("kill=0:1+2:0").unwrap();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let loopback = LoopbackConfig { fault: Some(plan), ..LoopbackConfig::new(cfg) };
+    let mut trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+    let report = trainer.train(&ds).unwrap();
+
+    assert_eq!(metrics.counter("rpc_faults_worker_kills_total").get(), 2);
+    assert_eq!(metrics.counter("rpc_worker_failures_total").get(), 2);
+    assert_eq!(metrics.counter("rpc_worker_restarts_total").get(), 2);
+
+    // Zero divergence: the restarts are invisible to the math.
+    assert_eq!(report.round_losses, local.round_losses);
+    assert_eq!(report.mean_auc.to_bits(), local.mean_auc.to_bits());
+    assert_eq!(report.pulls, local.pulls);
+    assert_eq!(report.pushes, local.pushes);
+    assert_eq!(report.cache, local.cache);
+    assert_eq!(metrics.counter("rpc_push_applied_total").get(), local.pushes);
+    assert_eq!(
+        snapshot_bytes(trainer.store(), cfg.dim),
+        snapshot_bytes(local_trainer.server(), cfg.dim),
+        "worker restarts changed the parameters"
+    );
+    trainer.shutdown();
+}
+
+#[test]
+fn a_worker_killed_every_round_exhausts_its_retry_budget_into_a_typed_error() {
+    let ds = dataset();
+    let cfg = train_config(2, 2);
+    // Replacements skip the kill check, so a single kill entry cannot fail
+    // a round; to exhaust the budget, kill the *replacements* too by
+    // making worker_round itself always fail: an unroutable retry target
+    // does that for every attempt. Simpler and fully deterministic: point
+    // the kill schedule at round 0 and give the trainer zero retries.
+    let plan = FaultPlan::parse("kill=0:0").unwrap();
+    let loopback =
+        LoopbackConfig { fault: Some(plan), max_worker_retries: 0, ..LoopbackConfig::new(cfg) };
+    let mut trainer =
+        DistributedTrainer::new(&ds, loopback, Arc::new(MetricsRegistry::new())).unwrap();
+    match trainer.train(&ds) {
+        Err(TrainerError::RoundFailed { epoch, failures }) => {
+            assert_eq!(epoch, 0);
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].worker(), 0);
+        }
+        other => panic!("expected RoundFailed, got {other:?}"),
+    }
+    // The failed round released the barrier for the surviving worker and
+    // the server is still healthy: shutdown drains cleanly.
+    trainer.shutdown();
+    assert!(matches!(trainer.addr(), Err(TrainerError::ServerStopped)));
+}
+
+#[test]
+fn hung_worker_is_replaced_without_divergence() {
+    let ds = dataset();
+    let cfg = train_config(2, 3);
+
+    let local_trainer = DistributedMamdr::new(&ds, cfg);
+    let local = local_trainer.train(&ds);
+
+    // Worker 0 stalls for 2 s in round 1; the supervisor's 150 ms deadline
+    // trips long before that and a replacement re-runs the partition. The
+    // straggler eventually wakes and reports a duplicate result, which the
+    // supervisor discards (first-in wins — both are bit-identical anyway).
+    let plan = FaultPlan::parse("hang=1:0,hang_micros=2000000").unwrap();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let loopback = LoopbackConfig {
+        fault: Some(plan),
+        worker_deadline: Duration::from_millis(150),
+        ..LoopbackConfig::new(cfg)
+    };
+    let mut trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+    let report = trainer.train(&ds).unwrap();
+
+    assert_eq!(metrics.counter("rpc_faults_worker_hangs_total").get(), 1);
+    assert!(metrics.counter("rpc_worker_restarts_total").get() >= 1);
+    assert_eq!(report.round_losses, local.round_losses);
+    assert_eq!(report.mean_auc.to_bits(), local.mean_auc.to_bits());
+    // Traffic is NOT compared: the discarded straggler's reads are real
+    // wire traffic. The parameters must still be bit-identical.
+    assert_eq!(
+        snapshot_bytes(trainer.store(), cfg.dim),
+        snapshot_bytes(local_trainer.server(), cfg.dim),
+        "hung-worker recovery changed the parameters"
+    );
+    trainer.shutdown();
+}
+
+#[test]
+fn poisoned_gradient_trips_the_guard_and_parameters_stay_finite() {
+    let ds = dataset();
+    let mut cfg = train_config(2, 4);
+    cfg.guard = GuardConfig::enabled();
+
+    // Worker 0's round-2 gradients carry a NaN; the guard must skip that
+    // update (one trip, no rollback) and training must finish finite.
+    let plan = FaultPlan::parse("poison=2:0").unwrap();
+    let metrics = Arc::new(MetricsRegistry::new());
+    let loopback = LoopbackConfig { fault: Some(plan), ..LoopbackConfig::new(cfg) };
+    let mut trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+    let report = trainer.train(&ds).unwrap();
+
+    assert_eq!(report.guard_trips, 1);
+    assert_eq!(report.guard_rollbacks, 0);
+    assert_eq!(report.round_losses.len(), 4);
+    assert!(report.round_losses.iter().all(|l| l.is_finite()));
+    assert!(report.mean_auc.is_finite());
+    for (key, row) in trainer.store().dump_rows() {
+        assert!(row.iter().all(|v| v.is_finite()), "non-finite parameters in {key:?}");
+    }
+    report.export(&metrics);
+    assert_eq!(metrics.counter("ps_guard_trips_total").get(), 1);
+    trainer.shutdown();
+}
+
+#[test]
+fn guard_rollback_restores_the_last_clean_round_byte_for_byte() {
+    let ds = dataset();
+    let mut cfg = train_config(2, 2);
+    cfg.guard = GuardConfig { max_consecutive_trips: 1, ..GuardConfig::enabled() };
+
+    // Round 1: worker 0's healthy update is applied first, then worker 1's
+    // poisoned update trips the guard — with a one-trip budget the verdict
+    // is an immediate rollback, which must also discard worker 0's
+    // already-applied prefix. The store must land exactly on the round-0
+    // boundary: the same bytes a clean one-round run produces.
+    let clean_one_round = DistributedMamdr::new(&ds, train_config(2, 1));
+    let after_round_0 = clean_one_round.train(&ds);
+
+    let plan = FaultPlan::parse("poison=1:1").unwrap();
+    let loopback = LoopbackConfig { fault: Some(plan), ..LoopbackConfig::new(cfg) };
+    let mut trainer =
+        DistributedTrainer::new(&ds, loopback, Arc::new(MetricsRegistry::new())).unwrap();
+    let report = trainer.train(&ds).unwrap();
+
+    assert_eq!(report.guard_trips, 1);
+    assert_eq!(report.guard_rollbacks, 1);
+    assert_eq!(report.round_losses[0], after_round_0.round_losses[0]);
+    assert_eq!(report.mean_auc.to_bits(), after_round_0.mean_auc.to_bits());
+    assert_eq!(
+        snapshot_bytes(trainer.store(), cfg.dim),
+        snapshot_bytes(clean_one_round.server(), cfg.dim),
+        "rollback did not restore the pre-trip state byte-for-byte"
+    );
+    trainer.shutdown();
+}
+
+#[test]
+fn the_supervised_round_path_has_no_panicking_escape_hatches() {
+    // The whole point of typed WorkerFailure propagation is that a flaky
+    // worker can never take the driver down with it. Enforce it at the
+    // source level: the rpc trainer must not contain unwrap/expect/panic.
+    let src =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/crates/rpc/src/trainer.rs"))
+            .unwrap();
+    for forbidden in
+        [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("]
+    {
+        assert!(
+            !src.contains(forbidden),
+            "crates/rpc/src/trainer.rs contains `{forbidden}` — \
+             round-path failures must propagate as WorkerFailure/TrainerError"
+        );
+    }
+}

@@ -43,9 +43,9 @@ fn fault_free_loopback_training_is_bit_identical_to_in_process() {
     let local = local_trainer.train(&ds);
 
     let metrics = Arc::new(MetricsRegistry::new());
-    let net_trainer =
+    let mut net_trainer =
         DistributedTrainer::new(&ds, LoopbackConfig::new(cfg), Arc::clone(&metrics)).unwrap();
-    let remote = net_trainer.train(&ds);
+    let remote = net_trainer.train(&ds).unwrap();
 
     // Every report field matches exactly — same losses, same AUC bits,
     // same RPC and byte counts.
@@ -93,8 +93,8 @@ fn faulted_training_completes_with_zero_lost_or_double_applied_updates() {
         retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
         ..LoopbackConfig::new(cfg)
     };
-    let net_trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
-    let remote = net_trainer.train(&ds);
+    let mut net_trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+    let remote = net_trainer.train(&ds).unwrap();
 
     // All rounds ran, and the learning signal is the exact one the clean
     // run produced: the fault layer is invisible to the math.
@@ -137,8 +137,8 @@ fn identical_fault_plans_produce_identical_fault_counters() {
             retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
             ..LoopbackConfig::new(cfg)
         };
-        let trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
-        trainer.train(&ds);
+        let mut trainer = DistributedTrainer::new(&ds, loopback, Arc::clone(&metrics)).unwrap();
+        trainer.train(&ds).unwrap();
         trainer.shutdown();
         metrics.counter_values()
     };
