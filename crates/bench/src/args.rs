@@ -35,6 +35,17 @@ pub struct BenchArgs {
     /// Resume a distributed run from the newest valid journal in this
     /// directory (also used as the checkpoint destination).
     pub resume: Option<String>,
+    /// Chrome `trace_event` JSON output path. Setting it attaches a span
+    /// tracer to the run; load the file at `chrome://tracing` or in
+    /// Perfetto. `None` runs untraced (the span paths cost nothing).
+    pub trace_out: Option<String>,
+    /// Print a per-phase wall-clock attribution table at exit (implies a
+    /// tracer, like `--trace-out`).
+    pub phase_summary: bool,
+    /// Bind a live introspection HTTP endpoint (`/healthz`, `/metrics`,
+    /// `/spans`) on this address for the duration of the run,
+    /// e.g. `127.0.0.1:9115`. `None` disables it.
+    pub introspect_addr: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -51,12 +62,30 @@ impl Default for BenchArgs {
             checkpoint_every: 0,
             checkpoint_dir: None,
             resume: None,
+            trace_out: None,
+            phase_summary: false,
+            introspect_addr: None,
         }
     }
 }
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Rejects an output path that cannot possibly be written: an existing
+/// directory, or a file under a missing parent directory.
+fn check_out_path(flag: &str, path: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        return Err(format!("{flag} {path} is a directory; pass a file path"));
+    }
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!("{flag} parent directory {} does not exist", parent.display()));
+        }
+    }
+    Ok(())
 }
 
 impl BenchArgs {
@@ -88,9 +117,12 @@ impl BenchArgs {
                 }
                 "--checkpoint-dir" => out.checkpoint_dir = Some(take("--checkpoint-dir")),
                 "--resume" => out.resume = Some(take("--resume")),
+                "--trace-out" => out.trace_out = Some(take("--trace-out")),
+                "--phase-summary" => out.phase_summary = true,
+                "--introspect-addr" => out.introspect_addr = Some(take("--introspect-addr")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr>"
                     );
                     std::process::exit(2);
                 }
@@ -153,17 +185,16 @@ impl BenchArgs {
             }
         }
         if let Some(path) = &self.metrics_out {
-            let p = std::path::Path::new(path);
-            if p.is_dir() {
-                return Err(format!("--metrics-out {path} is a directory; pass a file path"));
-            }
-            if let Some(parent) = p.parent() {
-                if !parent.as_os_str().is_empty() && !parent.is_dir() {
-                    return Err(format!(
-                        "--metrics-out parent directory {} does not exist",
-                        parent.display()
-                    ));
-                }
+            check_out_path("--metrics-out", path)?;
+        }
+        if let Some(path) = &self.trace_out {
+            check_out_path("--trace-out", path)?;
+        }
+        if let Some(addr) = &self.introspect_addr {
+            if addr.parse::<std::net::SocketAddr>().is_err() {
+                return Err(format!(
+                    "--introspect-addr {addr} is not a socket address (try 127.0.0.1:9115)"
+                ));
             }
         }
         Ok(())
@@ -311,5 +342,35 @@ mod tests {
         assert_eq!(parse(&[]).metrics_out, None);
         let a = parse(&["--metrics-out", "/tmp/run.jsonl"]);
         assert_eq!(a.metrics_out.as_deref(), Some("/tmp/run.jsonl"));
+    }
+
+    #[test]
+    fn tracing_flags_parse_and_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.trace_out, None);
+        assert!(!a.phase_summary);
+        assert_eq!(a.introspect_addr, None);
+
+        let a = parse(&["--trace-out", "/tmp/trace.json", "--phase-summary"]);
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/trace.json"));
+        assert!(a.phase_summary);
+        assert!(a.validate().is_ok());
+
+        // --trace-out paths get the same early checks as --metrics-out.
+        let err = parse(&["--trace-out", "/no/such/dir/ever/t.json"]).validate().unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+        let dir = std::env::temp_dir();
+        let err = parse(&["--trace-out", dir.to_str().unwrap()]).validate().unwrap_err();
+        assert!(err.contains("directory"), "{err}");
+    }
+
+    #[test]
+    fn introspect_addr_must_be_a_socket_address() {
+        assert!(parse(&["--introspect-addr", "127.0.0.1:0"]).validate().is_ok());
+        assert!(parse(&["--introspect-addr", "127.0.0.1:9115"]).validate().is_ok());
+        let err = parse(&["--introspect-addr", "localhost"]).validate().unwrap_err();
+        assert!(err.contains("--introspect-addr"), "{err}");
+        let err = parse(&["--introspect-addr", "9115"]).validate().unwrap_err();
+        assert!(err.contains("socket address"), "{err}");
     }
 }

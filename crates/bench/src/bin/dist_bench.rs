@@ -21,6 +21,15 @@
 //! multiplies the dataset size, and `--threads`, `--epochs`, `--seed`,
 //! `--quick` behave as everywhere else.
 //!
+//! Tracing: `--trace-out <path>` records the loopback run's span tree
+//! (rounds, per-worker pull/compute, RPC attempts, server-side applies)
+//! as Chrome `trace_event` JSON; `--phase-summary` prints a wall-clock
+//! attribution table plus the wire-overhead row (frame encode/checksum
+//! and decode seconds); `--introspect-addr <addr>` serves live
+//! `/healthz` `/metrics` `/spans` over HTTP for the duration of the run.
+//! The in-process ground truth always runs untraced, so every traced
+//! invocation re-proves tracing neutrality through the bit-identity gate.
+//!
 //! Crash-resume drill: `--checkpoint-every N --checkpoint-dir <dir>`
 //! journals every N rounds; a later invocation with `--resume <dir>`
 //! restores the newest journal and runs only the remaining rounds. The
@@ -28,7 +37,7 @@
 //! in every round loss and the final AUC bits (the push-count gates are
 //! skipped, since the RPC counters only cover the resumed segment).
 
-use mamdr_bench::{BenchArgs, BenchTelemetry, QUICK_SCALE_FACTOR};
+use mamdr_bench::{render_phase_table, BenchArgs, BenchTelemetry, QUICK_SCALE_FACTOR};
 use mamdr_data::presets;
 use mamdr_obs::Value;
 use mamdr_ps::{DistributedConfig, DistributedMamdr};
@@ -78,12 +87,16 @@ fn main() {
         args.checkpoint_every,
         if resuming { ", resuming" } else { "" },
     );
+    // The tracer observes the loopback run only — the in-process ground
+    // truth stays untraced, so the bit-identity gate below doubles as a
+    // tracing-neutrality check on every traced invocation.
     let loopback = LoopbackConfig {
         fault: plan,
         retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
         checkpoint_dir,
         checkpoint_every: args.checkpoint_every,
         resume: resuming,
+        tracer: telemetry.tracer(),
         ..LoopbackConfig::new(cfg)
     };
     let t0 = Instant::now();
@@ -129,6 +142,35 @@ fn main() {
     println!("  retries      {retries}");
     println!("  applied      {applied}  deduped {deduped}");
     println!("  faults       dropped={dropped} duplicated={duplicated} disconnects={disconnects}");
+
+    if let Some(tracer) = telemetry.tracer() {
+        // Wire overhead = serialization + checksum on both directions;
+        // decode is timed from the first magic byte, so waiting on the
+        // peer is excluded.
+        let encode = tracer.phase("wire.encode");
+        let decode = tracer.phase("wire.decode");
+        let wire_secs = encode.total_secs + decode.total_secs;
+        if args.phase_summary {
+            println!("  phase attribution (loopback wall {remote_secs:.3} s):");
+            print!("{}", render_phase_table(&tracer, remote_secs));
+        }
+        println!(
+            "  wire_overhead {:.4} s  (encode {} frames {:.4} s, decode {} frames {:.4} s)",
+            wire_secs, encode.count, encode.total_secs, decode.count, decode.total_secs
+        );
+        if telemetry.enabled() {
+            for (name, p) in tracer.phase_summary() {
+                telemetry.log().emit(
+                    "dist_phase",
+                    &[
+                        ("phase", Value::from(name.as_str())),
+                        ("count", Value::from(p.count)),
+                        ("total_secs", Value::from(p.total_secs)),
+                    ],
+                );
+            }
+        }
+    }
 
     if telemetry.enabled() {
         for (round, &loss) in remote.round_losses.iter().enumerate() {

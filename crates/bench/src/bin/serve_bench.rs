@@ -16,8 +16,14 @@
 //! Knobs: `--scale` multiplies the request count (default 1 000 requests),
 //! `--threads` sets both the client count and the kernel pool, `--quick`
 //! caps training epochs, `--seed` and `--epochs` as everywhere else.
+//!
+//! Tracing: `--trace-out <path>` records every request's lifecycle span
+//! chain (queue → coalesce → score → respond, plus hot-swap spans) as
+//! Chrome `trace_event` JSON; `--phase-summary` prints the wall-clock
+//! attribution table; `--introspect-addr <addr>` serves live `/healthz`
+//! `/metrics` `/spans` over HTTP while the bench runs.
 
-use mamdr_bench::{BenchArgs, BenchTelemetry};
+use mamdr_bench::{render_phase_table, BenchArgs, BenchTelemetry};
 use mamdr_core::{FrameworkKind, TrainConfig, TrainEnv, TrainedModel};
 use mamdr_data::{DomainSpec, GeneratorConfig, MdrDataset};
 use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
@@ -71,7 +77,8 @@ fn main() {
     let (_, v1) = train_snapshot(&ds, &args, 1, args.seed);
     let (_, v2) = train_snapshot(&ds, &args, 2, args.seed ^ 0xBEEF);
 
-    let engine = Arc::new(ScoringEngine::new(v1, telemetry.registry()));
+    let engine =
+        Arc::new(ScoringEngine::new(v1, telemetry.registry()).with_tracer(telemetry.tracer()));
     let server = Server::start(
         Arc::clone(&engine),
         ServeConfig {
@@ -153,17 +160,39 @@ fn main() {
     let qps = served as f64 / elapsed;
     let lat = engine.metrics().latency_seconds.snapshot();
     let batch = engine.metrics().batch_size.snapshot();
+    let queue_wait = engine.metrics().queue_wait_us.snapshot();
+    let compute = engine.metrics().batch_compute_us.snapshot();
 
     println!("serve_bench: {served} requests, {clients} clients, threads={}", args.threads);
     println!("  qps          {qps:.1}");
     println!("  p50_latency  {:.1} us", lat.p50 * 1e6);
     println!("  p99_latency  {:.1} us", lat.p99 * 1e6);
+    println!("  queue_wait   p50 {:.1} us  p99 {:.1} us", queue_wait.p50, queue_wait.p99);
+    println!("  batch_compute p50 {:.1} us  p99 {:.1} us", compute.p50, compute.p99);
     println!(
         "  mean_batch   {:.2}",
         if batch.count > 0 { batch.sum / batch.count as f64 } else { 0.0 }
     );
     println!("  versions     v1={n1} v2={n2}");
     println!("  dropped      {bad}");
+
+    if let Some(tracer) = telemetry.tracer() {
+        if args.phase_summary {
+            println!("  phase attribution (wall {elapsed:.3} s):");
+            print!("{}", render_phase_table(&tracer, elapsed));
+        }
+        // Mean shares of the request lifecycle, from the span chain: wait
+        // (queue + coalesce) vs score vs respond per request.
+        let request = tracer.phase("serve.request");
+        let score = tracer.phase("serve.score");
+        if request.count > 0 {
+            println!(
+                "  attribution  score {:.1}% of request lifecycle ({} request spans)",
+                100.0 * score.total_secs / request.total_secs.max(1e-9),
+                request.count
+            );
+        }
+    }
 
     telemetry.log().emit(
         "serve_bench",
@@ -173,6 +202,10 @@ fn main() {
             ("qps", Value::from(qps)),
             ("p50_seconds", Value::from(lat.p50)),
             ("p99_seconds", Value::from(lat.p99)),
+            ("queue_wait_p50_us", Value::from(queue_wait.p50)),
+            ("queue_wait_p99_us", Value::from(queue_wait.p99)),
+            ("batch_compute_p50_us", Value::from(compute.p50)),
+            ("batch_compute_p99_us", Value::from(compute.p99)),
             ("scored_v1", Value::from(n1)),
             ("scored_v2", Value::from(n2)),
             ("dropped", Value::from(bad)),

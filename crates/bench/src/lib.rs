@@ -37,4 +37,4 @@ pub mod telemetry;
 
 pub use args::{BenchArgs, QUICK_SCALE_FACTOR};
 pub use table::TableBuilder;
-pub use telemetry::BenchTelemetry;
+pub use telemetry::{render_phase_table, BenchTelemetry};

@@ -3,7 +3,9 @@
 //! for training jobs, and the exit-time dump.
 
 use crate::args::BenchArgs;
-use mamdr_obs::{EventLog, MetricsRegistry, TelemetryObserver, TrainObserver, Value};
+use mamdr_obs::{
+    EventLog, IntrospectServer, MetricsRegistry, TelemetryObserver, Tracer, TrainObserver, Value,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -21,6 +23,11 @@ pub struct BenchTelemetry {
     registry: Arc<MetricsRegistry>,
     log: Arc<EventLog>,
     out: Option<PathBuf>,
+    tracer: Option<Arc<Tracer>>,
+    trace_out: Option<PathBuf>,
+    /// Held for the process lifetime; stops serving when the telemetry
+    /// sink (and with it the process's run) ends.
+    introspect: Option<IntrospectServer>,
 }
 
 impl BenchTelemetry {
@@ -32,7 +39,27 @@ impl BenchTelemetry {
                 .unwrap_or_else(|e| panic!("cannot open --metrics-out {}: {e}", p.display())),
             None => EventLog::in_memory(),
         };
-        BenchTelemetry { registry: Arc::new(MetricsRegistry::new()), log: Arc::new(log), out }
+        let registry = Arc::new(MetricsRegistry::new());
+        // A tracer exists only when some consumer asked for spans; every
+        // traced code path checks for it, so without one tracing costs
+        // nothing.
+        let tracer =
+            (args.trace_out.is_some() || args.phase_summary || args.introspect_addr.is_some())
+                .then(|| Arc::new(Tracer::new()));
+        let introspect = args.introspect_addr.as_deref().map(|addr| {
+            let server = IntrospectServer::start(addr, Arc::clone(&registry), tracer.clone())
+                .unwrap_or_else(|e| panic!("cannot bind --introspect-addr {addr}: {e}"));
+            eprintln!("[introspect] serving /healthz /metrics /spans on http://{}", server.addr());
+            server
+        });
+        BenchTelemetry {
+            registry,
+            log: Arc::new(log),
+            out,
+            tracer,
+            trace_out: args.trace_out.as_ref().map(PathBuf::from),
+            introspect,
+        }
     }
 
     /// Whether `--metrics-out` was given.
@@ -83,9 +110,35 @@ impl BenchTelemetry {
         );
     }
 
-    /// Appends the registry dump to the JSONL stream, flushes it, and
-    /// writes the Prometheus-style snapshot. No-op when disabled.
+    /// The process-wide span tracer, when `--trace-out`, `--phase-summary`
+    /// or `--introspect-addr` asked for one.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.clone()
+    }
+
+    /// The live introspection endpoint, when `--introspect-addr` bound one.
+    pub fn introspect_addr(&self) -> Option<std::net::SocketAddr> {
+        self.introspect.as_ref().map(|s| s.addr())
+    }
+
+    /// Appends the registry dump to the JSONL stream, flushes it, writes
+    /// the Prometheus-style snapshot, and exports the Chrome trace when
+    /// `--trace-out` was given. No-op with neither sink configured.
     pub fn finish(&self) {
+        if let (Some(tracer), Some(path)) = (&self.tracer, &self.trace_out) {
+            match std::fs::write(path, tracer.to_chrome_trace()) {
+                Ok(()) => eprintln!(
+                    "[trace] wrote {} ({} spans{}); load it at chrome://tracing",
+                    path.display(),
+                    tracer.span_count(),
+                    match tracer.dropped() {
+                        0 => String::new(),
+                        n => format!(", {n} evicted from the ring"),
+                    }
+                ),
+                Err(e) => eprintln!("[trace] failed to write {}: {e}", path.display()),
+            }
+        }
         let Some(out) = &self.out else { return };
         self.log.append_raw(&self.registry.dump_jsonl());
         self.log.flush();
@@ -97,6 +150,27 @@ impl BenchTelemetry {
     }
 }
 
+/// Renders a tracer's per-phase wall-clock aggregates as an aligned table,
+/// sorted by total time. `wall_secs` scales the share column; nested
+/// phases overlap their parents, so shares are attribution per phase, not
+/// a partition of the wall.
+pub fn render_phase_table(tracer: &Tracer, wall_secs: f64) -> String {
+    let mut rows = tracer.phase_summary();
+    rows.sort_by(|a, b| b.1.total_secs.total_cmp(&a.1.total_secs));
+    let mut out = String::new();
+    out.push_str(&format!("  {:<16} {:>9} {:>11} {:>8}\n", "phase", "count", "total_s", "share"));
+    for (name, p) in rows {
+        out.push_str(&format!(
+            "  {:<16} {:>9} {:>11.4} {:>7.1}%\n",
+            name,
+            p.count,
+            p.total_secs,
+            100.0 * p.total_secs / wall_secs.max(1e-9)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,8 +180,43 @@ mod tests {
         let t = BenchTelemetry::from_args(&BenchArgs::default());
         assert!(!t.enabled());
         assert!(t.observer().is_none());
+        assert!(t.tracer().is_none());
+        assert!(t.introspect_addr().is_none());
         t.finish(); // must not panic or write anywhere
         assert!(t.log().is_empty());
+    }
+
+    #[test]
+    fn trace_out_builds_a_tracer_and_exports_chrome_json_at_finish() {
+        let dir = std::env::temp_dir().join("mamdr-bench-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let args = BenchArgs {
+            trace_out: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let t = BenchTelemetry::from_args(&args);
+        let tracer = t.tracer().expect("--trace-out implies a tracer");
+        tracer.span("demo.work").finish();
+        t.finish();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("demo.work"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn phase_table_lists_phases_with_counts() {
+        let tracer = Tracer::new();
+        tracer.record_phase("wire.encode", std::time::Duration::from_millis(5));
+        tracer.record_phase("wire.encode", std::time::Duration::from_millis(5));
+        tracer.record_phase("round.pull", std::time::Duration::from_millis(90));
+        let table = render_phase_table(&tracer, 0.1);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("phase"), "{table}");
+        // Sorted by total time: pull (90ms) above encode (10ms).
+        assert!(lines[1].contains("round.pull") && lines[1].contains("90.0%"), "{table}");
+        assert!(lines[2].contains("wire.encode") && lines[2].contains('2'), "{table}");
     }
 
     #[test]

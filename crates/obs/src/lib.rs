@@ -3,9 +3,12 @@
 //! Everything the training stack reports about itself flows through this
 //! crate: counters, gauges and quantile histograms in a
 //! [`MetricsRegistry`]; wall-clock profiling via [`ScopedTimer`]; a
-//! structured JSONL [`EventLog`]; and the [`TrainObserver`] callback
+//! structured JSONL [`EventLog`]; the [`TrainObserver`] callback
 //! trait that `mamdr-core` frameworks and the `mamdr-ps` trainer invoke
-//! at epoch/round boundaries.
+//! at epoch/round boundaries; distributed tracing via [`Tracer`] spans
+//! (Chrome `trace_event` export, exact per-phase wall-clock aggregates);
+//! and the opt-in [`IntrospectServer`] exposing `/metrics`, `/healthz`
+//! and `/spans` to a live process.
 //!
 //! Design constraints, in order:
 //!
@@ -20,15 +23,22 @@
 
 mod events;
 mod histogram;
+mod introspect;
 mod metrics;
 mod observer;
 mod timer;
+mod trace;
 
 pub use events::{EventLog, Value};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use introspect::IntrospectServer;
 pub use metrics::{Counter, Gauge, MetricsRegistry};
 pub use observer::{
     ConflictSummary, EpochEvent, NoopObserver, RecordingObserver, TelemetryObserver, TrainMeta,
     TrainObserver,
 };
 pub use timer::ScopedTimer;
+pub use trace::{
+    maybe_child, maybe_span, PhaseSummary, SpanContext, SpanGuard, SpanRecord, Tracer,
+    DEFAULT_RING_CAPACITY,
+};

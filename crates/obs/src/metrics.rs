@@ -55,6 +55,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -83,6 +84,25 @@ impl MetricsRegistry {
         m.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
     }
 
+    /// Attaches Prometheus `# HELP` text to `name`. Idempotent; the last
+    /// description wins. Metrics without one render a generated default
+    /// so the exposition always carries a `# HELP` line per family.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut m = self.help.lock().expect("registry lock");
+        m.insert(name.to_string(), help.to_string());
+    }
+
+    fn help_line(&self, name: &str, kind: &str) -> String {
+        let m = self.help.lock().expect("registry lock");
+        let text = match m.get(name) {
+            // HELP text escaping per the exposition format: `\` and
+            // newline are the only characters that need it.
+            Some(h) => h.replace('\\', "\\\\").replace('\n', "\\n"),
+            None => format!("mamdr {kind} {name}."),
+        };
+        format!("# HELP {name} {text}\n")
+    }
+
     /// All counters as `(name, value)`, name-sorted.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         let m = self.counters.lock().expect("registry lock");
@@ -101,18 +121,22 @@ impl MetricsRegistry {
         m.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
     }
 
-    /// Renders every metric in the Prometheus text exposition format.
-    /// Histograms are rendered summary-style (`_count`, `_sum` and
-    /// `quantile`-labelled sample lines).
+    /// Renders every metric in the Prometheus text exposition format:
+    /// a `# HELP` + `# TYPE` header per family, histograms rendered
+    /// summary-style (`quantile`-labelled sample lines plus `_sum` /
+    /// `_count`), so the output is scrapeable as-is.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in self.counter_values() {
+            out.push_str(&self.help_line(&name, "counter"));
             out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
         }
         for (name, v) in self.gauge_values() {
+            out.push_str(&self.help_line(&name, "gauge"));
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(v)));
         }
         for (name, s) in self.histogram_values() {
+            out.push_str(&self.help_line(&name, "summary"));
             out.push_str(&format!("# TYPE {name} summary\n"));
             for (q, v) in [(0.5, s.p50), (0.9, s.p90), (0.99, s.p99)] {
                 out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", fmt_f64(v)));
@@ -247,6 +271,28 @@ mod tests {
         assert!(text.contains("# TYPE c_seconds summary\n"), "{text}");
         assert!(text.contains("c_seconds_count 1\n"), "{text}");
         assert!(text.contains("quantile=\"0.5\""), "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_emits_help_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total").add(2);
+        reg.describe("a_total", "Things that\nhappened.");
+        reg.gauge("b").set(1.0);
+        reg.histogram("c_seconds").record(0.25);
+        let text = reg.render_prometheus();
+        // Described metric: escaped text; undescribed: generated default.
+        assert!(text.contains("# HELP a_total Things that\\nhappened.\n"), "{text}");
+        assert!(text.contains("# HELP b mamdr gauge b.\n"), "{text}");
+        assert!(
+            text.contains("# HELP c_seconds mamdr summary c_seconds.\n# TYPE c_seconds summary\n"),
+            "{text}"
+        );
+        // Every family has exactly one HELP and one TYPE line.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, 3, "{text}");
+        assert_eq!(types, 3, "{text}");
     }
 
     #[test]

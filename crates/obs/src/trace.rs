@@ -1,0 +1,552 @@
+//! Distributed tracing: monotonic-clock spans with parent ids, a
+//! thread-safe bounded span sink, exact per-phase wall-clock aggregates,
+//! and Chrome `trace_event` export.
+//!
+//! The tracer obeys the same contract as the rest of this crate:
+//!
+//! 1. **Free when absent.** Every instrumented call site holds an
+//!    `Option<Arc<Tracer>>` and pays one branch when it is `None`.
+//! 2. **Never perturbs training.** Spans only *read* monotonic clocks;
+//!    no span id, timestamp or attribute ever feeds back into training
+//!    math, RNG streams, or wire-visible control flow (the trace frame
+//!    extension changes payload bytes, never frame counts or op-codes).
+//! 3. **Zero heavy dependencies.** The Chrome JSON encoder and the span
+//!    ring are small enough to own.
+//!
+//! Two sinks, two guarantees:
+//!
+//! * The **span ring** keeps the most recent [`Tracer::capacity`] finished
+//!   spans for export ([`Tracer::to_chrome_trace`]) and live inspection
+//!   (the introspection server's `/spans`). When full it drops the oldest
+//!   and counts the loss ([`Tracer::dropped`]) — tracing never grows
+//!   without bound.
+//! * The **phase aggregates** fold every finished span (and every
+//!   [`Tracer::record_phase`] call) into an exact `(count, total seconds)`
+//!   per span name, unaffected by ring eviction. Wall-clock attribution
+//!   tables are built from these, so they stay exact on arbitrarily long
+//!   runs.
+//!
+//! Timestamps are monotonic ([`std::time::Instant`]) relative to the
+//! tracer's construction; a wall-clock base is captured once at
+//! construction and only applied post-hoc at export time. Training and
+//! serving code therefore never consults the system clock mid-run —
+//! determinism contracts survive tracing.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime};
+
+/// The identity a span propagates (e.g. across the wire): which trace it
+/// belongs to and which span is the parent of work done on its behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The trace every causally related span shares.
+    pub trace_id: u64,
+    /// The span id children parent to.
+    pub span_id: u64,
+}
+
+/// One finished span, as stored in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (also the phase-aggregate key).
+    pub name: &'static str,
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (`0` for a root span).
+    pub parent_id: u64,
+    /// Start, in nanoseconds since the tracer's epoch (monotonic).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small stable per-thread label (first-use order, not an OS id).
+    pub thread: u64,
+    /// Numeric attributes (flags encode as 0/1).
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+/// One phase's exact aggregate: how many spans (or
+/// [`Tracer::record_phase`] samples) landed in it and their summed
+/// wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSummary {
+    /// Spans / samples folded in.
+    pub count: u64,
+    /// Summed wall-clock seconds.
+    pub total_secs: f64,
+}
+
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_LABEL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn thread_label() -> u64 {
+    THREAD_LABEL.with(|l| *l)
+}
+
+/// The span sink: allocates ids, stores finished spans in a bounded ring,
+/// and folds every span into exact per-phase aggregates.
+pub struct Tracer {
+    epoch: Instant,
+    /// Wall-clock at construction, microseconds since the Unix epoch —
+    /// applied post-hoc at export so runs never read the system clock
+    /// mid-flight.
+    epoch_unix_micros: u64,
+    next_id: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+    phases: Mutex<BTreeMap<&'static str, PhaseAgg>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .field("spans", &self.span_count())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+/// Default ring capacity: enough for every span of a `--quick` bench run
+/// with headroom, bounded at a few MiB of records.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+impl Tracer {
+    /// A tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A tracer whose ring keeps the most recent `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let epoch_unix_micros = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        Tracer {
+            epoch: Instant::now(),
+            epoch_unix_micros,
+            next_id: AtomicU64::new(1),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+            phases: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Allocates a fresh id (used for both trace and span ids). Ids are
+    /// unique per tracer, never zero.
+    pub fn alloc_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a root span of a fresh trace. The span is recorded when the
+    /// guard drops (or [`SpanGuard::finish`] is called).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let trace_id = self.alloc_id();
+        self.start_span(name, trace_id, 0)
+    }
+
+    /// Starts a span inside an existing trace, parented to `parent`.
+    pub fn child(&self, name: &'static str, parent: SpanContext) -> SpanGuard<'_> {
+        self.start_span(name, parent.trace_id, parent.span_id)
+    }
+
+    fn start_span(&self, name: &'static str, trace_id: u64, parent_id: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name,
+            trace_id,
+            span_id: self.alloc_id(),
+            parent_id,
+            start: Instant::now(),
+            attrs: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Nanoseconds of `t` since the tracer's epoch (0 when `t` predates
+    /// it).
+    fn rel_ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Records a span with explicit endpoints — for lifecycles whose
+    /// timestamps were captured by other threads (e.g. a serve request's
+    /// queue wait, stamped at admission and read at scoring).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_at(
+        &self,
+        name: &'static str,
+        trace_id: u64,
+        span_id: u64,
+        parent_id: u64,
+        start: Instant,
+        end: Instant,
+        attrs: Vec<(&'static str, u64)>,
+    ) {
+        let start_ns = self.rel_ns(start);
+        let dur_ns = self.rel_ns(end).saturating_sub(start_ns);
+        self.push(SpanRecord {
+            name,
+            trace_id,
+            span_id,
+            parent_id,
+            start_ns,
+            dur_ns,
+            thread: thread_label(),
+            attrs,
+        });
+    }
+
+    /// Folds a duration into a phase aggregate without materializing a
+    /// span — the hot-path variant for per-frame costs (wire encode /
+    /// decode) where a ring record per sample would be waste.
+    pub fn record_phase(&self, name: &'static str, dur: std::time::Duration) {
+        let mut phases = self.phases.lock().expect("tracer phase lock");
+        let agg = phases.entry(name).or_default();
+        agg.count += 1;
+        agg.total_ns += dur.as_nanos() as u64;
+    }
+
+    fn push(&self, record: SpanRecord) {
+        {
+            let mut phases = self.phases.lock().expect("tracer phase lock");
+            let agg = phases.entry(record.name).or_default();
+            agg.count += 1;
+            agg.total_ns += record.dur_ns;
+        }
+        let mut ring = self.ring.lock().expect("tracer ring lock");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+
+    /// Number of spans currently held in the ring.
+    pub fn span_count(&self) -> usize {
+        self.ring.lock().expect("tracer ring lock").len()
+    }
+
+    /// Spans evicted from the ring so far (aggregates still include
+    /// them).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `limit` finished spans, oldest first.
+    pub fn recent_spans(&self, limit: usize) -> Vec<SpanRecord> {
+        let ring = self.ring.lock().expect("tracer ring lock");
+        let skip = ring.len().saturating_sub(limit);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// The exact per-phase aggregates, name-sorted. Unaffected by ring
+    /// eviction.
+    pub fn phase_summary(&self) -> Vec<(String, PhaseSummary)> {
+        let phases = self.phases.lock().expect("tracer phase lock");
+        phases
+            .iter()
+            .map(|(name, agg)| {
+                (
+                    name.to_string(),
+                    PhaseSummary { count: agg.count, total_secs: agg.total_ns as f64 / 1e9 },
+                )
+            })
+            .collect()
+    }
+
+    /// One phase's aggregate (zero when nothing landed in it).
+    pub fn phase(&self, name: &str) -> PhaseSummary {
+        let phases = self.phases.lock().expect("tracer phase lock");
+        phases
+            .get(name)
+            .map(|agg| PhaseSummary { count: agg.count, total_secs: agg.total_ns as f64 / 1e9 })
+            .unwrap_or(PhaseSummary { count: 0, total_secs: 0.0 })
+    }
+
+    /// Renders the ring as Chrome `trace_event` JSON — one complete (`X`)
+    /// event per span — loadable in `chrome://tracing` or Perfetto.
+    /// Timestamps are exported as wall-clock microseconds by adding the
+    /// construction-time base to each span's monotonic offset.
+    pub fn to_chrome_trace(&self) -> String {
+        let ring = self.ring.lock().expect("tracer ring lock");
+        let mut out = String::with_capacity(128 + ring.len() * 160);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, s) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts = self.epoch_unix_micros + s.start_ns / 1_000;
+            let dur = (s.dur_ns / 1_000).max(1);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts},\"dur\":{dur},\
+                 \"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}",
+                s.name, s.thread, s.trace_id, s.span_id, s.parent_id
+            );
+            for (k, v) in &s.attrs {
+                let _ = write!(out, ",\"{k}\":{v}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the most recent `limit` spans as a standalone JSON object
+    /// (the introspection server's `/spans` body).
+    pub fn spans_json(&self, limit: usize) -> String {
+        let spans = self.recent_spans(limit);
+        let mut out = String::with_capacity(64 + spans.len() * 140);
+        let _ = write!(out, "{{\"dropped\":{},\"spans\":[", self.dropped());
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"trace_id\":{},\"span_id\":{},\"parent_id\":{},\
+                 \"start_ns\":{},\"dur_ns\":{},\"thread\":{}",
+                s.name, s.trace_id, s.span_id, s.parent_id, s.start_ns, s.dur_ns, s.thread
+            );
+            for (k, v) in &s.attrs {
+                let _ = write!(out, ",\"{k}\":{v}");
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A live span; records itself into the tracer when dropped (or finished
+/// explicitly). Borrows the tracer, so guards never outlive their sink.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start: Instant,
+    attrs: Vec<(&'static str, u64)>,
+    finished: bool,
+}
+
+impl SpanGuard<'_> {
+    /// The context children (local or cross-wire) parent to.
+    pub fn ctx(&self) -> SpanContext {
+        SpanContext { trace_id: self.trace_id, span_id: self.span_id }
+    }
+
+    /// Attaches a numeric attribute (booleans encode as 0/1).
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        self.attrs.push((key, value));
+    }
+
+    /// Seconds elapsed since the span started.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let start_ns = self.tracer.rel_ns(self.start);
+        self.tracer.push(SpanRecord {
+            name: self.name,
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            start_ns,
+            dur_ns: self.start.elapsed().as_nanos() as u64,
+            thread: thread_label(),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// Convenience: opens a span on `tracer` when one is attached; `None`
+/// otherwise. Keeps instrumented call sites to a single expression.
+pub fn maybe_span<'a>(
+    tracer: &'a Option<Arc<Tracer>>,
+    name: &'static str,
+) -> Option<SpanGuard<'a>> {
+    tracer.as_ref().map(|t| t.span(name))
+}
+
+/// Like [`maybe_span`], parented under `parent` when both are present.
+pub fn maybe_child<'a>(
+    tracer: &'a Option<Arc<Tracer>>,
+    name: &'static str,
+    parent: Option<SpanContext>,
+) -> Option<SpanGuard<'a>> {
+    tracer.as_ref().map(|t| match parent {
+        Some(p) => t.child(name, p),
+        None => t.span(name),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_on_drop_with_parenting() {
+        let tracer = Tracer::new();
+        let root_ctx = {
+            let mut root = tracer.span("round");
+            root.attr("epoch", 3);
+            let ctx = root.ctx();
+            {
+                let child = tracer.child("pull", ctx);
+                assert_eq!(child.ctx().trace_id, ctx.trace_id);
+            }
+            ctx
+        };
+        let spans = tracer.recent_spans(16);
+        assert_eq!(spans.len(), 2);
+        // Children finish (and record) before their parents.
+        assert_eq!(spans[0].name, "pull");
+        assert_eq!(spans[0].parent_id, root_ctx.span_id);
+        assert_eq!(spans[0].trace_id, root_ctx.trace_id);
+        assert_eq!(spans[1].name, "round");
+        assert_eq!(spans[1].parent_id, 0);
+        assert_eq!(spans[1].attrs, vec![("epoch", 3)]);
+    }
+
+    #[test]
+    fn phase_aggregates_survive_ring_eviction() {
+        let tracer = Tracer::with_capacity(4);
+        for _ in 0..10 {
+            tracer.span("tiny").finish();
+        }
+        assert_eq!(tracer.span_count(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        assert_eq!(tracer.phase("tiny").count, 10);
+    }
+
+    #[test]
+    fn record_phase_needs_no_span() {
+        let tracer = Tracer::new();
+        tracer.record_phase("wire.encode", Duration::from_micros(5));
+        tracer.record_phase("wire.encode", Duration::from_micros(7));
+        let p = tracer.phase("wire.encode");
+        assert_eq!(p.count, 2);
+        assert!((p.total_secs - 12e-6).abs() < 1e-9, "{}", p.total_secs);
+        assert_eq!(tracer.span_count(), 0);
+    }
+
+    #[test]
+    fn explicit_timestamps_round_trip() {
+        let tracer = Tracer::new();
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        let end = Instant::now();
+        tracer.record_span_at("queue", 9, 10, 3, start, end, vec![("domain", 1)]);
+        let spans = tracer.recent_spans(1);
+        assert_eq!(spans[0].trace_id, 9);
+        assert_eq!(spans[0].span_id, 10);
+        assert_eq!(spans[0].parent_id, 3);
+        assert!(spans[0].dur_ns >= 1_000_000, "{}", spans[0].dur_ns);
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed_json_with_all_spans() {
+        let tracer = Tracer::new();
+        {
+            let mut s = tracer.span("a");
+            s.attr("k", 7);
+        }
+        tracer.span("b").finish();
+        let json = tracer.to_chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"traceEvents\":["), "{json}");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "{json}");
+        assert!(json.contains("\"name\":\"a\""), "{json}");
+        assert!(json.contains("\"k\":7"), "{json}");
+        // Balanced braces/brackets — cheap structural sanity for a format
+        // chrome://tracing must parse.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close, "{json}");
+    }
+
+    #[test]
+    fn spans_json_reports_drops() {
+        let tracer = Tracer::with_capacity(2);
+        for _ in 0..5 {
+            tracer.span("x").finish();
+        }
+        let body = tracer.spans_json(10);
+        assert!(body.contains("\"dropped\":3"), "{body}");
+        assert_eq!(body.matches("\"name\":\"x\"").count(), 2, "{body}");
+    }
+
+    #[test]
+    fn tracer_is_thread_safe() {
+        let tracer = Arc::new(Tracer::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = Arc::clone(&tracer);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let mut span = t.span("work");
+                        span.attr("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(tracer.phase("work").count, 400);
+        // Distinct threads got distinct labels.
+        let threads: std::collections::HashSet<u64> =
+            tracer.recent_spans(usize::MAX).iter().map(|s| s.thread).collect();
+        assert!(threads.len() >= 2, "expected multiple thread labels, got {threads:?}");
+    }
+
+    #[test]
+    fn maybe_helpers_are_free_when_absent() {
+        let none: Option<Arc<Tracer>> = None;
+        assert!(maybe_span(&none, "x").is_none());
+        assert!(maybe_child(&none, "x", None).is_none());
+        let some = Some(Arc::new(Tracer::new()));
+        let parent = some.as_ref().unwrap().span("p");
+        let child = maybe_child(&some, "c", Some(parent.ctx()));
+        assert!(child.is_some());
+    }
+}

@@ -300,6 +300,46 @@ impl RowSource for ParameterServer {
     }
 }
 
+/// A [`RowSource`] decorator that accumulates the wall-clock its inner
+/// source spends serving reads. Tracing-only: a worker wraps its source
+/// for one round, then attributes the accumulated time to the round's
+/// "pull" phase and the remainder to "compute". `Cell` because each
+/// worker's round is single-threaded; the values never feed back into
+/// training.
+pub struct TimedRowSource<'a, S: RowSource + ?Sized> {
+    inner: &'a S,
+    nanos: std::cell::Cell<u64>,
+}
+
+impl<'a, S: RowSource + ?Sized> TimedRowSource<'a, S> {
+    /// Wraps `inner`, starting from zero accumulated time.
+    pub fn new(inner: &'a S) -> Self {
+        TimedRowSource { inner, nanos: std::cell::Cell::new(0) }
+    }
+
+    /// Total wall-clock the inner source spent in reads so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.nanos.get())
+    }
+
+    fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        self.nanos.set(self.nanos.get() + t0.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+impl<S: RowSource + ?Sized> RowSource for TimedRowSource<'_, S> {
+    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
+        self.time(|| self.inner.pull_versioned(key))
+    }
+
+    fn version_of(&self, key: ParamKey) -> u64 {
+        self.time(|| self.inner.version_of(key))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

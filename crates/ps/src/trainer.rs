@@ -4,14 +4,15 @@
 
 use crate::cache::{CacheStats, StalenessStats, WorkerCache};
 use crate::guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
-use crate::kv::{ParamKey, ParameterServer, RowSource};
+use crate::kv::{ParamKey, ParameterServer, RowSource, TimedRowSource};
 use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
 use mamdr_core::metrics::auc;
 use mamdr_data::{MdrDataset, Split};
-use mamdr_obs::MetricsRegistry;
+use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::{derive_seed, normal, seeded, shuffle};
 use rand::Rng;
+use std::sync::Arc;
 
 /// How workers synchronize with the parameter server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,6 +252,7 @@ pub fn evaluate_server(ps: &ParameterServer, ds: &MdrDataset, split: Split) -> f
 pub struct DistributedMamdr {
     ps: ParameterServer,
     cfg: DistributedConfig,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl DistributedMamdr {
@@ -259,7 +261,15 @@ impl DistributedMamdr {
     pub fn new(ds: &MdrDataset, cfg: DistributedConfig) -> Self {
         let ps = ParameterServer::new(cfg.n_shards, cfg.dim);
         seed_server(&ps, ds, cfg.dim, cfg.seed);
-        DistributedMamdr { ps, cfg }
+        DistributedMamdr { ps, cfg, tracer: None }
+    }
+
+    /// Attaches a tracer: each round becomes a span tree (partition /
+    /// workers / apply phases, per-worker pull vs compute attribution).
+    /// Training results are bit-identical with or without it.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Applies the configured kernel thread count (no-op when inheriting).
@@ -285,31 +295,52 @@ impl DistributedMamdr {
         let mut guard = GuardRail::new(cfg.guard);
         let mut last_good =
             if guard_active { Some((self.ps.dump_rows(), self.ps.dump_adagrad())) } else { None };
+        let tracer = self.tracer.as_deref();
         for epoch in 0..cfg.epochs {
+            let round_span = tracer.map(|t| {
+                let mut s = t.span("round");
+                s.attr("epoch", epoch as u64);
+                s
+            });
+            let round_ctx = round_span.as_ref().map(|s| s.ctx());
             // Round-robin partition of domains over workers, reshuffled
             // each epoch (the driver-side analogue of DN's domain shuffle).
-            let partitions = partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers);
+            let partitions = {
+                let _span = round_ctx
+                    .map(|c| tracer.expect("ctx implies tracer").child("round.partition", c));
+                partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers)
+            };
 
-            let stats: Vec<WorkerRound> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = partitions
-                    .iter()
-                    .enumerate()
-                    .map(|(w, part)| {
-                        let ps = &self.ps;
-                        scope.spawn(move |_| {
-                            run_worker_round(
-                                ps,
-                                ds,
-                                part,
-                                cfg,
-                                worker_round_seed(cfg.seed, epoch, w),
-                            )
+            let stats: Vec<WorkerRound> = {
+                let workers_span = round_ctx
+                    .map(|c| tracer.expect("ctx implies tracer").child("round.workers", c));
+                let workers_ctx = workers_span.as_ref().map(|s| s.ctx());
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = partitions
+                        .iter()
+                        .enumerate()
+                        .map(|(w, part)| {
+                            let ps = &self.ps;
+                            scope.spawn(move |_| {
+                                run_worker_round(
+                                    ps,
+                                    ds,
+                                    part,
+                                    cfg,
+                                    worker_round_seed(cfg.seed, epoch, w),
+                                    tracer,
+                                    workers_ctx,
+                                    w,
+                                )
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .unwrap()
+            };
+            let apply_span =
+                round_ctx.map(|c| tracer.expect("ctx implies tracer").child("round.apply", c));
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
             let mut round_tripped = false;
@@ -349,6 +380,7 @@ impl DistributedMamdr {
                     self.ps.push_outer_grad(key, &delta, cfg.outer_lr);
                 }
             }
+            drop(apply_span);
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
             // Only a round with zero trips advances the rollback target.
             if guard_active && !round_tripped {
@@ -356,8 +388,12 @@ impl DistributedMamdr {
             }
         }
         let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
+        let mean_auc = {
+            let _span = tracer.map(|t| t.span("round.evaluate"));
+            self.evaluate(ds, Split::Test)
+        };
         DistributedReport {
-            mean_auc: self.evaluate(ds, Split::Test),
+            mean_auc,
             pulls,
             pushes,
             total_bytes: bp + bs,
@@ -419,16 +455,44 @@ pub fn run_cached_round<S: RowSource + ?Sized>(
 }
 
 /// One worker's round: the MAMDR inner loop over its domain partition.
+#[allow(clippy::too_many_arguments)]
 fn run_worker_round(
     ps: &ParameterServer,
     ds: &MdrDataset,
     domains: &[usize],
     cfg: DistributedConfig,
     seed: u64,
+    tracer: Option<&Tracer>,
+    parent: Option<SpanContext>,
+    worker: usize,
 ) -> WorkerRound {
+    let worker_span = tracer.map(|t| {
+        let mut s = match parent {
+            Some(p) => t.child("worker.round", p),
+            None => t.span("worker.round"),
+        };
+        s.attr("worker", worker as u64);
+        s
+    });
+    let _ = &worker_span;
     match cfg.mode {
         SyncMode::Cached => {
-            let out = run_cached_round(ps, ds, domains, cfg.inner_lr, seed);
+            // With a tracer, split the worker's wall-clock into store reads
+            // ("pull", in-process here but an RPC over the wire) vs local
+            // compute. The timing decorator forwards reads unchanged.
+            let out = match tracer {
+                Some(t) => {
+                    let timed = TimedRowSource::new(ps);
+                    let t0 = std::time::Instant::now();
+                    let out = run_cached_round(&timed, ds, domains, cfg.inner_lr, seed);
+                    let total = t0.elapsed();
+                    let pull = timed.elapsed();
+                    t.record_phase("round.pull", pull);
+                    t.record_phase("round.compute", total.saturating_sub(pull));
+                    out
+                }
+                None => run_cached_round(ps, ds, domains, cfg.inner_lr, seed),
+            };
             let CachedRoundOutput { cache, staleness, loss_sum, n_examples, grads } = out;
             let deferred = if cfg.sync_rounds {
                 // Deliver to the driver; the server stays read-only until

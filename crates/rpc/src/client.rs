@@ -13,9 +13,9 @@
 use crate::fault::{FaultDecision, FaultState};
 use crate::frame::{
     decode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
-    PushResp, FLAG_VERSION_ONLY,
+    PushResp, TraceContext, FLAG_VERSION_ONLY,
 };
-use mamdr_obs::MetricsRegistry;
+use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
 use mamdr_ps::{ParamKey, RowSource};
 use mamdr_tensor::rng::{derive_seed, seeded};
 use rand::rngs::StdRng;
@@ -24,7 +24,7 @@ use std::cell::RefCell;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retry and deadline policy of a [`WorkerClient`].
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +106,20 @@ pub struct WorkerClient {
     fault: Option<FaultState>,
     backoff_rng: StdRng,
     metrics: Arc<MetricsRegistry>,
+    tracer: Option<Arc<Tracer>>,
+    trace_parent: Option<SpanContext>,
+}
+
+/// Span name of a client-side logical request, by op-code.
+fn op_span_name(op: OpCode) -> &'static str {
+    match op {
+        OpCode::Pull => "rpc.pull",
+        OpCode::Push => "rpc.push",
+        OpCode::BarrierSync => "rpc.barrier",
+        OpCode::Checkpoint => "rpc.checkpoint",
+        OpCode::Shutdown => "rpc.shutdown",
+        _ => "rpc.request",
+    }
 }
 
 impl WorkerClient {
@@ -131,7 +145,33 @@ impl WorkerClient {
             // backoff schedules are reproducible like everything else.
             backoff_rng: seeded(derive_seed(0xBAC0FF, client_id as u64)),
             metrics,
+            tracer: None,
+            trace_parent: None,
         }
+    }
+
+    /// Attaches (or detaches) a tracer. When present, every logical
+    /// request opens a span, each network attempt a child span, and
+    /// request frames carry the logical span's [`TraceContext`] so the
+    /// server side can parent its handling span to it. Never changes what
+    /// goes over the wire beyond the trace extension — frame counts,
+    /// sequence numbers and fault decisions are identical with or without
+    /// it.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Sets the span under which subsequent logical request spans are
+    /// parented (e.g. the current worker-round span). `None` makes each
+    /// request a root span of its own trace.
+    pub fn set_trace_parent(&mut self, parent: Option<SpanContext>) {
+        self.trace_parent = parent;
+    }
+
+    /// Whether a tracer is attached.
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
     }
 
     /// This client's id.
@@ -182,7 +222,12 @@ impl WorkerClient {
 
     /// One logical request: a single sequence number, retried with
     /// exponential backoff until a response arrives or the attempt budget
-    /// is spent.
+    /// is spent. When traced, the logical request is one span; every
+    /// network attempt (including retries) is a child of it, and the
+    /// frame carries the logical span's context so server-side handling
+    /// spans parent to it — a retried/deduplicated push shows up as
+    /// multiple attempts and multiple server spans under one logical
+    /// span.
     fn request(
         &mut self,
         opcode: OpCode,
@@ -192,11 +237,28 @@ impl WorkerClient {
     ) -> Result<Frame, RpcError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let frame = Frame { opcode, flags, seq, payload };
+        let mut frame = Frame { opcode, flags, seq, payload };
+        // Clone the handle so the span guard borrows a local, leaving
+        // `self` free for `&mut` attempts.
+        let tracer = self.tracer.clone();
+        let logical = tracer.as_deref().map(|t| {
+            let mut span = match self.trace_parent {
+                Some(p) => t.child(op_span_name(opcode), p),
+                None => t.span(op_span_name(opcode)),
+            };
+            span.attr("seq", seq);
+            span
+        });
+        if let Some(span) = &logical {
+            let ctx = span.ctx();
+            frame = frame
+                .with_trace_context(TraceContext { trace_id: ctx.trace_id, span_id: ctx.span_id });
+        }
+        let trace_ctx = logical.as_ref().map(|s| s.ctx());
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let err = match self.attempt(&frame, barrier) {
+            let err = match self.attempt(&frame, barrier, trace_ctx, attempt) {
                 Ok(resp) => return Ok(resp),
                 // An application-level refusal is authoritative: the server
                 // received the request and rejected it, so retrying cannot
@@ -219,7 +281,36 @@ impl WorkerClient {
 
     /// One attempt: roll the fault dice, send, read responses until one
     /// matches this request's sequence number.
-    fn attempt(&mut self, frame: &Frame, barrier: bool) -> Result<Frame, RpcError> {
+    fn attempt(
+        &mut self,
+        frame: &Frame,
+        barrier: bool,
+        trace_ctx: Option<SpanContext>,
+        attempt_no: u32,
+    ) -> Result<Frame, RpcError> {
+        let tracer = self.tracer.clone();
+        let attempt_span = match (tracer.as_deref(), trace_ctx) {
+            (Some(t), Some(ctx)) => {
+                let mut span = t.child("rpc.attempt", ctx);
+                span.attr("attempt", attempt_no as u64);
+                Some(span)
+            }
+            _ => None,
+        };
+        let result = self.attempt_inner(frame, barrier, tracer.as_deref());
+        if let Some(mut span) = attempt_span {
+            span.attr("ok", result.is_ok() as u64);
+            span.finish();
+        }
+        result
+    }
+
+    fn attempt_inner(
+        &mut self,
+        frame: &Frame,
+        barrier: bool,
+        tracer: Option<&Tracer>,
+    ) -> Result<Frame, RpcError> {
         let decision = match &mut self.fault {
             Some(fs) => fs.decide(),
             None => FaultDecision::default(),
@@ -244,7 +335,15 @@ impl WorkerClient {
         }
 
         let read_timeout = if barrier { self.policy.barrier_timeout } else { self.policy.timeout };
-        let mut buf = frame.to_bytes();
+        let mut buf = match tracer {
+            Some(t) => {
+                let t0 = Instant::now();
+                let buf = frame.to_bytes();
+                t.record_phase("wire.encode", t0.elapsed());
+                buf
+            }
+            None => frame.to_bytes(),
+        };
         if decision.duplicate {
             // Two copies of the same frame back-to-back; the server must
             // apply at most one and answer both.
@@ -259,7 +358,18 @@ impl WorkerClient {
         }
 
         loop {
-            let resp = match Frame::decode(&mut *self.stream.as_mut().expect("connected")) {
+            // Timed decode measures deserialization after the response's
+            // first bytes arrive, not the wait for the server.
+            let decoded = match tracer {
+                Some(t) => Frame::decode_timed(&mut *self.stream.as_mut().expect("connected")).map(
+                    |(f, d)| {
+                        t.record_phase("wire.decode", d);
+                        f
+                    },
+                ),
+                None => Frame::decode(&mut *self.stream.as_mut().expect("connected")),
+            };
+            let resp = match decoded {
                 Ok(f) => f,
                 Err(FrameError::Io(e))
                     if e.kind() == std::io::ErrorKind::WouldBlock

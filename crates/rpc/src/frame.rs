@@ -53,6 +53,66 @@ pub const FRAME_OVERHEAD: usize = 32;
 /// traffic accounting server-side) — used by staleness probes.
 pub const FLAG_VERSION_ONLY: u8 = 0b0000_0001;
 
+/// Trace flag: the payload is prefixed by a [`TraceContext`] extension
+/// ([`TRACE_EXT_LEN`] bytes) carrying the sender's trace/span ids, so a
+/// server-side span can parent to the worker-side span that caused it.
+/// The extension is stripped (and the flag cleared) by
+/// [`Frame::take_trace_context`] before any payload codec runs; frames
+/// without the flag are byte-identical to the untraced protocol.
+pub const FLAG_TRACE: u8 = 0b0000_0010;
+
+/// Version byte of the trace-context extension (independent of
+/// [`WIRE_VERSION`] so the extension can evolve without a protocol bump).
+pub const TRACE_EXT_VERSION: u8 = 1;
+
+/// Encoded size of the trace-context extension: 1 version + 8 trace id +
+/// 8 span id.
+pub const TRACE_EXT_LEN: usize = 17;
+
+/// The trace identity a traced request carries across the wire: which
+/// trace the request belongs to and which sender-side span is the logical
+/// parent of all server-side work it causes. Retries re-send the *same*
+/// context (the logical span's), so deduplicated and retried attempts all
+/// land under one logical span in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every causally related span.
+    pub trace_id: u64,
+    /// The sender-side logical span the receiver parents to.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Encodes the extension (version byte + ids, little-endian).
+    pub fn encode(&self) -> [u8; TRACE_EXT_LEN] {
+        let mut out = [0u8; TRACE_EXT_LEN];
+        out[0] = TRACE_EXT_VERSION;
+        out[1..9].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[9..17].copy_from_slice(&self.span_id.to_le_bytes());
+        out
+    }
+
+    /// Decodes the extension, rejecting unknown extension versions.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() != TRACE_EXT_LEN {
+            return Err(FrameError::Malformed(format!(
+                "trace extension needs {TRACE_EXT_LEN} bytes, has {}",
+                bytes.len()
+            )));
+        }
+        if bytes[0] != TRACE_EXT_VERSION {
+            return Err(FrameError::Malformed(format!(
+                "unknown trace extension version {}",
+                bytes[0]
+            )));
+        }
+        Ok(TraceContext {
+            trace_id: u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")),
+            span_id: u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes")),
+        })
+    }
+}
+
 /// Operation codes of wire version 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -169,6 +229,37 @@ impl Frame {
         Frame { opcode, flags: 0, seq, payload }
     }
 
+    /// Prepends a trace-context extension to the payload and sets
+    /// [`FLAG_TRACE`]. The inverse of [`Frame::take_trace_context`].
+    pub fn with_trace_context(mut self, ctx: TraceContext) -> Self {
+        let mut payload = Vec::with_capacity(TRACE_EXT_LEN + self.payload.len());
+        payload.extend_from_slice(&ctx.encode());
+        payload.append(&mut self.payload);
+        self.payload = payload;
+        self.flags |= FLAG_TRACE;
+        self
+    }
+
+    /// Splits the trace-context extension off the payload when
+    /// [`FLAG_TRACE`] is set, clearing the flag — afterwards the frame is
+    /// byte-equivalent to its untraced form, so payload codecs and
+    /// traffic accounting see identical bytes with tracing on or off.
+    pub fn take_trace_context(&mut self) -> Result<Option<TraceContext>, FrameError> {
+        if self.flags & FLAG_TRACE == 0 {
+            return Ok(None);
+        }
+        if self.payload.len() < TRACE_EXT_LEN {
+            return Err(FrameError::Malformed(format!(
+                "FLAG_TRACE set but payload has only {} bytes",
+                self.payload.len()
+            )));
+        }
+        let ctx = TraceContext::decode(&self.payload[..TRACE_EXT_LEN])?;
+        self.payload.drain(..TRACE_EXT_LEN);
+        self.flags &= !FLAG_TRACE;
+        Ok(Some(ctx))
+    }
+
     /// Total encoded size in bytes.
     pub fn wire_len(&self) -> usize {
         FRAME_OVERHEAD + self.payload.len()
@@ -209,11 +300,33 @@ impl Frame {
     /// payload allocation, and the checksum is verified before the frame is
     /// handed to any payload parser.
     pub fn decode(mut r: impl Read) -> Result<Self, FrameError> {
+        Self::read_magic(&mut r)?;
+        Self::decode_after_magic(&mut r)
+    }
+
+    /// Like [`Frame::decode`], but also reports how long decoding took
+    /// *after* the frame's first bytes arrived — i.e. header parsing,
+    /// payload read, checksum verification — excluding the (potentially
+    /// long) wait for the peer to start sending. This is the number the
+    /// wire-overhead attribution wants: deserialization cost, not
+    /// request/response latency.
+    pub fn decode_timed(mut r: impl Read) -> Result<(Self, std::time::Duration), FrameError> {
+        Self::read_magic(&mut r)?;
+        let start = std::time::Instant::now();
+        let frame = Self::decode_after_magic(&mut r)?;
+        Ok((frame, start.elapsed()))
+    }
+
+    fn read_magic(r: &mut impl Read) -> Result<(), FrameError> {
         let mut magic = [0u8; 9];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
             return Err(FrameError::BadMagic(magic));
         }
+        Ok(())
+    }
+
+    fn decode_after_magic(r: &mut impl Read) -> Result<Self, FrameError> {
         let mut head = [0u8; 15];
         r.read_exact(&mut head)?;
         if head[0] != WIRE_VERSION {
@@ -560,6 +673,49 @@ mod tests {
         assert_eq!(CheckpointReq::decode(&ck.encode()).unwrap(), ck);
         assert!(PushResp::decode(&PushResp { applied: true }.encode()).unwrap().applied);
         assert_eq!(decode_error(&encode_error("boom")), "boom");
+    }
+
+    #[test]
+    fn trace_context_roundtrips_through_a_frame() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF_CAFE, span_id: 42 };
+        let inner = PullReq { key: ParamKey::new(1, 9) }.encode();
+        let traced = Frame::new(OpCode::Pull, 7, inner.clone()).with_trace_context(ctx);
+        assert_eq!(traced.flags & FLAG_TRACE, FLAG_TRACE);
+        assert_eq!(traced.wire_len(), FRAME_OVERHEAD + TRACE_EXT_LEN + inner.len());
+
+        let mut decoded = roundtrip(&traced);
+        let got = decoded.take_trace_context().unwrap();
+        assert_eq!(got, Some(ctx));
+        // After stripping, the frame is byte-identical to the untraced one.
+        assert_eq!(decoded, Frame::new(OpCode::Pull, 7, inner.clone()));
+        assert_eq!(decoded.take_trace_context().unwrap(), None);
+        // Payload codecs see the original bytes.
+        assert_eq!(PullReq::decode(&decoded.payload).unwrap().key, ParamKey::new(1, 9));
+    }
+
+    #[test]
+    fn trace_context_other_flags_survive_strip() {
+        let ctx = TraceContext { trace_id: 1, span_id: 2 };
+        let mut frame = Frame::new(OpCode::Pull, 1, PullReq { key: ParamKey::new(0, 0) }.encode());
+        frame.flags |= FLAG_VERSION_ONLY;
+        let mut traced = frame.clone().with_trace_context(ctx);
+        assert_eq!(traced.flags, FLAG_VERSION_ONLY | FLAG_TRACE);
+        traced.take_trace_context().unwrap();
+        assert_eq!(traced.flags, FLAG_VERSION_ONLY);
+    }
+
+    #[test]
+    fn malformed_trace_extensions_are_typed_errors() {
+        // Flag set but payload too short.
+        let mut short = Frame::new(OpCode::Pull, 1, vec![0u8; 4]);
+        short.flags |= FLAG_TRACE;
+        assert!(matches!(short.take_trace_context(), Err(FrameError::Malformed(_))));
+        // Unknown extension version.
+        let mut bytes = TraceContext { trace_id: 1, span_id: 2 }.encode();
+        bytes[0] = 9;
+        assert!(matches!(TraceContext::decode(&bytes), Err(FrameError::Malformed(_))));
+        // Wrong length.
+        assert!(TraceContext::decode(&bytes[..5]).is_err());
     }
 
     #[test]

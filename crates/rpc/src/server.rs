@@ -22,9 +22,9 @@
 
 use crate::frame::{
     encode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
-    PushResp, FLAG_VERSION_ONLY,
+    PushResp, TraceContext, FLAG_VERSION_ONLY, TRACE_EXT_LEN,
 };
-use mamdr_obs::MetricsRegistry;
+use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
 use mamdr_ps::{checkpoint, ParameterServer};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
@@ -46,6 +46,10 @@ struct Inner {
     barrier_cv: Condvar,
     draining: AtomicBool,
     checkpoint_dir: Option<PathBuf>,
+    /// When present, each traced request's handling is recorded as a span
+    /// parented to the client-side logical span carried in the frame's
+    /// trace extension.
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// The TCP parameter-server front end.
@@ -65,6 +69,7 @@ impl PsServer {
         dim: usize,
         metrics: Arc<MetricsRegistry>,
         checkpoint_dir: Option<PathBuf>,
+        tracer: Option<Arc<Tracer>>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -79,6 +84,7 @@ impl PsServer {
             barrier_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             checkpoint_dir,
+            tracer,
         });
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::spawn(move || {
@@ -138,12 +144,34 @@ impl PsServer {
     }
 }
 
+/// Span name of a server-side request handling, by op-code.
+fn server_span_name(op: OpCode) -> &'static str {
+    match op {
+        OpCode::Pull => "server.pull",
+        // The push handler's job is applying the update to the store;
+        // this is the span the issue's "worker pull/push parents server
+        // apply" contract names.
+        OpCode::Push => "server.apply",
+        OpCode::BarrierSync => "server.barrier",
+        OpCode::Checkpoint => "server.checkpoint",
+        OpCode::Shutdown => "server.shutdown",
+        _ => "server.request",
+    }
+}
+
 /// Serves one client connection until EOF, error, or drain + hangup.
 fn serve_conn(mut stream: TcpStream, inner: &Inner) {
     let _ = stream.set_nodelay(true);
     let m = &inner.metrics;
     loop {
-        let req = match Frame::decode(&mut stream) {
+        let decoded = match &inner.tracer {
+            Some(t) => Frame::decode_timed(&mut stream).map(|(f, d)| {
+                t.record_phase("wire.decode", d);
+                f
+            }),
+            None => Frame::decode(&mut stream),
+        };
+        let mut req = match decoded {
             Ok(f) => f,
             Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => return,
             Err(_) => {
@@ -153,11 +181,53 @@ fn serve_conn(mut stream: TcpStream, inner: &Inner) {
                 return;
             }
         };
+        // Strip the trace extension *before* any accounting or dispatch:
+        // from here on the frame is byte-identical to its untraced form,
+        // so `rpc_bytes_in_total` (and every payload codec) sees the same
+        // bytes with tracing on or off. Extension traffic is visible
+        // separately as `rpc_trace_bytes_total`.
+        let trace_ctx = match req.take_trace_context() {
+            Ok(ctx) => ctx,
+            Err(_) => {
+                m.counter("rpc_frames_bad_total").inc();
+                return;
+            }
+        };
+        if trace_ctx.is_some() {
+            m.counter("rpc_trace_bytes_total").add(TRACE_EXT_LEN as u64);
+        }
         m.counter("rpc_frames_total").inc();
         m.counter("rpc_bytes_in_total").add(req.wire_len() as u64);
+        let span = match (&inner.tracer, trace_ctx) {
+            (Some(t), Some(TraceContext { trace_id, span_id })) => {
+                let mut span =
+                    t.child(server_span_name(req.opcode), SpanContext { trace_id, span_id });
+                span.attr("seq", req.seq);
+                Some(span)
+            }
+            _ => None,
+        };
         let resp = handle(&req, inner);
+        if let Some(mut span) = span {
+            if resp.opcode == OpCode::PushOk {
+                // `applied: false` means the exactly-once path recognized
+                // a retransmission — visible in the trace as a deduped
+                // sibling attempt under the same logical push span.
+                span.attr("deduped", (resp.payload == [0u8]) as u64);
+            }
+            span.finish();
+        }
         m.counter("rpc_bytes_out_total").add(resp.wire_len() as u64);
-        if resp.encode(&mut stream).is_err() || stream.flush().is_err() {
+        let write_ok = match &inner.tracer {
+            Some(t) => {
+                let t0 = std::time::Instant::now();
+                let buf = resp.to_bytes();
+                t.record_phase("wire.encode", t0.elapsed());
+                stream.write_all(&buf).is_ok()
+            }
+            None => resp.encode(&mut stream).is_ok(),
+        };
+        if !write_ok || stream.flush().is_err() {
             return;
         }
     }

@@ -54,7 +54,7 @@ use crate::client::{RetryPolicy, RpcRowSource, WorkerClient};
 use crate::fault::{FaultPlan, FaultState};
 use crate::server::PsServer;
 use mamdr_data::{MdrDataset, Split};
-use mamdr_obs::MetricsRegistry;
+use mamdr_obs::{maybe_child, maybe_span, MetricsRegistry, SpanContext, Tracer};
 use mamdr_ps::journal::{latest_journal, RoundJournal};
 use mamdr_ps::trainer::{
     evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
@@ -62,7 +62,7 @@ use mamdr_ps::trainer::{
 };
 use mamdr_ps::{
     checkpoint, outer_grad_norm, CacheStats, DistributedConfig, DistributedReport, GuardRail,
-    GuardVerdict, ParamKey, ParameterServer, SyncMode,
+    GuardVerdict, ParamKey, ParameterServer, SyncMode, TimedRowSource,
 };
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::derive_seed;
@@ -217,6 +217,12 @@ pub struct LoopbackConfig {
     pub worker_deadline: Duration,
     /// Restarts per worker per round before the round is failed.
     pub max_worker_retries: u32,
+    /// When present, every round is recorded as a span tree — driver
+    /// phases (partition / workers / apply / journal / evaluate), one
+    /// span per worker round with pull vs compute attribution, and every
+    /// RPC with its server-side handling parented across the wire.
+    /// Training results are bit-identical with or without it.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl LoopbackConfig {
@@ -233,6 +239,7 @@ impl LoopbackConfig {
             resume: false,
             worker_deadline: Duration::from_secs(60),
             max_worker_retries: 2,
+            tracer: None,
         }
     }
 }
@@ -303,6 +310,7 @@ impl DistributedTrainer {
             cfg.train.dim,
             Arc::clone(&metrics),
             cfg.checkpoint_dir.clone(),
+            cfg.tracer.clone(),
         )?;
         let addr = server.addr();
         Ok(DistributedTrainer { ps, server: Some(server), addr, cfg, metrics, resume_base })
@@ -338,6 +346,7 @@ impl DistributedTrainer {
             FaultState::new(p, client_id)
         });
         WorkerClient::new(self.addr, client_id, self.cfg.retry, fault, Arc::clone(&self.metrics))
+            .with_tracer(self.cfg.tracer.clone())
     }
 
     /// One worker's round: scheduled-fault checks, the cached inner loop
@@ -351,6 +360,7 @@ impl DistributedTrainer {
         w: usize,
         part: &[usize],
         is_replacement: bool,
+        parent: Option<SpanContext>,
     ) -> Result<(CachedRoundOutput, WorkerClient), WorkerFailure> {
         let cfg = self.cfg.train;
         if !is_replacement {
@@ -366,10 +376,37 @@ impl DistributedTrainer {
                 }
             }
         }
-        let client = self.make_client(w as u32 + 1, epoch as u64);
+        let tracer = self.cfg.tracer.clone();
+        let worker_span = {
+            let mut span = maybe_child(&tracer, "worker.round", parent);
+            if let Some(s) = &mut span {
+                s.attr("epoch", epoch as u64);
+                s.attr("worker", w as u64);
+                s.attr("replacement", is_replacement as u64);
+            }
+            span
+        };
+        let mut client = self.make_client(w as u32 + 1, epoch as u64);
+        client.set_trace_parent(worker_span.as_ref().map(|s| s.ctx()));
         let src = RpcRowSource::new(client, cfg.dim);
-        let mut out =
-            run_cached_round(&src, ds, part, cfg.inner_lr, worker_round_seed(cfg.seed, epoch, w));
+        let round_seed = worker_round_seed(cfg.seed, epoch, w);
+        // With a tracer, split the worker's wall-clock into time spent in
+        // row reads (the wire) vs everything else (local compute). The
+        // decorated source only times calls; the training math it forwards
+        // is byte-for-byte the untraced path.
+        let mut out = match tracer.as_deref() {
+            Some(t) => {
+                let timed = TimedRowSource::new(&src);
+                let t0 = std::time::Instant::now();
+                let out = run_cached_round(&timed, ds, part, cfg.inner_lr, round_seed);
+                let total = t0.elapsed();
+                let pull = timed.elapsed();
+                t.record_phase("round.pull", pull);
+                t.record_phase("round.compute", total.saturating_sub(pull));
+                out
+            }
+            None => run_cached_round(&src, ds, part, cfg.inner_lr, round_seed),
+        };
         if let Some(e) = src.take_error() {
             // The round trained against zero-filled fallback rows after the
             // first failure; its output is garbage and must be re-run.
@@ -395,6 +432,7 @@ impl DistributedTrainer {
         ds: &MdrDataset,
         epoch: usize,
         partitions: &[Vec<usize>],
+        parent: Option<SpanContext>,
     ) -> Result<Vec<CachedRoundOutput>, TrainerError> {
         let n = partitions.len();
         std::thread::scope(|scope| {
@@ -404,7 +442,7 @@ impl DistributedTrainer {
                 let part = &partitions[w];
                 scope.spawn(move || {
                     let ran = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        self.worker_round(ds, epoch, w, part, is_replacement)
+                        self.worker_round(ds, epoch, w, part, is_replacement, parent)
                     }));
                     match ran {
                         Err(_) => {
@@ -568,9 +606,27 @@ impl DistributedTrainer {
         // pushes carry the fault plan too, so retries exercise the
         // server's exactly-once path where it matters most.
         let mut driver = self.make_client(0, 0xD0);
+        let tracer = self.cfg.tracer.clone();
         for epoch in base.start_epoch..cfg.epochs {
-            let partitions = partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers);
-            let outputs = self.run_round(ds, epoch, &partitions)?;
+            let round_span = {
+                let mut span = maybe_span(&tracer, "round");
+                if let Some(s) = &mut span {
+                    s.attr("epoch", epoch as u64);
+                }
+                span
+            };
+            let round_ctx = round_span.as_ref().map(|s| s.ctx());
+            let partitions = {
+                let _span = maybe_child(&tracer, "round.partition", round_ctx);
+                partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers)
+            };
+            let outputs = {
+                let workers_span = maybe_child(&tracer, "round.workers", round_ctx);
+                let workers_ctx = workers_span.as_ref().map(|s| s.ctx());
+                self.run_round(ds, epoch, &partitions, workers_ctx)?
+            };
+            let apply_span = maybe_child(&tracer, "round.apply", round_ctx);
+            driver.set_trace_parent(apply_span.as_ref().map(|s| s.ctx()));
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
             let mut round_tripped = false;
@@ -614,12 +670,14 @@ impl DistributedTrainer {
                         .map_err(|e| TrainerError::Driver(format!("push of {key:?}: {e}")))?;
                 }
             }
+            drop(apply_span);
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
             if guard_active && !round_tripped {
                 last_good = Some((self.ps.dump_rows(), self.ps.dump_adagrad()));
             }
             let rounds_done = epoch + 1;
             if self.cfg.checkpoint_every > 0 && rounds_done % self.cfg.checkpoint_every == 0 {
+                let _span = maybe_child(&tracer, "round.journal", round_ctx);
                 self.write_journal(
                     rounds_done as u64,
                     combined,
@@ -631,8 +689,12 @@ impl DistributedTrainer {
         }
         let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
         self.ps.export_kv_gauges(&self.metrics);
+        let mean_auc = {
+            let _span = maybe_span(&tracer, "round.evaluate");
+            evaluate_server(&self.ps, ds, Split::Test)
+        };
         Ok(DistributedReport {
-            mean_auc: evaluate_server(&self.ps, ds, Split::Test),
+            mean_auc,
             pulls: base.traffic.0 + pulls,
             pushes: base.traffic.1 + pushes,
             total_bytes: base.traffic.2 + base.traffic.3 + bp + bs,

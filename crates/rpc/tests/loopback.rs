@@ -12,7 +12,8 @@ fn harness(dim: usize) -> (PsServer, Arc<ParameterServer>, Arc<MetricsRegistry>)
     let ps = Arc::new(ParameterServer::new(4, dim));
     let metrics = Arc::new(MetricsRegistry::new());
     let server =
-        PsServer::bind("127.0.0.1:0", Arc::clone(&ps), dim, Arc::clone(&metrics), None).unwrap();
+        PsServer::bind("127.0.0.1:0", Arc::clone(&ps), dim, Arc::clone(&metrics), None, None)
+            .unwrap();
     (server, ps, metrics)
 }
 
@@ -216,6 +217,7 @@ fn checkpoint_rpc_writes_a_loadable_snapshot() {
         dim,
         Arc::clone(&metrics),
         Some(dir.clone()),
+        None,
     )
     .unwrap();
     let mut c = client(&server, 1, &metrics);

@@ -17,7 +17,7 @@
 //! retiring thread sees all reader writes before the memory is reclaimed.
 
 use crate::snapshot::ServingSnapshot;
-use mamdr_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use mamdr_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 use std::sync::{Arc, Mutex};
 
 /// Cheap-to-clone handles for every `serve_*` metric the subsystem emits.
@@ -44,11 +44,39 @@ pub struct ServeMetrics {
     pub batch_size: Arc<Histogram>,
     /// Per-request latency, submit → response, in seconds.
     pub latency_seconds: Arc<Histogram>,
+    /// Per-request wait from admission to the start of its batch's forward
+    /// pass, in microseconds — the queueing share of the latency.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Per-batch forward-pass duration, in microseconds — the compute share.
+    pub batch_compute_us: Arc<Histogram>,
 }
 
 impl ServeMetrics {
     /// Registers (or re-looks-up) every serve metric in `registry`.
     pub fn register(registry: &MetricsRegistry) -> Self {
+        registry.describe("serve_requests_total", "Requests admitted into the serve queue.");
+        registry.describe(
+            "serve_responses_total",
+            "Responses delivered (scored, invalid, or deadline-exceeded).",
+        );
+        registry
+            .describe("serve_rejected_total", "Submissions refused because the queue was full.");
+        registry.describe(
+            "serve_deadline_exceeded_total",
+            "Admitted requests that expired before scoring.",
+        );
+        registry.describe("serve_batches_total", "Micro-batches executed.");
+        registry.describe("serve_swaps_total", "Snapshot hot swaps performed.");
+        registry.describe("serve_queue_depth", "Current depth of the admission queue.");
+        registry.describe("serve_batch_size", "Coalesced micro-batch sizes.");
+        registry
+            .describe("serve_latency_seconds", "Per-request latency, submit to response, seconds.");
+        registry.describe(
+            "serve_queue_wait_us",
+            "Per-request wait from admission to forward-pass start, microseconds.",
+        );
+        registry
+            .describe("serve_batch_compute_us", "Per-batch forward-pass duration, microseconds.");
         ServeMetrics {
             requests_total: registry.counter("serve_requests_total"),
             responses_total: registry.counter("serve_responses_total"),
@@ -59,6 +87,8 @@ impl ServeMetrics {
             queue_depth: registry.gauge("serve_queue_depth"),
             batch_size: registry.histogram("serve_batch_size"),
             latency_seconds: registry.histogram("serve_latency_seconds"),
+            queue_wait_us: registry.histogram("serve_queue_wait_us"),
+            batch_compute_us: registry.histogram("serve_batch_compute_us"),
         }
     }
 }
@@ -67,6 +97,10 @@ impl ServeMetrics {
 pub struct ScoringEngine {
     current: Mutex<Arc<ServingSnapshot>>,
     metrics: ServeMetrics,
+    /// Optional span sink: workers record per-request lifecycle spans and
+    /// `publish` records hot-swap spans through it. `None` keeps the serve
+    /// path span-free (scores are identical either way).
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ScoringEngine {
@@ -75,7 +109,20 @@ impl ScoringEngine {
         ScoringEngine {
             current: Mutex::new(Arc::new(snapshot)),
             metrics: ServeMetrics::register(registry),
+            tracer: None,
         }
+    }
+
+    /// Attaches a span sink; per-request and hot-swap spans are recorded
+    /// into it from then on.
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached span sink, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Pins the current snapshot. The returned `Arc` stays valid (and keeps
@@ -90,12 +137,19 @@ impl ScoringEngine {
     /// In-flight batches pinned to the old version finish on it; its memory
     /// is reclaimed when the returned `Arc` and every pin drop.
     pub fn publish(&self, snapshot: ServingSnapshot) -> Arc<ServingSnapshot> {
+        let mut swap_span = self.tracer.as_deref().map(|t| t.span("serve.swap"));
+        if let Some(s) = swap_span.as_mut() {
+            s.attr("version", snapshot.version());
+        }
         let next = Arc::new(snapshot);
         let old = {
             let mut cur = self.current.lock().expect("engine lock");
             std::mem::replace(&mut *cur, next)
         };
         self.metrics.swaps_total.inc();
+        if let Some(s) = swap_span.as_mut() {
+            s.attr("retired_version", old.version());
+        }
         old
     }
 

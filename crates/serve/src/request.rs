@@ -109,5 +109,9 @@ pub(crate) struct Envelope {
     pub req: ScoreRequest,
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
+    /// When the dispatcher flushed this request's micro-batch toward the
+    /// workers — splits queue time into coalescing wait vs. batch-queue
+    /// wait in the per-request span chain.
+    pub flushed: Option<Instant>,
     pub reply: std::sync::mpsc::Sender<ServeResult>,
 }

@@ -23,6 +23,7 @@
 
 use crate::engine::{ScoringEngine, ServeMetrics};
 use crate::request::{Envelope, Response, ScoreRequest, ServeResult, SubmitError};
+use mamdr_obs::Tracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -143,7 +144,14 @@ impl Server {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
         let now = Instant::now();
-        let env = Envelope { id, req, deadline: deadline.map(|d| now + d), enqueued: now, reply };
+        let env = Envelope {
+            id,
+            req,
+            deadline: deadline.map(|d| now + d),
+            enqueued: now,
+            flushed: None,
+            reply,
+        };
         let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         match tx.try_send(env) {
             Ok(()) => {
@@ -214,7 +222,7 @@ fn run_dispatcher(
                 buf.push(env);
                 if buf.len() >= max_batch {
                     let batch = buffers.remove(&d).expect("just filled");
-                    let _ = batch_tx.send(batch);
+                    let _ = batch_tx.send(stamp_flushed(batch));
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -228,16 +236,27 @@ fn run_dispatcher(
             .collect();
         for d in due {
             let batch = buffers.remove(&d).expect("listed as due");
-            let _ = batch_tx.send(batch);
+            let _ = batch_tx.send(stamp_flushed(batch));
         }
     }
     // Shutdown: flush everything still buffered so every admitted request
     // gets its reply before the workers see the channel close.
     for (_, batch) in buffers.drain() {
         if !batch.is_empty() {
-            let _ = batch_tx.send(batch);
+            let _ = batch_tx.send(stamp_flushed(batch));
         }
     }
+}
+
+/// Marks every request in a flushed batch with the flush instant (one clock
+/// read per batch), so the span chain can split coalescing wait from
+/// batch-queue wait.
+fn stamp_flushed(mut batch: Vec<Envelope>) -> Vec<Envelope> {
+    let now = Instant::now();
+    for env in &mut batch {
+        env.flushed = Some(now);
+    }
+    batch
 }
 
 /// Pulls flushed batches and scores them until the dispatcher hangs up and
@@ -261,6 +280,7 @@ fn run_worker(
 
 fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) {
     let m = engine.metrics().clone();
+    let tracer = engine.tracer().map(Arc::clone);
     // Pin one snapshot for the whole batch: every response in it is scored
     // by exactly this version, even if a hot swap lands mid-flight.
     let snap = engine.snapshot();
@@ -270,8 +290,14 @@ fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) 
         if env.deadline.is_some_and(|d| now >= d) {
             m.deadline_exceeded_total.inc();
             finish(&m, depth, &env, ServeResult::DeadlineExceeded { id: env.id });
+            if let Some(t) = tracer.as_deref() {
+                record_terminal_span(t, &env, "deadline_exceeded");
+            }
         } else if let Err(error) = snap.validate(&env.req) {
             finish(&m, depth, &env, ServeResult::Invalid { id: env.id, error });
+            if let Some(t) = tracer.as_deref() {
+                record_terminal_span(t, &env, "invalid");
+            }
         } else {
             live.push(env);
         }
@@ -281,14 +307,73 @@ fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) 
     }
     let domain = live[0].req.domain;
     let reqs: Vec<ScoreRequest> = live.iter().map(|e| e.req.clone()).collect();
+    let score_start = Instant::now();
+    for env in &live {
+        m.queue_wait_us.record(score_start.duration_since(env.enqueued).as_micros() as f64);
+    }
     let scores = snap.score(domain, &reqs);
+    let score_end = Instant::now();
+    m.batch_compute_us.record(score_end.duration_since(score_start).as_micros() as f64);
     m.batches_total.inc();
     m.batch_size.record(live.len() as f64);
     for (env, score) in live.iter().zip(scores) {
         m.latency_seconds.record(env.enqueued.elapsed().as_secs_f64());
         let resp = Response { id: env.id, score, snapshot_version: snap.version() };
         finish(&m, depth, env, ServeResult::Scored(resp));
+        if let Some(t) = tracer.as_deref() {
+            record_request_chain(t, env, score_start, score_end);
+        }
     }
+}
+
+/// Records the lifecycle span chain of one scored request after its reply
+/// was sent. The chain tiles the request's wall-clock with no gaps:
+/// `serve.queue` (admission → dispatcher flush), `serve.coalesce` (flush →
+/// forward-pass start), `serve.score`, `serve.respond` — all children of
+/// one `serve.request` root. Spans are recorded post-hoc from instants
+/// stamped along the way, so the scoring path itself never allocates a
+/// span guard.
+fn record_request_chain(t: &Tracer, env: &Envelope, score_start: Instant, score_end: Instant) {
+    let respond_end = Instant::now();
+    let trace_id = t.alloc_id();
+    let root = t.alloc_id();
+    // A shutdown-drained request can reach a worker without a dispatcher
+    // flush stamp; its whole wait then counts as coalescing time.
+    let flushed = env.flushed.unwrap_or(env.enqueued);
+    t.record_span_at("serve.queue", trace_id, t.alloc_id(), root, env.enqueued, flushed, vec![]);
+    t.record_span_at("serve.coalesce", trace_id, t.alloc_id(), root, flushed, score_start, vec![]);
+    t.record_span_at("serve.score", trace_id, t.alloc_id(), root, score_start, score_end, vec![]);
+    t.record_span_at("serve.respond", trace_id, t.alloc_id(), root, score_end, respond_end, vec![]);
+    t.record_span_at(
+        "serve.request",
+        trace_id,
+        root,
+        0,
+        env.enqueued,
+        respond_end,
+        vec![("request", env.id)],
+    );
+}
+
+/// Records a bare `serve.request` span for a request that terminated
+/// without scoring (deadline exceeded or invalid).
+fn record_terminal_span(t: &Tracer, env: &Envelope, outcome: &'static str) {
+    let end = Instant::now();
+    let trace_id = t.alloc_id();
+    let root = t.alloc_id();
+    let code = match outcome {
+        "deadline_exceeded" => 1,
+        _ => 2,
+    };
+    t.record_span_at(
+        "serve.request",
+        trace_id,
+        root,
+        0,
+        env.enqueued,
+        end,
+        vec![("request", env.id), ("terminal", code)],
+    );
 }
 
 /// Delivers one result: count it, release the admission slot, then reply
