@@ -46,6 +46,10 @@ pub struct BenchArgs {
     /// `/spans`) on this address for the duration of the run,
     /// e.g. `127.0.0.1:9115`. `None` disables it.
     pub introspect_addr: Option<String>,
+    /// In-flight request window per RPC client connection (0 = keep the
+    /// retry policy's default). Depth 1 serializes requests; results are
+    /// bit-identical at any depth.
+    pub pipeline_depth: usize,
 }
 
 impl Default for BenchArgs {
@@ -65,6 +69,7 @@ impl Default for BenchArgs {
             trace_out: None,
             phase_summary: false,
             introspect_addr: None,
+            pipeline_depth: 0,
         }
     }
 }
@@ -120,9 +125,12 @@ impl BenchArgs {
                 "--trace-out" => out.trace_out = Some(take("--trace-out")),
                 "--phase-summary" => out.phase_summary = true,
                 "--introspect-addr" => out.introspect_addr = Some(take("--introspect-addr")),
+                "--pipeline-depth" => {
+                    out.pipeline_depth = num("--pipeline-depth", take("--pipeline-depth")) as usize;
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n>"
                     );
                     std::process::exit(2);
                 }
@@ -197,6 +205,12 @@ impl BenchArgs {
                 ));
             }
         }
+        if self.pipeline_depth > MAX_PIPELINE_DEPTH {
+            return Err(format!(
+                "--pipeline-depth {} exceeds the supported maximum of {MAX_PIPELINE_DEPTH}",
+                self.pipeline_depth
+            ));
+        }
         Ok(())
     }
 
@@ -230,6 +244,10 @@ impl BenchArgs {
 /// Upper bound [`BenchArgs::validate`] accepts for `--threads`; values past
 /// it are always typos, and spawning that many OS threads would thrash.
 pub const MAX_THREADS: usize = 1024;
+
+/// Upper bound [`BenchArgs::validate`] accepts for `--pipeline-depth`;
+/// a deeper window than this buys nothing and risks absurd batching.
+pub const MAX_PIPELINE_DEPTH: usize = 4096;
 
 /// `--quick` caps per-binary default epochs at this many.
 pub const QUICK_EPOCH_CAP: usize = 3;
@@ -362,6 +380,19 @@ mod tests {
         let dir = std::env::temp_dir();
         let err = parse(&["--trace-out", dir.to_str().unwrap()]).validate().unwrap_err();
         assert!(err.contains("directory"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_depth_parses_and_validates() {
+        let a = parse(&[]);
+        assert_eq!(a.pipeline_depth, 0);
+        assert!(a.validate().is_ok());
+        let a = parse(&["--pipeline-depth", "8"]);
+        assert_eq!(a.pipeline_depth, 8);
+        assert!(a.validate().is_ok());
+        assert!(parse(&["--pipeline-depth", "1"]).validate().is_ok());
+        let err = parse(&["--pipeline-depth", "100000"]).validate().unwrap_err();
+        assert!(err.contains("--pipeline-depth"), "{err}");
     }
 
     #[test]

@@ -90,9 +90,13 @@ fn main() {
     // The tracer observes the loopback run only — the in-process ground
     // truth stays untraced, so the bit-identity gate below doubles as a
     // tracing-neutrality check on every traced invocation.
+    let mut retry = RetryPolicy { base_backoff_micros: 20, ..Default::default() };
+    if args.pipeline_depth > 0 {
+        retry.pipeline_depth = args.pipeline_depth;
+    }
     let loopback = LoopbackConfig {
         fault: plan,
-        retry: RetryPolicy { base_backoff_micros: 20, ..Default::default() },
+        retry,
         checkpoint_dir,
         checkpoint_every: args.checkpoint_every,
         resume: resuming,

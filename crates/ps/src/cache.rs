@@ -74,6 +74,35 @@ impl WorkerCache {
         self.dynamic_cache.get(&key).expect("just inserted")
     }
 
+    /// Warms the cache for a round's whole working set in one batched
+    /// pull: every key not already cached is fetched through a single
+    /// [`RowSource::pull_rows`] call (one RPC per wire chunk over the
+    /// network) and seeds both caches, exactly as a lazy miss would.
+    /// Duplicate and already-cached keys are skipped, so prefetching the
+    /// keys a round will touch makes every subsequent [`WorkerCache::get`]
+    /// a hit while leaving values, versions, and miss accounting identical
+    /// to the lazy path.
+    pub fn prefetch<S: RowSource + ?Sized>(&mut self, src: &S, keys: &[ParamKey]) {
+        let mut missing = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &key in keys {
+            if !self.dynamic_cache.contains_key(&key) && seen.insert(key) {
+                missing.push(key);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        let rows = src.pull_rows(&missing);
+        debug_assert_eq!(rows.len(), missing.len(), "pull_rows preserves key order");
+        for (key, (latest, version)) in missing.into_iter().zip(rows) {
+            self.pulled_versions.insert(key, version);
+            self.static_cache.insert(key, latest.clone());
+            self.dynamic_cache.insert(key, latest);
+            self.stats.misses += 1;
+        }
+    }
+
     /// Applies a local update to a cached row (must have been read first).
     pub fn update(&mut self, key: ParamKey, f: impl FnOnce(&mut [f32])) {
         let row = self.dynamic_cache.get_mut(&key).expect("update of a row that was never read");
@@ -85,17 +114,25 @@ impl WorkerCache {
     /// worker pulled it. This is the inconsistency the §IV-E protocol
     /// bounds — it resets to zero at every round boundary because the
     /// caches are cleared and re-pulled.
+    /// One batched version probe covers every cached row (a single
+    /// version-only request per wire chunk over the network, instead of
+    /// one per key).
     pub fn staleness<S: RowSource + ?Sized>(&self, src: &S) -> StalenessStats {
+        if self.pulled_versions.is_empty() {
+            return StalenessStats::default();
+        }
+        let mut keys: Vec<ParamKey> = self.pulled_versions.keys().copied().collect();
+        keys.sort_by_key(|k| (k.table, k.row));
+        let current = src.versions_of(&keys);
         let mut max = 0u64;
         let mut total = 0u64;
-        let mut n = 0u64;
-        for (key, &pulled) in &self.pulled_versions {
-            let lag = src.version_of(*key).saturating_sub(pulled);
+        for (key, now) in keys.iter().zip(current) {
+            let lag = now.saturating_sub(self.pulled_versions[key]);
             max = max.max(lag);
             total += lag;
-            n += 1;
         }
-        StalenessStats { max, mean: if n == 0 { 0.0 } else { total as f64 / n as f64 } }
+        let n = keys.len() as u64;
+        StalenessStats { max, mean: total as f64 / n as f64 }
     }
 
     /// Ends the round: returns `(key, dynamic − static)` for every touched
@@ -151,6 +188,34 @@ mod tests {
         assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
         // exactly one pull hit the server
         assert_eq!(ps.traffic().snapshot().0, 1);
+    }
+
+    #[test]
+    fn prefetch_turns_round_reads_into_hits() {
+        let ps = server();
+        let mut cache = WorkerCache::new();
+        let k0 = ParamKey::new(0, 0);
+        let k1 = ParamKey::new(0, 1);
+        // Duplicates in the prefetch set are pulled once.
+        cache.prefetch(&ps, &[k0, k1, k0]);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        // One batched pull hit the server for both rows.
+        assert_eq!(ps.traffic().snapshot().0, 1);
+        // Every read of a prefetched row is now a hit, values identical
+        // to what lazy misses would have pulled.
+        assert_eq!(cache.get(&ps, k0), &[1.0, 2.0]);
+        assert_eq!(cache.get(&ps, k1), &[3.0, 4.0]);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(ps.traffic().snapshot().0, 1);
+        // Re-prefetching cached keys is free.
+        cache.prefetch(&ps, &[k0, k1]);
+        assert_eq!(ps.traffic().snapshot().0, 1);
+        // Drains behave exactly as with lazy population.
+        cache.update(k0, |row| row[0] += 0.5);
+        let mut grads = cache.drain_outer_grads();
+        grads.sort_by_key(|(k, _)| k.row);
+        assert_eq!(grads[0].1, vec![0.5, 0.0]);
+        assert_eq!(grads[1].1, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -23,21 +23,47 @@ impl ParamKey {
     }
 }
 
+/// Number of rows a single pull/push request may carry. Both sides of the
+/// batch-first contract are pinned to this: the RPC client splits key sets
+/// into frames of at most this many rows, and the in-process
+/// [`ParameterServer`] counts one pull per chunk of this size — so the
+/// `TrafficStats` pull counter reports the same number whether a batch
+/// traveled over shared memory or over the wire. (At the default row width
+/// a full chunk is ~128 KiB of values, far under the 16 MiB frame cap.)
+pub const WIRE_BATCH_KEYS: usize = 4096;
+
 /// Where a worker's reads come from: the in-process [`ParameterServer`] or
 /// a remote stand-in (e.g. an RPC client in `mamdr-rpc`).
 ///
-/// The trait carries exactly the two read operations the worker-side cache
-/// needs; everything that mutates the store stays on the concrete server so
-/// the write path (and its exactly-once semantics over the wire) remains
-/// explicit.
+/// The contract is batch-first: [`RowSource::pull_rows`] and
+/// [`RowSource::versions_of`] are the primary operations, so one cache
+/// miss set (or one staleness probe) costs one request per
+/// [`WIRE_BATCH_KEYS`] chunk rather than one per key. The single-row
+/// methods are convenience defaults over the batch path. Everything that
+/// mutates the store stays on the concrete server so the write path (and
+/// its exactly-once semantics over the wire) remains explicit.
 pub trait RowSource {
-    /// Pulls the latest value of a row together with its push version
-    /// (one counted RPC, like [`ParameterServer::pull`]).
-    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64);
+    /// Pulls the latest values of many rows together with their push
+    /// versions, in input-key order. Counted as one RPC per
+    /// [`WIRE_BATCH_KEYS`] chunk (zero for an empty key set).
+    fn pull_rows(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)>;
 
-    /// Reads a row's push version without pulling the value (silent —
-    /// an observability probe, not counted traffic).
-    fn version_of(&self, key: ParamKey) -> u64;
+    /// Reads many rows' push versions without pulling values, in
+    /// input-key order (silent — an observability probe, not counted
+    /// traffic).
+    fn versions_of(&self, keys: &[ParamKey]) -> Vec<u64>;
+
+    /// Pulls the latest value of a single row together with its push
+    /// version — a one-key [`RowSource::pull_rows`].
+    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
+        self.pull_rows(std::slice::from_ref(&key)).pop().expect("one key yields one row")
+    }
+
+    /// Reads a single row's push version — a one-key
+    /// [`RowSource::versions_of`].
+    fn version_of(&self, key: ParamKey) -> u64 {
+        self.versions_of(std::slice::from_ref(&key)).pop().expect("one key yields one version")
+    }
 }
 
 /// Byte-accurate synchronization counters.
@@ -138,6 +164,34 @@ impl ParameterServer {
         self.traffic.pulls.fetch_add(1, Ordering::Relaxed);
         self.traffic.bytes_pulled.fetch_add(self.dim_bytes as u64, Ordering::Relaxed);
         v
+    }
+
+    /// Pulls many rows in input-key order, counting one RPC per
+    /// [`WIRE_BATCH_KEYS`] chunk — exactly the frames the batched wire
+    /// protocol would spend on the same key set, so in-process and
+    /// loopback runs report identical pull counters.
+    ///
+    /// Panics if any row was never initialized — workers may only touch
+    /// rows the driver placed.
+    pub fn pull_batch(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let chunks = keys.len().div_ceil(WIRE_BATCH_KEYS) as u64;
+        self.traffic.pulls.fetch_add(chunks, Ordering::Relaxed);
+        self.traffic
+            .bytes_pulled
+            .fetch_add((self.dim_bytes * keys.len()) as u64, Ordering::Relaxed);
+        keys.iter()
+            .map(|&key| {
+                let v = self.shards[self.shard_of(key)]
+                    .read()
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("pull of uninitialized key {:?}", key))
+                    .clone();
+                (v, self.version(key))
+            })
+            .collect()
     }
 
     /// Reads a row without traffic accounting (driver-side evaluation).
@@ -291,12 +345,12 @@ impl ParameterServer {
 }
 
 impl RowSource for ParameterServer {
-    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
-        (self.pull(key), self.version(key))
+    fn pull_rows(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)> {
+        self.pull_batch(keys)
     }
 
-    fn version_of(&self, key: ParamKey) -> u64 {
-        self.version(key)
+    fn versions_of(&self, keys: &[ParamKey]) -> Vec<u64> {
+        keys.iter().map(|&k| self.version(k)).collect()
     }
 }
 
@@ -331,6 +385,14 @@ impl<'a, S: RowSource + ?Sized> TimedRowSource<'a, S> {
 }
 
 impl<S: RowSource + ?Sized> RowSource for TimedRowSource<'_, S> {
+    fn pull_rows(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)> {
+        self.time(|| self.inner.pull_rows(keys))
+    }
+
+    fn versions_of(&self, keys: &[ParamKey]) -> Vec<u64> {
+        self.time(|| self.inner.versions_of(keys))
+    }
+
     fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
         self.time(|| self.inner.pull_versioned(key))
     }
@@ -406,6 +468,49 @@ mod tests {
         ps.push_delta(key, &[1.0, 0.0]);
         let src: &dyn RowSource = &ps;
         assert_eq!(src.pull_versioned(key), (vec![2.0, -1.0], 1));
+        assert_eq!(src.version_of(key), 1);
+    }
+
+    #[test]
+    fn batch_pull_counts_one_rpc_per_chunk() {
+        let ps = ParameterServer::new(4, 2);
+        let keys: Vec<ParamKey> =
+            (0..WIRE_BATCH_KEYS as u32 + 1).map(|r| ParamKey::new(0, r)).collect();
+        for &k in &keys {
+            ps.init_row(k, vec![k.row as f32, 0.0]);
+        }
+        // An empty batch is free.
+        assert!(ps.pull_batch(&[]).is_empty());
+        assert_eq!(ps.traffic().snapshot().0, 0);
+        // One chunk worth of keys is one counted pull …
+        let rows = ps.pull_batch(&keys[..WIRE_BATCH_KEYS]);
+        assert_eq!(rows.len(), WIRE_BATCH_KEYS);
+        assert_eq!(ps.traffic().snapshot().0, 1);
+        // … one key over the chunk size is two, and bytes follow the rows.
+        ps.pull_batch(&keys);
+        let (pulls, _, bp, _) = ps.traffic().snapshot();
+        assert_eq!(pulls, 3);
+        assert_eq!(bp as usize, (2 * WIRE_BATCH_KEYS + 1) * 8);
+        // Rows come back in input-key order with their versions.
+        let sample = ps.pull_batch(&[keys[7], keys[3]]);
+        assert_eq!(sample[0].0[0], 7.0);
+        assert_eq!(sample[1].0[0], 3.0);
+    }
+
+    #[test]
+    fn single_row_defaults_route_through_the_batch_path() {
+        let ps = ParameterServer::new(2, 2);
+        let key = ParamKey::new(1, 3);
+        ps.init_row(key, vec![1.0, -1.0]);
+        ps.push_delta(key, &[1.0, 0.0]);
+        let src: &dyn RowSource = &ps;
+        assert_eq!(src.pull_rows(&[key]), vec![(vec![2.0, -1.0], 1)]);
+        assert_eq!(src.versions_of(&[key]), vec![1]);
+        // One default single-row pull = one counted RPC, same as before
+        // the batch-first redesign.
+        let before = ps.traffic().snapshot().0;
+        assert_eq!(src.pull_versioned(key), (vec![2.0, -1.0], 1));
+        assert_eq!(ps.traffic().snapshot().0, before + 1);
         assert_eq!(src.version_of(key), 1);
     }
 

@@ -46,8 +46,9 @@ pub mod trainer;
 pub use cache::{CacheStats, StalenessStats, WorkerCache};
 pub use guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
 pub use journal::{latest_journal, JournalError, RoundJournal};
-pub use kv::{ParamKey, ParameterServer, RowSource, TimedRowSource, TrafficStats};
+pub use kv::{ParamKey, ParameterServer, RowSource, TimedRowSource, TrafficStats, WIRE_BATCH_KEYS};
 pub use trainer::{
-    evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
-    CachedRoundOutput, DistributedConfig, DistributedMamdr, DistributedReport, SyncMode,
+    evaluate_server, partition_domains, partition_keys, run_cached_round, seed_server,
+    worker_round_seed, CachedRoundOutput, DistributedConfig, DistributedMamdr, DistributedReport,
+    SyncMode,
 };

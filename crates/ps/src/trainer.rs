@@ -438,6 +438,14 @@ pub fn run_cached_round<S: RowSource + ?Sized>(
 ) -> CachedRoundOutput {
     let mut rng = seeded(seed);
     let mut cache = WorkerCache::new();
+    // Warm the cache with the round's entire working set up front: the
+    // key set of a round is known from the partition alone (it does not
+    // depend on example order), so one batched pull replaces every lazy
+    // per-key miss — over the wire, one request per key chunk instead of
+    // one per key. Values are identical either way: the server is
+    // quiescent during a synchronous round, and a lazy miss would have
+    // pulled the same bytes one example later.
+    cache.prefetch(src, &partition_keys(ds, domains));
     let mut loss_sum = 0.0f64;
     let mut n_examples = 0u64;
     for &d in domains {
@@ -452,6 +460,34 @@ pub fn run_cached_round<S: RowSource + ?Sized>(
     let mut grads = cache.drain_outer_grads();
     grads.sort_by_key(|(k, _)| (k.table, k.row));
     CachedRoundOutput { cache: stats, staleness, loss_sum, n_examples, grads }
+}
+
+/// The distinct parameter rows a cached round over `domains` will touch,
+/// sorted by `(table, row)`: every embedding and bias row reachable from
+/// the partition's training examples. This is the prefetch set of
+/// [`run_cached_round`] — exact, not a heuristic, because the cached
+/// inner loop reads precisely the [`ExampleKeys`] of its examples.
+pub fn partition_keys(ds: &MdrDataset, domains: &[usize]) -> Vec<ParamKey> {
+    let mut seen = std::collections::HashSet::new();
+    let mut keys = Vec::new();
+    for &d in domains {
+        for it in &ds.domains[d].train {
+            let ek = ExampleKeys::new(
+                it.user,
+                it.item,
+                ds.user_group[it.user as usize],
+                ds.item_cat[it.item as usize],
+                d as u32,
+            );
+            for key in ek.all() {
+                if seen.insert(key) {
+                    keys.push(key);
+                }
+            }
+        }
+    }
+    keys.sort_by_key(|k| (k.table, k.row));
+    keys
 }
 
 /// One worker's round: the MAMDR inner loop over its domain partition.

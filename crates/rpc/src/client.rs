@@ -1,6 +1,6 @@
-//! The worker-side RPC client: per-request deadlines, bounded exponential
-//! backoff with seeded jitter, reconnect-on-failure, and idempotent
-//! retries.
+//! The worker-side RPC client: a typed request/response surface with
+//! per-request deadlines, bounded exponential backoff with seeded jitter,
+//! reconnect-on-failure, idempotent retries, and request pipelining.
 //!
 //! Every logical request is assigned one sequence number that is *reused*
 //! across its retries. Responses echo the request's sequence number, so a
@@ -9,18 +9,25 @@
 //! reply; and the server deduplicates re-sent pushes by `(client, seq)`,
 //! which is what makes a retried push exactly-once even when the original
 //! was applied but its acknowledgement was lost.
+//!
+//! All requests flow through one code path: [`WorkerClient::call`] for a
+//! single request, [`WorkerClient::call_many`] to pipeline a batch with a
+//! bounded in-flight window. The named wrappers (`pull`, `push`, …) are
+//! thin conveniences over [`Request`] values, so pipelining, retry,
+//! tracing, and fault injection live in exactly one place.
 
 use crate::fault::{FaultDecision, FaultState};
 use crate::frame::{
-    decode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
-    PushResp, TraceContext, FLAG_VERSION_ONLY,
+    decode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullManyReq, PullManyResp,
+    PullReq, PullResp, PushManyReq, PushReq, PushResp, TraceContext, FLAG_VERSION_ONLY,
 };
-use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
-use mamdr_ps::{ParamKey, RowSource};
+use mamdr_obs::{MetricsRegistry, SpanContext, SpanGuard, Tracer};
+use mamdr_ps::{ParamKey, RowSource, WIRE_BATCH_KEYS};
 use mamdr_tensor::rng::{derive_seed, seeded};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -40,6 +47,10 @@ pub struct RetryPolicy {
     /// Read deadline of barrier waits, which legitimately block until the
     /// slowest worker arrives — far longer than any ordinary round trip.
     pub barrier_timeout: Duration,
+    /// In-flight window of [`WorkerClient::call_many`]: how many requests
+    /// may be on the wire before the client starts reading responses.
+    /// Depth 1 degenerates to strictly sequential request/response.
+    pub pipeline_depth: usize,
 }
 
 impl Default for RetryPolicy {
@@ -50,8 +61,248 @@ impl Default for RetryPolicy {
             max_backoff_micros: 50_000,
             timeout: Duration::from_secs(5),
             barrier_timeout: Duration::from_secs(300),
+            pipeline_depth: 8,
         }
     }
+}
+
+/// A typed request to the parameter server — the single client-side
+/// vocabulary behind [`WorkerClient::call`] / [`WorkerClient::call_many`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Read one row (value + version).
+    Pull {
+        /// The row to read.
+        key: ParamKey,
+    },
+    /// Read one row's push version only (silent server-side).
+    PullVersion {
+        /// The row to probe.
+        key: ParamKey,
+    },
+    /// Read many rows in one frame. Keys should be `(table, row)`-sorted.
+    PullMany {
+        /// The rows to read.
+        keys: Vec<ParamKey>,
+    },
+    /// Read many rows' push versions in one frame (silent server-side).
+    PullVersions {
+        /// The rows to probe.
+        keys: Vec<ParamKey>,
+    },
+    /// Apply one outer-gradient row update.
+    Push {
+        /// The row to update.
+        key: ParamKey,
+        /// Server-side Adagrad learning rate.
+        lr: f32,
+        /// The outer gradient.
+        grad: Vec<f32>,
+    },
+    /// Apply many outer-gradient rows atomically under one sequence
+    /// number. Keys should be `(table, row)`-sorted; `grads` holds the
+    /// concatenated per-row gradients in key order.
+    PushMany {
+        /// Server-side Adagrad learning rate.
+        lr: f32,
+        /// The rows to update.
+        keys: Vec<ParamKey>,
+        /// Concatenated gradients, `keys.len() * dim` values.
+        grads: Vec<f32>,
+    },
+    /// Block until `expected` distinct clients reached `round`.
+    Barrier {
+        /// The round boundary.
+        round: u64,
+        /// Distinct clients required for release.
+        expected: u32,
+    },
+    /// Ask the server to write a checkpoint labelled `round`.
+    Checkpoint {
+        /// Round label.
+        round: u64,
+    },
+    /// Begin the server's graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    fn opcode(&self) -> OpCode {
+        match self {
+            Request::Pull { .. } | Request::PullVersion { .. } => OpCode::Pull,
+            Request::PullMany { .. } | Request::PullVersions { .. } => OpCode::PullMany,
+            Request::Push { .. } => OpCode::Push,
+            Request::PushMany { .. } => OpCode::PushMany,
+            Request::Barrier { .. } => OpCode::BarrierSync,
+            Request::Checkpoint { .. } => OpCode::Checkpoint,
+            Request::Shutdown => OpCode::Shutdown,
+        }
+    }
+
+    fn flags(&self) -> u8 {
+        match self {
+            Request::PullVersion { .. } | Request::PullVersions { .. } => FLAG_VERSION_ONLY,
+            _ => 0,
+        }
+    }
+
+    fn payload(&self, client_id: u32) -> Vec<u8> {
+        match self {
+            Request::Pull { key } | Request::PullVersion { key } => PullReq { key: *key }.encode(),
+            Request::PullMany { keys } | Request::PullVersions { keys } => {
+                PullManyReq { keys: keys.clone() }.encode()
+            }
+            Request::Push { key, lr, grad } => {
+                PushReq { client_id, key: *key, lr: *lr, grad: grad.clone() }.encode()
+            }
+            Request::PushMany { lr, keys, grads } => {
+                PushManyReq { client_id, lr: *lr, keys: keys.clone(), grads: grads.clone() }
+                    .encode()
+            }
+            Request::Barrier { round, expected } => {
+                BarrierReq { client_id, round: *round, expected: *expected }.encode()
+            }
+            Request::Checkpoint { round } => CheckpointReq { round: *round }.encode(),
+            Request::Shutdown => Vec::new(),
+        }
+    }
+
+    fn is_barrier(&self) -> bool {
+        matches!(self, Request::Barrier { .. })
+    }
+
+    /// Span name of the logical request. The `Many` variants share their
+    /// single-row siblings' names: a span consumer cares about pull vs
+    /// push, not about the frame-level batching.
+    fn span_name(&self) -> &'static str {
+        match self {
+            Request::Pull { .. }
+            | Request::PullVersion { .. }
+            | Request::PullMany { .. }
+            | Request::PullVersions { .. } => "rpc.pull",
+            Request::Push { .. } | Request::PushMany { .. } => "rpc.push",
+            Request::Barrier { .. } => "rpc.barrier",
+            Request::Checkpoint { .. } => "rpc.checkpoint",
+            Request::Shutdown => "rpc.shutdown",
+        }
+    }
+
+    /// Decodes (and validates) the server's response frame for this
+    /// request. The response op-code must be the request's success
+    /// op-code — anything else is a protocol violation.
+    fn decode_response(&self, resp: &Frame) -> Result<Response, RpcError> {
+        let expect = match self.opcode() {
+            OpCode::Pull => OpCode::PullOk,
+            OpCode::PullMany => OpCode::PullManyOk,
+            OpCode::Push => OpCode::PushOk,
+            OpCode::PushMany => OpCode::PushManyOk,
+            OpCode::BarrierSync => OpCode::BarrierOk,
+            OpCode::Checkpoint => OpCode::CheckpointOk,
+            OpCode::Shutdown => OpCode::ShutdownOk,
+            other => {
+                return Err(RpcError::Frame(FrameError::Malformed(format!(
+                    "{other:?} is not a request op-code"
+                ))))
+            }
+        };
+        if resp.opcode != expect {
+            return Err(RpcError::Frame(FrameError::Malformed(format!(
+                "expected {expect:?} response, got {:?}",
+                resp.opcode
+            ))));
+        }
+        Ok(match self {
+            Request::Pull { .. } => {
+                let r = PullResp::decode(&resp.payload)?;
+                Response::Pull { value: r.value, version: r.version }
+            }
+            Request::PullVersion { .. } => {
+                Response::PullVersion { version: PullResp::decode(&resp.payload)?.version }
+            }
+            Request::PullMany { keys } => {
+                let r = PullManyResp::decode(&resp.payload)?;
+                if r.versions.len() != keys.len() {
+                    return Err(RpcError::Frame(FrameError::Malformed(format!(
+                        "asked for {} rows, response covers {}",
+                        keys.len(),
+                        r.versions.len()
+                    ))));
+                }
+                Response::PullMany { versions: r.versions, values: r.values }
+            }
+            Request::PullVersions { keys } => {
+                let r = PullManyResp::decode(&resp.payload)?;
+                if r.versions.len() != keys.len() || !r.values.is_empty() {
+                    return Err(RpcError::Frame(FrameError::Malformed(format!(
+                        "version probe of {} rows answered with {} versions, {} values",
+                        keys.len(),
+                        r.versions.len(),
+                        r.values.len()
+                    ))));
+                }
+                Response::PullVersions { versions: r.versions }
+            }
+            Request::Push { .. } => {
+                Response::Push { applied: PushResp::decode(&resp.payload)?.applied }
+            }
+            Request::PushMany { .. } => {
+                Response::PushMany { applied: PushResp::decode(&resp.payload)?.applied }
+            }
+            Request::Barrier { .. } => Response::Barrier,
+            Request::Checkpoint { .. } => {
+                Response::Checkpoint { path: String::from_utf8_lossy(&resp.payload).into_owned() }
+            }
+            Request::Shutdown => Response::Shutdown,
+        })
+    }
+}
+
+/// A typed, validated server response — one variant per [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Row value + version.
+    Pull {
+        /// Row values.
+        value: Vec<f32>,
+        /// Push version at read time.
+        version: u64,
+    },
+    /// Version-only probe result.
+    PullVersion {
+        /// Push version at read time.
+        version: u64,
+    },
+    /// Batched rows: versions and concatenated values in request order.
+    PullMany {
+        /// Per-key versions.
+        versions: Vec<u64>,
+        /// Concatenated values, `keys.len() * dim` floats.
+        values: Vec<f32>,
+    },
+    /// Batched version probe result.
+    PullVersions {
+        /// Per-key versions.
+        versions: Vec<u64>,
+    },
+    /// Push acknowledged.
+    Push {
+        /// False when the server recognized a duplicate and skipped it.
+        applied: bool,
+    },
+    /// Batch push acknowledged (the whole batch applied or deduplicated).
+    PushMany {
+        /// False when the server recognized a duplicate and skipped it.
+        applied: bool,
+    },
+    /// Barrier released.
+    Barrier,
+    /// Checkpoint written.
+    Checkpoint {
+        /// Path of the checkpoint file on the server.
+        path: String,
+    },
+    /// Drain acknowledged.
+    Shutdown,
 }
 
 /// A client-side RPC failure.
@@ -108,18 +359,6 @@ pub struct WorkerClient {
     metrics: Arc<MetricsRegistry>,
     tracer: Option<Arc<Tracer>>,
     trace_parent: Option<SpanContext>,
-}
-
-/// Span name of a client-side logical request, by op-code.
-fn op_span_name(op: OpCode) -> &'static str {
-    match op {
-        OpCode::Pull => "rpc.pull",
-        OpCode::Push => "rpc.push",
-        OpCode::BarrierSync => "rpc.barrier",
-        OpCode::Checkpoint => "rpc.checkpoint",
-        OpCode::Shutdown => "rpc.shutdown",
-        _ => "rpc.request",
-    }
 }
 
 impl WorkerClient {
@@ -181,42 +420,46 @@ impl WorkerClient {
 
     /// Pulls one row: `(value, version)`.
     pub fn pull(&mut self, key: ParamKey) -> Result<(Vec<f32>, u64), RpcError> {
-        let resp = self.request(OpCode::Pull, 0, PullReq { key }.encode(), false)?;
-        let resp = PullResp::decode(&resp.payload)?;
-        Ok((resp.value, resp.version))
+        match self.call(Request::Pull { key })? {
+            Response::Pull { value, version } => Ok((value, version)),
+            other => unreachable!("Pull answered with {other:?}"),
+        }
     }
 
     /// Reads one row's push version without transferring the value.
     pub fn pull_version(&mut self, key: ParamKey) -> Result<u64, RpcError> {
-        let resp =
-            self.request(OpCode::Pull, FLAG_VERSION_ONLY, PullReq { key }.encode(), false)?;
-        Ok(PullResp::decode(&resp.payload)?.version)
+        match self.call(Request::PullVersion { key })? {
+            Response::PullVersion { version } => Ok(version),
+            other => unreachable!("PullVersion answered with {other:?}"),
+        }
     }
 
     /// Pushes one outer gradient. Returns `false` when the server
     /// recognized the push as a retry of an already-applied update.
     pub fn push(&mut self, key: ParamKey, grad: &[f32], lr: f32) -> Result<bool, RpcError> {
-        let req = PushReq { client_id: self.client_id, key, lr, grad: grad.to_vec() };
-        let resp = self.request(OpCode::Push, 0, req.encode(), false)?;
-        Ok(PushResp::decode(&resp.payload)?.applied)
+        match self.call(Request::Push { key, lr, grad: grad.to_vec() })? {
+            Response::Push { applied } => Ok(applied),
+            other => unreachable!("Push answered with {other:?}"),
+        }
     }
 
     /// Blocks until `expected` distinct clients have arrived at `round`.
     pub fn barrier(&mut self, round: u64, expected: u32) -> Result<(), RpcError> {
-        let req = BarrierReq { client_id: self.client_id, round, expected };
-        self.request(OpCode::BarrierSync, 0, req.encode(), true)?;
+        self.call(Request::Barrier { round, expected })?;
         Ok(())
     }
 
     /// Asks the server to write a checkpoint; returns its path.
     pub fn checkpoint(&mut self, round: u64) -> Result<String, RpcError> {
-        let resp = self.request(OpCode::Checkpoint, 0, CheckpointReq { round }.encode(), false)?;
-        Ok(String::from_utf8_lossy(&resp.payload).into_owned())
+        match self.call(Request::Checkpoint { round })? {
+            Response::Checkpoint { path } => Ok(path),
+            other => unreachable!("Checkpoint answered with {other:?}"),
+        }
     }
 
     /// Starts the server's graceful drain.
     pub fn shutdown(&mut self) -> Result<(), RpcError> {
-        self.request(OpCode::Shutdown, 0, Vec::new(), false)?;
+        self.call(Request::Shutdown)?;
         Ok(())
     }
 
@@ -228,23 +471,22 @@ impl WorkerClient {
     /// spans parent to it — a retried/deduplicated push shows up as
     /// multiple attempts and multiple server spans under one logical
     /// span.
-    fn request(
-        &mut self,
-        opcode: OpCode,
-        flags: u8,
-        payload: Vec<u8>,
-        barrier: bool,
-    ) -> Result<Frame, RpcError> {
+    pub fn call(&mut self, req: Request) -> Result<Response, RpcError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut frame = Frame { opcode, flags, seq, payload };
+        let mut frame = Frame {
+            opcode: req.opcode(),
+            flags: req.flags(),
+            seq,
+            payload: req.payload(self.client_id),
+        };
         // Clone the handle so the span guard borrows a local, leaving
         // `self` free for `&mut` attempts.
         let tracer = self.tracer.clone();
         let logical = tracer.as_deref().map(|t| {
             let mut span = match self.trace_parent {
-                Some(p) => t.child(op_span_name(opcode), p),
-                None => t.span(op_span_name(opcode)),
+                Some(p) => t.child(req.span_name(), p),
+                None => t.span(req.span_name()),
             };
             span.attr("seq", seq);
             span
@@ -255,27 +497,138 @@ impl WorkerClient {
                 .with_trace_context(TraceContext { trace_id: ctx.trace_id, span_id: ctx.span_id });
         }
         let trace_ctx = logical.as_ref().map(|s| s.ctx());
-        let mut attempt = 0u32;
+        let resp = self.finish_with_retries(&frame, req.is_barrier(), trace_ctx, None)?;
+        req.decode_response(&resp)
+    }
+
+    /// Pipelines a batch of requests: up to `pipeline_depth` frames are
+    /// on the wire before the client starts reading responses, which are
+    /// matched back to their requests by sequence number (the server
+    /// answers a connection's frames in order, so completions arrive
+    /// seq-ordered). Each request keeps its own sequence number across
+    /// retries, so the exactly-once dedup contract is exactly that of
+    /// sequential [`WorkerClient::call`]s — including under injected
+    /// faults, where any request the window could not complete falls back
+    /// to the sequential retry path *in request order* (see
+    /// [`WorkerClient::attempt_window`] for why ordering is load-bearing).
+    ///
+    /// Responses are returned in request order. A server `Error` response
+    /// is authoritative and fails the whole call. Barrier requests are
+    /// not supported here (their read deadline differs) — use
+    /// [`WorkerClient::call`].
+    pub fn call_many(&mut self, reqs: Vec<Request>) -> Result<Vec<Response>, RpcError> {
+        debug_assert!(!reqs.iter().any(Request::is_barrier), "barriers are not pipelined");
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let depth = self.policy.pipeline_depth.max(1);
+        let tracer = self.tracer.clone();
+        // Prepare every frame up front: sequence numbers in request
+        // order, one logical span each, trace context embedded before
+        // the first send so retries re-use it.
+        let mut frames = Vec::with_capacity(reqs.len());
+        let mut spans = Vec::with_capacity(reqs.len());
+        let mut ctxs = Vec::with_capacity(reqs.len());
+        for req in &reqs {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut frame = Frame {
+                opcode: req.opcode(),
+                flags: req.flags(),
+                seq,
+                payload: req.payload(self.client_id),
+            };
+            let logical = tracer.as_deref().map(|t| {
+                let mut span = match self.trace_parent {
+                    Some(p) => t.child(req.span_name(), p),
+                    None => t.span(req.span_name()),
+                };
+                span.attr("seq", seq);
+                span
+            });
+            if let Some(span) = &logical {
+                let ctx = span.ctx();
+                frame = frame.with_trace_context(TraceContext {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                });
+            }
+            ctxs.push(logical.as_ref().map(|s| s.ctx()));
+            spans.push(logical);
+            frames.push(frame);
+        }
+        let n = reqs.len();
+        let mut resolved: Vec<Option<Frame>> = (0..n).map(|_| None).collect();
+        let mut failures: Vec<Option<RpcError>> = (0..n).map(|_| None).collect();
+        let mut start = 0;
+        while start < n {
+            let end = (start + depth).min(n);
+            self.attempt_window(
+                &frames[start..end],
+                &ctxs[start..end],
+                &mut resolved[start..end],
+                &mut failures[start..end],
+            );
+            // Sequential completion of whatever the window could not
+            // finish, in request order.
+            for i in start..end {
+                if resolved[i].is_none() {
+                    let first_err = failures[i].take();
+                    let resp = self.finish_with_retries(&frames[i], false, ctxs[i], first_err)?;
+                    resolved[i] = Some(resp);
+                }
+            }
+            start = end;
+        }
+        drop(spans);
+        let mut out = Vec::with_capacity(n);
+        for (req, resp) in reqs.iter().zip(resolved) {
+            let resp = resp.expect("every slot resolved above");
+            if resp.opcode == OpCode::Error {
+                return Err(RpcError::Server(decode_error(&resp.payload)));
+            }
+            out.push(req.decode_response(&resp)?);
+        }
+        Ok(out)
+    }
+
+    /// Drives one prepared frame to completion: retried with exponential
+    /// backoff until a response arrives or the attempt budget is spent.
+    /// `window_failure` carries the outcome of a failed pipelined attempt
+    /// (which already consumed attempt #1 and its fault draws), so the
+    /// retry accounting is identical whether the first attempt ran alone
+    /// or inside a window.
+    fn finish_with_retries(
+        &mut self,
+        frame: &Frame,
+        barrier: bool,
+        trace_ctx: Option<SpanContext>,
+        window_failure: Option<RpcError>,
+    ) -> Result<Frame, RpcError> {
+        let mut attempt = u32::from(window_failure.is_some());
+        let mut pending = window_failure;
         loop {
+            if let Some(err) = pending.take() {
+                if attempt >= self.policy.max_attempts {
+                    return Err(RpcError::Exhausted { attempts: attempt, last: err.to_string() });
+                }
+                self.metrics.counter("rpc_retries_total").inc();
+                let backoff = (self.policy.base_backoff_micros << (attempt - 1).min(20))
+                    .min(self.policy.max_backoff_micros);
+                // Full jitter: a uniform slice of the exponential window,
+                // from the client's seeded stream.
+                let jittered = self.backoff_rng.gen_range(0..=backoff);
+                std::thread::sleep(Duration::from_micros(jittered));
+            }
             attempt += 1;
-            let err = match self.attempt(&frame, barrier, trace_ctx, attempt) {
+            match self.attempt(frame, barrier, trace_ctx, attempt) {
                 Ok(resp) => return Ok(resp),
                 // An application-level refusal is authoritative: the server
                 // received the request and rejected it, so retrying cannot
                 // change the answer.
                 Err(e @ RpcError::Server(_)) => return Err(e),
-                Err(e) => e,
-            };
-            if attempt >= self.policy.max_attempts {
-                return Err(RpcError::Exhausted { attempts: attempt, last: err.to_string() });
+                Err(e) => pending = Some(e),
             }
-            self.metrics.counter("rpc_retries_total").inc();
-            let backoff = (self.policy.base_backoff_micros << (attempt - 1).min(20))
-                .min(self.policy.max_backoff_micros);
-            // Full jitter: a uniform slice of the exponential window, from
-            // the client's seeded stream.
-            let jittered = self.backoff_rng.gen_range(0..=backoff);
-            std::thread::sleep(Duration::from_micros(jittered));
         }
     }
 
@@ -407,6 +760,197 @@ impl WorkerClient {
         }
     }
 
+    /// One pipelined attempt over a window of prepared frames: send every
+    /// frame back to back (fault dice rolled per request, in send order —
+    /// one four-draw decision per attempted request, same as the
+    /// sequential path), then read responses until every sent frame is
+    /// resolved or the connection fails. Unresolved slots keep their
+    /// first-attempt error in `failures` for the caller's sequential
+    /// retry path.
+    ///
+    /// Ordering is load-bearing: the server's exactly-once dedup keeps
+    /// only the *highest* applied sequence number per client, so a
+    /// request must never be (re)sent after a later-seq request has been
+    /// applied unless it was itself already on the wire (and therefore
+    /// possibly applied). The send loop aborts at the first frame that
+    /// fails to reach the wire (injected disconnect/drop, write error);
+    /// later frames stay unsent and are driven — in request order — by
+    /// the sequential path, which preserves the monotonic-seq invariant.
+    /// A frame lost *after* sending (dropped response, read failure) is
+    /// safe to retry out of that order: it was applied-or-lost before any
+    /// later frame, so a dedup answer is truthful.
+    fn attempt_window(
+        &mut self,
+        frames: &[Frame],
+        ctxs: &[Option<SpanContext>],
+        resolved: &mut [Option<Frame>],
+        failures: &mut [Option<RpcError>],
+    ) {
+        let tracer = self.tracer.clone();
+        let t = tracer.as_deref();
+        let mut attempt_spans: Vec<Option<SpanGuard<'_>>> = Vec::with_capacity(frames.len());
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        let mut drop_recv = vec![false; frames.len()];
+        // An injected disconnect severs the connection *after* the
+        // responses already in flight are drained (they arrived before
+        // the cut) — dropping immediately would close the socket with
+        // unread data and turn the close into a reset, making server-side
+        // accounting racy.
+        let mut pending_disconnect = false;
+        for (i, frame) in frames.iter().enumerate() {
+            let decision = match &mut self.fault {
+                Some(fs) => fs.decide(),
+                None => FaultDecision::default(),
+            };
+            let mut span = match (t, ctxs[i]) {
+                (Some(t), Some(ctx)) => {
+                    let mut s = t.child("rpc.attempt", ctx);
+                    s.attr("attempt", 1);
+                    Some(s)
+                }
+                _ => None,
+            };
+            if decision.disconnect {
+                self.metrics.counter("rpc_faults_disconnects_total").inc();
+                pending_disconnect = true;
+                failures[i] = Some(RpcError::ConnectionLost("injected disconnect".into()));
+                if let Some(s) = &mut span {
+                    s.attr("ok", 0);
+                }
+                attempt_spans.push(span);
+                break;
+            }
+            if decision.drop_send {
+                self.metrics.counter("rpc_faults_dropped_total").inc();
+                self.metrics.counter("rpc_timeouts_total").inc();
+                failures[i] = Some(RpcError::Timeout);
+                if let Some(s) = &mut span {
+                    s.attr("ok", 0);
+                }
+                attempt_spans.push(span);
+                break;
+            }
+            if decision.delay {
+                self.metrics.counter("rpc_faults_delayed_total").inc();
+                let micros = self.fault.as_ref().expect("delay implies plan").delay_micros();
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            let mut buf = match t {
+                Some(t) => {
+                    let t0 = Instant::now();
+                    let buf = frame.to_bytes();
+                    t.record_phase("wire.encode", t0.elapsed());
+                    buf
+                }
+                None => frame.to_bytes(),
+            };
+            if decision.duplicate {
+                self.metrics.counter("rpc_faults_duplicated_total").inc();
+                buf.extend_from_slice(&frame.to_bytes());
+            }
+            let timeout = self.policy.timeout;
+            let sent: Result<(), RpcError> = match self.ensure_connected() {
+                Ok(stream) => {
+                    if let Err(e) = stream.set_read_timeout(Some(timeout)) {
+                        Err(RpcError::Frame(FrameError::Io(e)))
+                    } else if let Err(e) = stream.write_all(&buf) {
+                        Err(RpcError::ConnectionLost(e.to_string()))
+                    } else {
+                        Ok(())
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            match sent {
+                Ok(()) => {
+                    drop_recv[i] = decision.drop_recv;
+                    outstanding.insert(frame.seq, i);
+                    attempt_spans.push(span);
+                }
+                Err(e) => {
+                    self.drop_connection();
+                    failures[i] = Some(e);
+                    if let Some(s) = &mut span {
+                        s.attr("ok", 0);
+                    }
+                    attempt_spans.push(span);
+                    break;
+                }
+            }
+        }
+        // Read phase: completions arrive seq-ordered per connection;
+        // unknown sequence numbers are stale leftovers (duplicates,
+        // dropped reads) and are discarded exactly as in the sequential
+        // path.
+        let mut drained_by_timeout = false;
+        while !outstanding.is_empty() && self.stream.is_some() {
+            let decoded = match t {
+                Some(t) => Frame::decode_timed(&mut *self.stream.as_mut().expect("connected")).map(
+                    |(f, d)| {
+                        t.record_phase("wire.decode", d);
+                        f
+                    },
+                ),
+                None => Frame::decode(&mut *self.stream.as_mut().expect("connected")),
+            };
+            match decoded {
+                Ok(resp) => {
+                    let Some(i) = outstanding.remove(&resp.seq) else {
+                        self.metrics.counter("rpc_stale_responses_total").inc();
+                        continue;
+                    };
+                    if drop_recv[i] {
+                        // The server processed the request but its response
+                        // "got lost"; the sequential retry re-sends the same
+                        // sequence number and exercises the dedup path.
+                        self.metrics.counter("rpc_faults_dropped_total").inc();
+                        self.metrics.counter("rpc_timeouts_total").inc();
+                        failures[i] = Some(RpcError::Timeout);
+                        if let Some(s) = &mut attempt_spans[i] {
+                            s.attr("ok", 0);
+                        }
+                    } else {
+                        if let Some(s) = &mut attempt_spans[i] {
+                            s.attr("ok", u64::from(resp.opcode != OpCode::Error));
+                        }
+                        resolved[i] = Some(resp);
+                    }
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // One socket-level deadline expiry; everything still
+                    // in flight on this connection is lost with it.
+                    self.metrics.counter("rpc_timeouts_total").inc();
+                    self.drop_connection();
+                    drained_by_timeout = true;
+                }
+                Err(e) => {
+                    self.drop_connection();
+                    let mut idxs: Vec<usize> = outstanding.values().copied().collect();
+                    idxs.sort_unstable();
+                    failures[idxs[0]] = Some(e.into());
+                }
+            }
+        }
+        for (_, i) in outstanding {
+            if failures[i].is_none() {
+                failures[i] = Some(if drained_by_timeout {
+                    RpcError::Timeout
+                } else {
+                    RpcError::ConnectionLost("connection failed mid-window".into())
+                });
+            }
+            if let Some(s) = &mut attempt_spans[i] {
+                s.attr("ok", 0);
+            }
+        }
+        if pending_disconnect {
+            self.drop_connection();
+        }
+    }
+
     fn ensure_connected(&mut self) -> Result<&mut TcpStream, RpcError> {
         if self.stream.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, self.policy.timeout)
@@ -476,28 +1020,77 @@ impl RpcRowSource {
 }
 
 impl RowSource for RpcRowSource {
-    fn pull_versioned(&self, key: ParamKey) -> (Vec<f32>, u64) {
-        if self.poisoned() {
-            return (vec![0.0; self.dim], 0);
+    /// One batched read: the key set is split into [`WIRE_BATCH_KEYS`]
+    /// chunks — one `PullMany` frame each, pipelined on the connection —
+    /// so a round's whole cache-miss set costs a handful of round trips
+    /// instead of one per key.
+    fn pull_rows(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)> {
+        if keys.is_empty() {
+            return Vec::new();
         }
-        match self.client.borrow_mut().pull(key) {
-            Ok(row) => row,
+        if self.poisoned() {
+            return keys.iter().map(|_| (vec![0.0; self.dim], 0)).collect();
+        }
+        let reqs: Vec<Request> = keys
+            .chunks(WIRE_BATCH_KEYS)
+            .map(|chunk| Request::PullMany { keys: chunk.to_vec() })
+            .collect();
+        match self.client.borrow_mut().call_many(reqs) {
+            Ok(resps) => {
+                let mut out = Vec::with_capacity(keys.len());
+                for (chunk, resp) in keys.chunks(WIRE_BATCH_KEYS).zip(resps) {
+                    let Response::PullMany { versions, values } = resp else {
+                        unreachable!("PullMany answered with a different variant")
+                    };
+                    if values.len() != chunk.len() * self.dim {
+                        self.record(RpcError::Frame(FrameError::Malformed(format!(
+                            "expected {} values for {} rows of width {}, got {}",
+                            chunk.len() * self.dim,
+                            chunk.len(),
+                            self.dim,
+                            values.len()
+                        ))));
+                        return keys.iter().map(|_| (vec![0.0; self.dim], 0)).collect();
+                    }
+                    for (row, version) in values.chunks(self.dim).zip(versions) {
+                        out.push((row.to_vec(), version));
+                    }
+                }
+                out
+            }
             Err(e) => {
                 self.record(e);
-                (vec![0.0; self.dim], 0)
+                keys.iter().map(|_| (vec![0.0; self.dim], 0)).collect()
             }
         }
     }
 
-    fn version_of(&self, key: ParamKey) -> u64 {
-        if self.poisoned() {
-            return 0;
+    /// One batched version probe per [`WIRE_BATCH_KEYS`] chunk, silent
+    /// server-side like the single-key probe it replaces.
+    fn versions_of(&self, keys: &[ParamKey]) -> Vec<u64> {
+        if keys.is_empty() {
+            return Vec::new();
         }
-        match self.client.borrow_mut().pull_version(key) {
-            Ok(v) => v,
+        if self.poisoned() {
+            return vec![0; keys.len()];
+        }
+        let reqs: Vec<Request> = keys
+            .chunks(WIRE_BATCH_KEYS)
+            .map(|chunk| Request::PullVersions { keys: chunk.to_vec() })
+            .collect();
+        match self.client.borrow_mut().call_many(reqs) {
+            Ok(resps) => resps
+                .into_iter()
+                .flat_map(|resp| {
+                    let Response::PullVersions { versions } = resp else {
+                        unreachable!("PullVersions answered with a different variant")
+                    };
+                    versions
+                })
+                .collect(),
             Err(e) => {
                 self.record(e);
-                0
+                vec![0; keys.len()]
             }
         }
     }

@@ -37,8 +37,10 @@ pub const MAGIC: &[u8; 9] = b"MAMDRRPC1";
 
 /// Wire-protocol version. Bumped whenever op-codes or payload layouts
 /// change; a server rejects frames from a different version with a typed
-/// error instead of misparsing them.
-pub const WIRE_VERSION: u8 = 1;
+/// error instead of misparsing them. Version 2 added the vectorized
+/// `PullMany`/`PushMany` family (multi-row payloads, one frame per key
+/// batch instead of one per key).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on a frame's declared payload length (16 MiB). Validated
 /// before allocation: a malicious or corrupt length field cannot force an
@@ -113,7 +115,7 @@ impl TraceContext {
     }
 }
 
-/// Operation codes of wire version 1.
+/// Operation codes of wire version 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum OpCode {
@@ -139,25 +141,45 @@ pub enum OpCode {
     ShutdownOk = 10,
     /// PS → worker: request-level failure (message payload).
     Error = 11,
+    /// Worker → PS: read many rows in one frame (optionally version-only).
+    PullMany = 12,
+    /// PS → worker: versions + concatenated values for a `PullMany`.
+    PullManyOk = 13,
+    /// Worker → PS: apply many outer-gradient rows atomically (one seq
+    /// dedups the whole batch).
+    PushMany = 14,
+    /// PS → worker: batch push acknowledged (applied or deduplicated).
+    PushManyOk = 15,
 }
 
 impl OpCode {
-    /// Decodes an op-code byte of the current wire version.
+    /// Every op-code of the current wire version, in byte order. This is
+    /// the single table both wire directions share: encode casts the
+    /// variant (`as u8`), decode scans this table — adding a variant here
+    /// makes it decodable, and a variant missing from the table fails the
+    /// exhaustive roundtrip test, so the two directions cannot drift.
+    pub const ALL: [OpCode; 15] = [
+        OpCode::Pull,
+        OpCode::PullOk,
+        OpCode::Push,
+        OpCode::PushOk,
+        OpCode::BarrierSync,
+        OpCode::BarrierOk,
+        OpCode::Checkpoint,
+        OpCode::CheckpointOk,
+        OpCode::Shutdown,
+        OpCode::ShutdownOk,
+        OpCode::Error,
+        OpCode::PullMany,
+        OpCode::PullManyOk,
+        OpCode::PushMany,
+        OpCode::PushManyOk,
+    ];
+
+    /// Decodes an op-code byte of the current wire version by table
+    /// lookup — the inverse of `op as u8`.
     pub fn from_byte(b: u8) -> Result<Self, FrameError> {
-        Ok(match b {
-            1 => OpCode::Pull,
-            2 => OpCode::PullOk,
-            3 => OpCode::Push,
-            4 => OpCode::PushOk,
-            5 => OpCode::BarrierSync,
-            6 => OpCode::BarrierOk,
-            7 => OpCode::Checkpoint,
-            8 => OpCode::CheckpointOk,
-            9 => OpCode::Shutdown,
-            10 => OpCode::ShutdownOk,
-            11 => OpCode::Error,
-            other => return Err(FrameError::UnknownOpcode(other)),
-        })
+        OpCode::ALL.iter().copied().find(|op| *op as u8 == b).ok_or(FrameError::UnknownOpcode(b))
     }
 }
 
@@ -576,6 +598,153 @@ impl CheckpointReq {
     }
 }
 
+/// Reads a `u32`-counted key section (table/row pairs), bounds-checking
+/// the count against the remaining payload before allocating.
+fn read_counted_keys(r: &mut &[u8]) -> Result<Vec<ParamKey>, FrameError> {
+    let n = read_u32(r)? as usize;
+    if n.saturating_mul(8) > r.len() {
+        return Err(FrameError::Malformed(format!("{n} keys declared, {} bytes left", r.len())));
+    }
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = read_u32(r)?;
+        let row = read_u32(r)?;
+        keys.push(ParamKey::new(table, row));
+    }
+    Ok(keys)
+}
+
+fn write_counted_keys(out: &mut Vec<u8>, keys: &[ParamKey]) {
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for key in keys {
+        out.extend_from_slice(&key.table.to_le_bytes());
+        out.extend_from_slice(&key.row.to_le_bytes());
+    }
+}
+
+/// `PullMany` request payload: a key-sorted batch of rows to read in one
+/// round trip. [`FLAG_VERSION_ONLY`] turns the whole batch into a silent
+/// version probe (no value section in the response, no traffic
+/// accounting server-side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PullManyReq {
+    /// The rows to read, sorted by `(table, row)` by the caller.
+    pub keys: Vec<ParamKey>,
+}
+
+impl PullManyReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 * self.keys.len());
+        write_counted_keys(&mut out, &self.keys);
+        out
+    }
+
+    /// Decodes from a payload buffer.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let keys = read_counted_keys(&mut r)?;
+        expect_empty(r)?;
+        Ok(PullManyReq { keys })
+    }
+}
+
+/// `PullManyOk` response payload: per-key versions in request order, plus
+/// one contiguous f32 section holding every row's values back to back
+/// (empty for a version-only probe) — a single zero-copy block on
+/// little-endian hosts, not one length-prefixed vector per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullManyResp {
+    /// Per-key push versions, in request-key order.
+    pub versions: Vec<u64>,
+    /// Concatenated row values in request-key order; the row width is
+    /// `values.len() / versions.len()`. Empty for version-only probes.
+    pub values: Vec<f32>,
+}
+
+impl PullManyResp {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * self.versions.len() + 4 * self.values.len());
+        out.extend_from_slice(&(self.versions.len() as u32).to_le_bytes());
+        for v in &self.versions {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        write_counted_f32s(&mut out, &self.values);
+        out
+    }
+
+    /// Decodes from a payload buffer, rejecting value sections that are
+    /// not an exact multiple of the key count.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let n = read_u32(&mut r)? as usize;
+        if n.saturating_mul(8) > r.len() {
+            return Err(FrameError::Malformed(format!(
+                "{n} versions declared, {} bytes left",
+                r.len()
+            )));
+        }
+        let mut versions = Vec::with_capacity(n);
+        for _ in 0..n {
+            versions.push(read_u64(&mut r)?);
+        }
+        let values = read_counted_f32s(&mut r)?;
+        expect_empty(r)?;
+        // Empty values with rows present is the version-only probe shape;
+        // otherwise the value section must divide evenly across the rows.
+        if values.is_empty() || (n > 0 && values.len() % n == 0) {
+            return Ok(PullManyResp { versions, values });
+        }
+        Err(FrameError::Malformed(format!("{} values do not divide across {n} rows", values.len())))
+    }
+}
+
+/// `PushMany` request payload: a key-sorted batch of outer-gradient row
+/// updates applied atomically under one `(client, seq)` — a retry of the
+/// frame dedups the whole batch, so pipelined pushes keep the
+/// exactly-once guarantee of the single-row protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushManyReq {
+    /// The pushing worker (dedup namespace for `seq`).
+    pub client_id: u32,
+    /// Server-side Adagrad learning rate (shared by every row).
+    pub lr: f32,
+    /// The rows to update, sorted by `(table, row)` by the caller.
+    pub keys: Vec<ParamKey>,
+    /// Concatenated outer gradients (Θ̃ − Θ) in key order; the row width
+    /// is `grads.len() / keys.len()`.
+    pub grads: Vec<f32>,
+}
+
+impl PushManyReq {
+    /// Encodes into a payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 8 * self.keys.len() + 4 * self.grads.len());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&self.lr.to_le_bytes());
+        write_counted_keys(&mut out, &self.keys);
+        write_counted_f32s(&mut out, &self.grads);
+        out
+    }
+
+    /// Decodes from a payload buffer, rejecting gradient sections that are
+    /// not an exact multiple of the key count.
+    pub fn decode(mut r: &[u8]) -> Result<Self, FrameError> {
+        let client_id = read_u32(&mut r)?;
+        let lr = read_f32(&mut r)?;
+        let keys = read_counted_keys(&mut r)?;
+        let grads = read_counted_f32s(&mut r)?;
+        expect_empty(r)?;
+        if keys.is_empty() || grads.is_empty() || grads.len() % keys.len() != 0 {
+            return Err(FrameError::Malformed(format!(
+                "{} gradient values do not divide across {} rows",
+                grads.len(),
+                keys.len()
+            )));
+        }
+        Ok(PushManyReq { client_id, lr, keys, grads })
+    }
+}
+
 /// Encodes an `Error` frame's message payload.
 pub fn encode_error(msg: &str) -> Vec<u8> {
     msg.as_bytes().to_vec()
@@ -640,9 +809,10 @@ mod tests {
 
     #[test]
     fn wrong_version_and_opcode_are_typed_errors() {
+        // A frame from the retired v1 protocol is rejected up front.
         let mut buf = Frame::new(OpCode::Pull, 1, vec![]).to_bytes();
-        buf[9] = 2; // version byte
-        assert!(matches!(Frame::decode(buf.as_slice()), Err(FrameError::UnsupportedVersion(2))));
+        buf[9] = 1; // version byte
+        assert!(matches!(Frame::decode(buf.as_slice()), Err(FrameError::UnsupportedVersion(1))));
 
         // A valid checksum over an unknown op-code byte.
         let mut frame = Frame::new(OpCode::Pull, 1, vec![]);
@@ -673,6 +843,107 @@ mod tests {
         assert_eq!(CheckpointReq::decode(&ck.encode()).unwrap(), ck);
         assert!(PushResp::decode(&PushResp { applied: true }.encode()).unwrap().applied);
         assert_eq!(decode_error(&encode_error("boom")), "boom");
+    }
+
+    #[test]
+    fn opcode_table_covers_both_directions_for_every_byte() {
+        // Encode→decode is the identity for every variant in the table …
+        for &op in OpCode::ALL.iter() {
+            assert_eq!(OpCode::from_byte(op as u8).unwrap(), op);
+        }
+        // … and every byte outside the table is a typed error, so the
+        // table is the complete decode surface.
+        let known: Vec<u8> = OpCode::ALL.iter().map(|&op| op as u8).collect();
+        for b in 0..=u8::MAX {
+            match OpCode::from_byte(b) {
+                Ok(op) => assert!(known.contains(&(op as u8))),
+                Err(FrameError::UnknownOpcode(bad)) => {
+                    assert_eq!(bad, b);
+                    assert!(!known.contains(&b));
+                }
+                Err(other) => panic!("unexpected error for byte {b}: {other:?}"),
+            }
+        }
+        assert_eq!(known.len(), OpCode::ALL.len());
+    }
+
+    #[test]
+    fn multi_row_codecs_roundtrip() {
+        let pull = PullManyReq { keys: vec![ParamKey::new(0, 1), ParamKey::new(3, 77)] };
+        assert_eq!(PullManyReq::decode(&pull.encode()).unwrap(), pull);
+        let empty = PullManyReq { keys: vec![] };
+        assert_eq!(PullManyReq::decode(&empty.encode()).unwrap(), empty);
+
+        let resp = PullManyResp { versions: vec![4, 9], values: vec![1.5, -2.25, 0.0, 7.0] };
+        assert_eq!(PullManyResp::decode(&resp.encode()).unwrap(), resp);
+        // Version-only probe: versions without values.
+        let probe = PullManyResp { versions: vec![4, 9], values: vec![] };
+        assert_eq!(PullManyResp::decode(&probe.encode()).unwrap(), probe);
+
+        let push = PushManyReq {
+            client_id: 2,
+            lr: 0.5,
+            keys: vec![ParamKey::new(0, 5), ParamKey::new(1, 6)],
+            grads: vec![0.25, -0.125, 1.0, 2.0],
+        };
+        assert_eq!(PushManyReq::decode(&push.encode()).unwrap(), push);
+    }
+
+    #[test]
+    fn multi_row_codecs_reject_malformed_payloads() {
+        // Declared key count exceeding the remaining bytes errors before
+        // any allocation — including u32::MAX, which would be a 32 GiB
+        // key vector if the count were trusted.
+        let mut lying = PullManyReq { keys: vec![ParamKey::new(0, 1)] }.encode();
+        lying[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(PullManyReq::decode(&lying), Err(FrameError::Malformed(_))));
+
+        let mut lying = PullManyResp { versions: vec![1], values: vec![1.0] }.encode();
+        lying[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(PullManyResp::decode(&lying), Err(FrameError::Malformed(_))));
+
+        // A value section that does not divide across the declared rows.
+        let resp = PullManyResp { versions: vec![1, 2], values: vec![1.0, 2.0, 3.0] };
+        assert!(matches!(PullManyResp::decode(&resp.encode()), Err(FrameError::Malformed(_))));
+        // Values without any rows to attach them to.
+        let resp = PullManyResp { versions: vec![], values: vec![1.0] };
+        assert!(matches!(PullManyResp::decode(&resp.encode()), Err(FrameError::Malformed(_))));
+
+        // PushMany: gradient section must divide across the keys, and an
+        // empty batch is meaningless on the wire.
+        let push = PushManyReq {
+            client_id: 0,
+            lr: 0.1,
+            keys: vec![ParamKey::new(0, 0), ParamKey::new(0, 1)],
+            grads: vec![1.0, 2.0, 3.0],
+        };
+        assert!(matches!(PushManyReq::decode(&push.encode()), Err(FrameError::Malformed(_))));
+        let empty = PushManyReq { client_id: 0, lr: 0.1, keys: vec![], grads: vec![] };
+        assert!(matches!(PushManyReq::decode(&empty.encode()), Err(FrameError::Malformed(_))));
+
+        // Truncation anywhere inside a multi-row payload is typed.
+        let bytes = PushManyReq {
+            client_id: 2,
+            lr: 0.5,
+            keys: vec![ParamKey::new(0, 5)],
+            grads: vec![0.25, -0.125],
+        }
+        .encode();
+        for keep in 0..bytes.len() {
+            assert!(PushManyReq::decode(&bytes[..keep]).is_err(), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn oversized_batches_hit_the_frame_cap_not_the_allocator() {
+        // A key batch whose encoding crosses MAX_PAYLOAD must be refused
+        // at encode time (the sender chunks batches well below the cap).
+        let too_many = (MAX_PAYLOAD as usize / 8) + 1;
+        let keys: Vec<ParamKey> = (0..too_many as u32).map(|i| ParamKey::new(0, i)).collect();
+        let payload = PullManyReq { keys }.encode();
+        let frame = Frame::new(OpCode::PullMany, 1, payload);
+        let mut sink = Vec::new();
+        assert!(matches!(frame.encode(&mut sink), Err(FrameError::TooLarge(_))));
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! as `rpc_push_applied_total` / `rpc_push_deduped_total`.
 
 use crate::frame::{
-    encode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq,
-    PushResp, TraceContext, FLAG_VERSION_ONLY, TRACE_EXT_LEN,
+    encode_error, BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullManyReq, PullManyResp,
+    PullReq, PullResp, PushManyReq, PushReq, PushResp, TraceContext, FLAG_VERSION_ONLY,
+    TRACE_EXT_LEN,
 };
 use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
 use mamdr_ps::{checkpoint, ParameterServer};
@@ -147,11 +148,11 @@ impl PsServer {
 /// Span name of a server-side request handling, by op-code.
 fn server_span_name(op: OpCode) -> &'static str {
     match op {
-        OpCode::Pull => "server.pull",
+        OpCode::Pull | OpCode::PullMany => "server.pull",
         // The push handler's job is applying the update to the store;
         // this is the span the issue's "worker pull/push parents server
         // apply" contract names.
-        OpCode::Push => "server.apply",
+        OpCode::Push | OpCode::PushMany => "server.apply",
         OpCode::BarrierSync => "server.barrier",
         OpCode::Checkpoint => "server.checkpoint",
         OpCode::Shutdown => "server.shutdown",
@@ -173,7 +174,16 @@ fn serve_conn(mut stream: TcpStream, inner: &Inner) {
         };
         let mut req = match decoded {
             Ok(f) => f,
-            Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => return,
+            // EOF is the clean hangup; a reset is the same hangup when the
+            // peer closed with undrained bytes (e.g. a pipelining client
+            // that abandoned in-flight responses) — neither is a protocol
+            // violation, so neither counts as a bad frame.
+            Err(FrameError::Io(e))
+                if e.kind() == std::io::ErrorKind::UnexpectedEof
+                    || e.kind() == std::io::ErrorKind::ConnectionReset =>
+            {
+                return
+            }
             Err(_) => {
                 // Undecodable bytes: the stream cannot be resynchronized,
                 // so count and hang up; the client reconnects and retries.
@@ -209,7 +219,7 @@ fn serve_conn(mut stream: TcpStream, inner: &Inner) {
         };
         let resp = handle(&req, inner);
         if let Some(mut span) = span {
-            if resp.opcode == OpCode::PushOk {
+            if resp.opcode == OpCode::PushOk || resp.opcode == OpCode::PushManyOk {
                 // `applied: false` means the exactly-once path recognized
                 // a retransmission — visible in the trace as a deduped
                 // sibling attempt under the same logical push span.
@@ -257,6 +267,34 @@ fn handle(req: &Frame, inner: &Inner) -> Frame {
             }
             Err(e) => error(format!("bad pull payload: {e}")),
         },
+        OpCode::PullMany => match PullManyReq::decode(&req.payload) {
+            Ok(pull) => {
+                if req.flags & FLAG_VERSION_ONLY != 0 {
+                    // Silent observability probe, batched: one frame carries
+                    // every version, no value bytes, no traffic accounting.
+                    let versions = pull.keys.iter().map(|&k| inner.ps.version(k)).collect();
+                    let payload = PullManyResp { versions, values: Vec::new() }.encode();
+                    return Frame::new(OpCode::PullManyOk, seq, payload);
+                }
+                for &key in &pull.keys {
+                    if inner.ps.read_silent(key).is_none() {
+                        return error(format!("pull of uninitialized key {key:?}"));
+                    }
+                }
+                // One batched store read: counts a single pull per wire
+                // chunk, keeping the traffic counter identical to the
+                // in-process trainer's.
+                let rows = inner.ps.pull_batch(&pull.keys);
+                let mut versions = Vec::with_capacity(rows.len());
+                let mut values = Vec::with_capacity(rows.len() * inner.dim);
+                for (value, version) in rows {
+                    versions.push(version);
+                    values.extend_from_slice(&value);
+                }
+                Frame::new(OpCode::PullManyOk, seq, PullManyResp { versions, values }.encode())
+            }
+            Err(e) => error(format!("bad pull-many payload: {e}")),
+        },
         OpCode::Push => match PushReq::decode(&req.payload) {
             Ok(push) => {
                 if inner.ps.read_silent(push.key).is_none() {
@@ -280,6 +318,44 @@ fn handle(req: &Frame, inner: &Inner) -> Frame {
                 Frame::new(OpCode::PushOk, seq, PushResp { applied }.encode())
             }
             Err(e) => error(format!("bad push payload: {e}")),
+        },
+        OpCode::PushMany => match PushManyReq::decode(&req.payload) {
+            Ok(push) => {
+                if push.grads.len() != push.keys.len() * inner.dim {
+                    return error(format!(
+                        "push-many grad width mismatch: {} grads for {} keys of dim {}",
+                        push.grads.len(),
+                        push.keys.len(),
+                        inner.dim
+                    ));
+                }
+                for &key in &push.keys {
+                    if inner.ps.read_silent(key).is_none() {
+                        return error(format!("push to uninitialized key {key:?}"));
+                    }
+                }
+                // Exactly-once for the *whole batch*: the frame carries one
+                // sequence number, so a retry of a partially lost response
+                // dedups the entire row set as a unit — either every row
+                // was applied under this seq or none was.
+                let mut last = inner.last_push_seq.lock().expect("push-seq lock");
+                let applied = match last.get(&push.client_id) {
+                    Some(&prev) if seq <= prev => false,
+                    _ => {
+                        for (key, grad) in push.keys.iter().zip(push.grads.chunks(inner.dim)) {
+                            inner.ps.push_outer_grad(*key, grad, push.lr);
+                        }
+                        last.insert(push.client_id, seq);
+                        true
+                    }
+                };
+                drop(last);
+                let name =
+                    if applied { "rpc_push_applied_total" } else { "rpc_push_deduped_total" };
+                inner.metrics.counter(name).add(push.keys.len() as u64);
+                Frame::new(OpCode::PushManyOk, seq, PushResp { applied }.encode())
+            }
+            Err(e) => error(format!("bad push-many payload: {e}")),
         },
         OpCode::BarrierSync => match BarrierReq::decode(&req.payload) {
             Ok(bar) => {

@@ -50,7 +50,7 @@
 //! trips the store is rolled back in place to the last clean round
 //! boundary — values *and* optimizer state.
 
-use crate::client::{RetryPolicy, RpcRowSource, WorkerClient};
+use crate::client::{Request, RetryPolicy, RpcRowSource, WorkerClient};
 use crate::fault::{FaultPlan, FaultState};
 use crate::server::PsServer;
 use mamdr_data::{MdrDataset, Split};
@@ -62,7 +62,7 @@ use mamdr_ps::trainer::{
 };
 use mamdr_ps::{
     checkpoint, outer_grad_norm, CacheStats, DistributedConfig, DistributedReport, GuardRail,
-    GuardVerdict, ParamKey, ParameterServer, SyncMode, TimedRowSource,
+    GuardVerdict, ParamKey, ParameterServer, SyncMode, TimedRowSource, WIRE_BATCH_KEYS,
 };
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::derive_seed;
@@ -630,6 +630,7 @@ impl DistributedTrainer {
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
             let mut round_tripped = false;
+            let mut pending_pushes: Vec<Request> = Vec::new();
             for out in outputs {
                 combined.hits += out.cache.hits;
                 combined.misses += out.cache.misses;
@@ -663,13 +664,26 @@ impl DistributedTrainer {
                 loss_sum += out.loss_sum;
                 n_examples += out.n_examples;
                 // Single writer, worker order, keys pre-sorted: the same
-                // total order the in-process synchronous driver applies.
-                for (key, delta) in out.grads {
-                    driver
-                        .push(key, &delta, cfg.outer_lr)
-                        .map_err(|e| TrainerError::Driver(format!("push of {key:?}: {e}")))?;
+                // total order the in-process synchronous driver applies,
+                // delivered as one `PushMany` per wire chunk instead of
+                // one `Push` per key.
+                let reqs = push_many_requests(&out.grads, cfg.outer_lr);
+                if guard_active {
+                    // The guard interleaves verdicts with application (a
+                    // rollback rewinds the store to the round boundary but
+                    // never the traffic counters), so each accepted
+                    // worker's update must hit the store before the next
+                    // verdict — flush immediately rather than batching
+                    // across workers.
+                    flush_pushes(&mut driver, reqs)?;
+                } else {
+                    pending_pushes.extend(reqs);
                 }
             }
+            // No guard: every accepted worker's chunks ride one pipelined
+            // window. Same requests, same order, same sequence numbers as
+            // per-worker flushing — only the wire scheduling differs.
+            flush_pushes(&mut driver, std::mem::take(&mut pending_pushes))?;
             drop(apply_span);
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
             if guard_active && !round_tripped {
@@ -781,6 +795,35 @@ impl DistributedTrainer {
         drop(client);
         server.join();
     }
+}
+
+/// Packs one worker's drained outer gradients into `PushMany` requests,
+/// one per [`WIRE_BATCH_KEYS`] chunk, preserving the pre-sorted key order.
+fn push_many_requests(grads: &[(ParamKey, Vec<f32>)], lr: f32) -> Vec<Request> {
+    grads
+        .chunks(WIRE_BATCH_KEYS)
+        .map(|chunk| {
+            let mut keys = Vec::with_capacity(chunk.len());
+            let mut flat = Vec::new();
+            for (key, delta) in chunk {
+                keys.push(*key);
+                flat.extend_from_slice(delta);
+            }
+            Request::PushMany { lr, keys, grads: flat }
+        })
+        .collect()
+}
+
+/// Sends a batch of driver pushes through one pipelined window and fails
+/// the round on the first request that exhausts its retries.
+fn flush_pushes(driver: &mut WorkerClient, reqs: Vec<Request>) -> Result<(), TrainerError> {
+    if reqs.is_empty() {
+        return Ok(());
+    }
+    driver
+        .call_many(reqs)
+        .map_err(|e| TrainerError::Driver(format!("gradient push batch: {e}")))?;
+    Ok(())
 }
 
 /// Restores a resumed run's store and aggregates from the newest valid

@@ -5,7 +5,9 @@
 
 use mamdr_obs::MetricsRegistry;
 use mamdr_ps::{ParamKey, ParameterServer};
-use mamdr_rpc::{FaultPlan, FaultState, PsServer, RetryPolicy, RpcError, WorkerClient};
+use mamdr_rpc::{
+    FaultPlan, FaultState, PsServer, Request, Response, RetryPolicy, RpcError, WorkerClient,
+};
 use std::sync::Arc;
 
 fn harness(dim: usize) -> (PsServer, Arc<ParameterServer>, Arc<MetricsRegistry>) {
@@ -172,6 +174,135 @@ fn unsendable_requests_exhaust_the_retry_budget() {
     assert_eq!(metrics.counter("rpc_timeouts_total").get(), 3);
     // Nothing ever reached the server.
     assert_eq!(ps.traffic().snapshot().0, 0);
+}
+
+#[test]
+fn batched_pull_and_push_roundtrip_with_chunked_accounting() {
+    let (server, ps, metrics) = harness(2);
+    let keys: Vec<ParamKey> = (0..5).map(|i| ParamKey::new(0, i)).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        ps.init_row(k, vec![i as f32, 0.0]);
+    }
+    let mut c = client(&server, 1, &metrics);
+
+    match c.call(Request::PullMany { keys: keys.clone() }).unwrap() {
+        Response::PullMany { versions, values } => {
+            assert_eq!(versions, vec![0; 5]);
+            for (i, row) in values.chunks(2).enumerate() {
+                assert_eq!(row, &[i as f32, 0.0]);
+            }
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The whole batch rode one frame and counted as one store pull.
+    assert_eq!(ps.traffic().snapshot().0, 1);
+
+    // One PushMany applies every row under a single sequence number.
+    let grads: Vec<f32> = keys.iter().flat_map(|_| [1.0, -1.0]).collect();
+    match c.call(Request::PushMany { lr: 1.0, keys: keys.clone(), grads }).unwrap() {
+        Response::PushMany { applied } => assert!(applied),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(ps.traffic().snapshot().1, 5, "one per-row application per batch row");
+    assert_eq!(metrics.counter("rpc_push_applied_total").get(), 5);
+
+    // A batched version probe sees every bump and stays silent.
+    match c.call(Request::PullVersions { keys }).unwrap() {
+        Response::PullVersions { versions } => assert_eq!(versions, vec![1; 5]),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(ps.traffic().snapshot().0, 1, "version probes are unaccounted");
+}
+
+#[test]
+fn batched_push_retries_dedup_the_whole_batch() {
+    let (server, ps, metrics) = harness(2);
+    let keys: Vec<ParamKey> = (0..4).map(|i| ParamKey::new(0, i)).collect();
+    for &k in &keys {
+        ps.init_row(k, vec![0.0, 0.0]);
+    }
+    // Every response vanishes once: each logical PushMany is sent twice
+    // (original + retry) and the server must apply its rows exactly once,
+    // deduplicating the retry as a unit.
+    let mut c = faulted_client(
+        &server,
+        7,
+        &metrics,
+        RetryPolicy { base_backoff_micros: 10, ..Default::default() },
+        "seed=5,drop_recv=0.5",
+    );
+    let mut sent_rows = 0u64;
+    for _ in 0..10 {
+        let grads: Vec<f32> = keys.iter().flat_map(|_| [1.0, 0.0]).collect();
+        let resps =
+            c.call_many(vec![Request::PushMany { lr: 1.0, keys: keys.clone(), grads }]).unwrap();
+        assert_eq!(resps.len(), 1);
+        sent_rows += keys.len() as u64;
+    }
+    assert_eq!(ps.traffic().snapshot().1, sent_rows, "each batch row applied exactly once");
+    assert_eq!(metrics.counter("rpc_push_applied_total").get(), sent_rows);
+    let deduped = metrics.counter("rpc_push_deduped_total").get();
+    assert!(deduped > 0, "some retried batches must have hit the dedup path");
+    assert_eq!(deduped % keys.len() as u64, 0, "dedup counts whole batches");
+}
+
+#[test]
+fn pipelining_depth_changes_scheduling_not_results() {
+    let run = |depth: usize| {
+        let (server, ps, metrics) = harness(2);
+        let keys: Vec<ParamKey> = (0..6).map(|i| ParamKey::new(i % 4, i)).collect();
+        for &k in &keys {
+            ps.init_row(k, vec![1.0, 1.0]);
+        }
+        let policy = RetryPolicy { pipeline_depth: depth, ..Default::default() };
+        let mut c = WorkerClient::new(server.addr(), 2, policy, None, Arc::clone(&metrics));
+        let reqs: Vec<Request> = keys
+            .iter()
+            .map(|&k| Request::PushMany { lr: 0.5, keys: vec![k], grads: vec![1.0, -1.0] })
+            .collect();
+        c.call_many(reqs).unwrap();
+        let pulls = c.call_many(vec![Request::PullMany { keys: keys.clone() }]).unwrap();
+        let values = match &pulls[0] {
+            Response::PullMany { values, .. } => values.clone(),
+            other => panic!("unexpected response {other:?}"),
+        };
+        let frames = metrics.counter("rpc_frames_total").get();
+        (values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), ps.traffic().snapshot(), frames)
+    };
+    // Depth 1 serializes every request; depth 8 keeps the window full.
+    // Same requests, same sequence numbers, same store mutations — the
+    // depth only changes when frames sit on the wire.
+    assert_eq!(run(1), run(8));
+}
+
+#[test]
+fn window_aborts_sends_after_an_injected_disconnect_preserving_order() {
+    let (server, ps, metrics) = harness(2);
+    let keys: Vec<ParamKey> = (0..8).map(|i| ParamKey::new(0, i)).collect();
+    for &k in &keys {
+        ps.init_row(k, vec![0.0, 0.0]);
+    }
+    // The third request of the pipelined window hits a disconnect: the
+    // send loop must stop there (a later-seq frame reaching the server
+    // first would poison the highest-seq dedup for the earlier ones) and
+    // the sequential path must finish everything in request order.
+    let mut c = faulted_client(
+        &server,
+        8,
+        &metrics,
+        RetryPolicy { base_backoff_micros: 10, ..Default::default() },
+        "seed=6,disconnect=2",
+    );
+    let reqs: Vec<Request> = keys
+        .iter()
+        .map(|&k| Request::PushMany { lr: 1.0, keys: vec![k], grads: vec![1.0, 0.0] })
+        .collect();
+    let resps = c.call_many(reqs).unwrap();
+    assert_eq!(resps.len(), keys.len());
+    assert_eq!(metrics.counter("rpc_faults_disconnects_total").get(), 1);
+    assert_eq!(ps.traffic().snapshot().1, keys.len() as u64, "every push applied exactly once");
+    assert_eq!(metrics.counter("rpc_push_applied_total").get(), keys.len() as u64);
+    assert_eq!(metrics.counter("rpc_push_deduped_total").get(), 0);
 }
 
 #[test]

@@ -5,14 +5,15 @@
 
 use mamdr_ps::ParamKey;
 use mamdr_rpc::frame::{
-    BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullReq, PullResp, PushReq, PushResp,
-    FRAME_OVERHEAD, MAX_PAYLOAD,
+    BarrierReq, CheckpointReq, Frame, FrameError, OpCode, PullManyReq, PullManyResp, PullReq,
+    PullResp, PushManyReq, PushReq, PushResp, FRAME_OVERHEAD, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 
 fn opcode_from(byte: u8) -> OpCode {
-    // Map an arbitrary byte onto the valid op-code range.
-    OpCode::from_byte(1 + byte % 11).expect("in range")
+    // Map an arbitrary byte onto the valid op-code range (the table has
+    // 15 entries at bytes 1..=15).
+    OpCode::from_byte(1 + byte % OpCode::ALL.len() as u8).expect("in range")
 }
 
 proptest! {
@@ -72,6 +73,9 @@ proptest! {
         let _ = PushResp::decode(&junk);
         let _ = BarrierReq::decode(&junk);
         let _ = CheckpointReq::decode(&junk);
+        let _ = PullManyReq::decode(&junk);
+        let _ = PullManyResp::decode(&junk);
+        let _ = PushManyReq::decode(&junk);
     }
 
     #[test]
@@ -109,6 +113,93 @@ proptest! {
         prop_assert_eq!(PushReq::decode(&push.encode()).unwrap(), push);
         let bar = BarrierReq { client_id: client, round: version, expected: table };
         prop_assert_eq!(BarrierReq::decode(&bar.encode()).unwrap(), bar);
+    }
+
+    #[test]
+    fn multi_row_payloads_roundtrip(
+        rows in proptest::collection::vec((0u32..16, 0u32..u32::MAX), 1..64),
+        dim in 1usize..8,
+        client in 0u32..64,
+        lr in -10.0f32..10.0,
+        seed in -1e30f32..1e30,
+    ) {
+        let keys: Vec<ParamKey> = rows.iter().map(|&(t, r)| ParamKey::new(t, r)).collect();
+        let pull = PullManyReq { keys: keys.clone() };
+        prop_assert_eq!(PullManyReq::decode(&pull.encode()).unwrap(), pull);
+
+        let versions: Vec<u64> = (0..keys.len() as u64).collect();
+        let values: Vec<f32> = (0..keys.len() * dim).map(|i| seed + i as f32).collect();
+        let resp = PullManyResp { versions: versions.clone(), values: values.clone() };
+        prop_assert_eq!(PullManyResp::decode(&resp.encode()).unwrap(), resp);
+        // The version-only probe shape: rows without value bytes.
+        let probe = PullManyResp { versions, values: Vec::new() };
+        prop_assert_eq!(PullManyResp::decode(&probe.encode()).unwrap(), probe);
+
+        let push = PushManyReq { client_id: client, lr, keys, grads: values };
+        prop_assert_eq!(PushManyReq::decode(&push.encode()).unwrap(), push);
+    }
+
+    #[test]
+    fn forged_multi_row_counts_error_before_allocating(
+        count in 0u32..=u32::MAX,
+        body in proptest::collection::vec(0u8..=255, 0..96),
+    ) {
+        // A forged leading count field: either it happens to describe the
+        // remaining bytes exactly (a valid decode), or the decoder must
+        // reject it from the count alone — it never trusts the count to
+        // size an allocation. u32::MAX keys would claim a 32 GiB vector.
+        let mut bytes = count.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        if count as usize > body.len() / 8 {
+            prop_assert!(PullManyReq::decode(&bytes).is_err());
+            prop_assert!(PullManyResp::decode(&bytes).is_err());
+        } else {
+            let _ = PullManyReq::decode(&bytes);
+            let _ = PullManyResp::decode(&bytes);
+        }
+        // PushMany's key count sits after the client id and learning
+        // rate; the same forgery must die the same way.
+        let mut push_bytes = 7u32.to_le_bytes().to_vec();
+        push_bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        push_bytes.extend_from_slice(&bytes);
+        if count as usize > body.len() / 8 {
+            prop_assert!(PushManyReq::decode(&push_bytes).is_err());
+        } else {
+            let _ = PushManyReq::decode(&push_bytes);
+        }
+    }
+
+    #[test]
+    fn truncating_multi_row_payloads_errors(
+        n_keys in 1usize..32,
+        dim in 1usize..6,
+        cut in 1usize..512,
+    ) {
+        let keys: Vec<ParamKey> = (0..n_keys as u32).map(|i| ParamKey::new(i % 4, i)).collect();
+        let grads: Vec<f32> = (0..n_keys * dim).map(|i| i as f32).collect();
+        let push = PushManyReq { client_id: 3, lr: 0.25, keys: keys.clone(), grads };
+        let bytes = push.encode();
+        let cut = 1 + cut % (bytes.len() - 1);
+        prop_assert!(PushManyReq::decode(&bytes[..bytes.len() - cut]).is_err());
+
+        let bytes = PullManyReq { keys }.encode();
+        let cut = 1 + cut % (bytes.len() - 1);
+        prop_assert!(PullManyReq::decode(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn oversized_key_batches_cross_the_frame_cap_as_errors(
+        extra in 1usize..1024,
+    ) {
+        // A key batch just past what MAX_PAYLOAD can carry: encoding it
+        // into a frame must surface `TooLarge` from the cap check, never
+        // attempt the oversized wire write.
+        let n = MAX_PAYLOAD as usize / 8 + extra;
+        let keys: Vec<ParamKey> = (0..n as u32).map(|i| ParamKey::new(0, i)).collect();
+        let payload = PullManyReq { keys }.encode();
+        prop_assert!(payload.len() as u32 > MAX_PAYLOAD);
+        let frame = Frame::new(OpCode::PullMany, 1, payload);
+        prop_assert!(matches!(frame.encode(&mut Vec::new()), Err(FrameError::TooLarge(_))));
     }
 
     #[test]

@@ -82,9 +82,11 @@ fn faulted_training_completes_with_zero_lost_or_double_applied_updates() {
     let local = local_trainer.train(&ds);
 
     // Drops, delays, duplicates, and a mid-round disconnect on every
-    // client's fourth attempt.
+    // client's fourth attempt. The batched protocol sends two orders of
+    // magnitude fewer frames than single-row v1, so the per-frame
+    // probabilities are higher to keep every fault class represented.
     let plan = FaultPlan::parse(
-        "seed=11,drop_send=0.02,drop_recv=0.02,delay=0.05:100,dup=0.03,disconnect=3",
+        "seed=11,drop_send=0.05,drop_recv=0.1,delay=0.05:100,dup=0.4,disconnect=3",
     )
     .unwrap();
     let metrics = Arc::new(MetricsRegistry::new());
