@@ -50,6 +50,16 @@ pub struct BenchArgs {
     /// retry policy's default). Depth 1 serializes requests; results are
     /// bit-identical at any depth.
     pub pipeline_depth: usize,
+    /// Parameter-server shard count for the distributed binaries. `1`
+    /// (the default) runs the classic single-server loopback; higher
+    /// values split the key space across that many servers by consistent
+    /// hash. Results are bit-identical at any shard count.
+    pub shards: usize,
+    /// Dataset preset for the distributed binaries (`None` keeps the
+    /// binary's default). `industry` is the 64-domain learning-dynamics
+    /// simulation; `longtail` is the 2048-domain Zipf key-space stress
+    /// preset for sharding runs.
+    pub preset: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -70,6 +80,8 @@ impl Default for BenchArgs {
             phase_summary: false,
             introspect_addr: None,
             pipeline_depth: 0,
+            shards: 1,
+            preset: None,
         }
     }
 }
@@ -128,9 +140,11 @@ impl BenchArgs {
                 "--pipeline-depth" => {
                     out.pipeline_depth = num("--pipeline-depth", take("--pipeline-depth")) as usize;
                 }
+                "--shards" => out.shards = num("--shards", take("--shards")) as usize,
+                "--preset" => out.preset = Some(take("--preset")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n> --shards <n> --preset <industry|longtail>"
                     );
                     std::process::exit(2);
                 }
@@ -211,6 +225,40 @@ impl BenchArgs {
                 self.pipeline_depth
             ));
         }
+        if self.shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(format!(
+                "--shards {} exceeds the supported maximum of {MAX_SHARDS}",
+                self.shards
+            ));
+        }
+        if let Some(p) = &self.preset {
+            if !matches!(p.as_str(), "industry" | "longtail") {
+                return Err(format!("--preset {p} is unknown (expected industry or longtail)"));
+            }
+        }
+        // A multi-shard resume restores from a shard manifest, never from
+        // the legacy single-server journal — catch a directory that cannot
+        // possibly satisfy it before any training starts.
+        if self.shards > 1 {
+            if let Some(dir) = &self.resume {
+                let has_manifest = std::fs::read_dir(dir)
+                    .ok()
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .any(|e| e.path().extension().is_some_and(|x| x == "mamdrmf"));
+                if !has_manifest {
+                    return Err(format!(
+                        "--resume {dir} holds no shard manifest (*.mamdrmf); \
+                         a {}-shard resume needs a committed manifest",
+                        self.shards
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -248,6 +296,11 @@ pub const MAX_THREADS: usize = 1024;
 /// Upper bound [`BenchArgs::validate`] accepts for `--pipeline-depth`;
 /// a deeper window than this buys nothing and risks absurd batching.
 pub const MAX_PIPELINE_DEPTH: usize = 4096;
+
+/// Upper bound [`BenchArgs::validate`] accepts for `--shards`; one
+/// loopback process cannot usefully host more servers than this, and the
+/// manifest format itself caps a deployment at 4096 shards.
+pub const MAX_SHARDS: usize = 64;
 
 /// `--quick` caps per-binary default epochs at this many.
 pub const QUICK_EPOCH_CAP: usize = 3;
@@ -393,6 +446,59 @@ mod tests {
         assert!(parse(&["--pipeline-depth", "1"]).validate().is_ok());
         let err = parse(&["--pipeline-depth", "100000"]).validate().unwrap_err();
         assert!(err.contains("--pipeline-depth"), "{err}");
+    }
+
+    #[test]
+    fn shards_parse_and_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.shards, 1);
+        assert!(a.validate().is_ok());
+        let a = parse(&["--shards", "4"]);
+        assert_eq!(a.shards, 4);
+        assert!(a.validate().is_ok());
+        assert!(parse(&["--shards", "64"]).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_shards_are_rejected() {
+        let err = parse(&["--shards", "0"]).validate().unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn absurd_shard_counts_are_rejected() {
+        let err = parse(&["--shards", "65"]).validate().unwrap_err();
+        assert!(err.contains("maximum"), "{err}");
+    }
+
+    #[test]
+    fn unknown_presets_are_rejected() {
+        assert!(parse(&["--preset", "industry"]).validate().is_ok());
+        assert!(parse(&["--preset", "longtail"]).validate().is_ok());
+        let err = parse(&["--preset", "banana"]).validate().unwrap_err();
+        assert!(err.contains("--preset"), "{err}");
+    }
+
+    #[test]
+    fn sharded_resume_demands_a_committed_manifest() {
+        let dir = std::env::temp_dir().join(format!("mamdr-args-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap();
+
+        // A single-server resume from a journal-only directory is still
+        // allowed; the trainer itself validates the journal.
+        assert!(parse(&["--resume", dir_s]).validate().is_ok());
+
+        // A multi-shard resume from a directory with no manifest cannot
+        // work and is rejected up front...
+        let err = parse(&["--shards", "2", "--resume", dir_s]).validate().unwrap_err();
+        assert!(err.contains("manifest"), "{err}");
+
+        // ...and passes once a committed manifest exists.
+        std::fs::write(dir.join("manifest-0000000001.mamdrmf"), b"x").unwrap();
+        assert!(parse(&["--shards", "2", "--resume", dir_s]).validate().is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,9 +17,19 @@
 //!
 //! Knobs: `--workers` sets the client count (default 2), `--fault-plan`
 //! injects seeded drops/delays/duplicates/disconnects plus scheduled
-//! worker kills/hangs/poisons (default: perfect network), `--scale`
-//! multiplies the dataset size, and `--threads`, `--epochs`, `--seed`,
-//! `--quick` behave as everywhere else.
+//! worker kills/hangs/poisons and shard kills (default: perfect
+//! network), `--scale` multiplies the dataset size, and `--threads`,
+//! `--epochs`, `--seed`, `--quick` behave as everywhere else.
+//!
+//! Sharding: `--shards N` splits the key space across N loopback servers
+//! by consistent hash — the run must stay bit-identical to the
+//! single-store in-process ground truth at any N. `--preset longtail`
+//! swaps the 64-domain industry simulation for the 2048-domain Zipf
+//! stress preset whose key space gives a shard fleet real routing work;
+//! the summary adds a `rounds_per_s` line so shard scaling is one grep
+//! away. With a checkpoint directory the final merged parameters are
+//! also written to `<dir>/final-state.mamdrps`, byte-comparable across
+//! shard counts.
 //!
 //! Tracing: `--trace-out <path>` records the loopback run's span tree
 //! (rounds, per-worker pull/compute, RPC attempts, server-side applies)
@@ -49,11 +59,22 @@ fn main() {
     let args = BenchArgs::from_env();
     let telemetry = BenchTelemetry::from_args(&args);
     let scale = if args.quick { args.scale * QUICK_SCALE_FACTOR } else { args.scale };
-    let n_domains = ((12.0 * scale).round() as usize).clamp(4, 64);
-    let per_domain = ((1_200.0 * scale).round() as usize).max(100);
-    let ds = presets::industry(n_domains, per_domain, args.seed);
+    let preset = args.preset.as_deref().unwrap_or("industry");
+    let ds = match preset {
+        "longtail" => {
+            // Domain count stays fixed (the preset's point is key-space
+            // pressure); --scale moves the Zipf head instead.
+            let head = ((400.0 * scale).round() as usize).max(50);
+            presets::longtail(2_048, head, args.seed)
+        }
+        _ => {
+            let n_domains = ((12.0 * scale).round() as usize).clamp(4, 64);
+            let per_domain = ((1_200.0 * scale).round() as usize).max(100);
+            presets::industry(n_domains, per_domain, args.seed)
+        }
+    };
     eprintln!(
-        "[dist_bench] industry simulation: {} domains, {} train interactions",
+        "[dist_bench] {preset} simulation: {} domains, {} train interactions",
         ds.n_domains(),
         ds.domains.iter().map(|d| d.train.len()).sum::<usize>()
     );
@@ -64,6 +85,7 @@ fn main() {
         sync_rounds: true,
         seed: args.seed,
         kernel_threads: args.threads,
+        route_shards: args.shards,
         ..Default::default()
     };
     let plan = args
@@ -81,8 +103,9 @@ fn main() {
     let checkpoint_dir: Option<PathBuf> =
         args.resume.as_deref().or(args.checkpoint_dir.as_deref()).map(PathBuf::from);
     eprintln!(
-        "[dist_bench] loopback TCP run ({} workers, faults: {}, journal every {} rounds{}) ...",
+        "[dist_bench] loopback TCP run ({} workers, {} shards, faults: {}, journal every {} rounds{}) ...",
         cfg.n_workers,
+        args.shards,
         args.fault_plan.as_deref().unwrap_or("none"),
         args.checkpoint_every,
         if resuming { ", resuming" } else { "" },
@@ -97,7 +120,8 @@ fn main() {
     let loopback = LoopbackConfig {
         fault: plan,
         retry,
-        checkpoint_dir,
+        shards: args.shards,
+        checkpoint_dir: checkpoint_dir.clone(),
         checkpoint_every: args.checkpoint_every,
         resume: resuming,
         tracer: telemetry.tracer(),
@@ -109,15 +133,34 @@ fn main() {
             eprintln!("[dist_bench] FAILED to start the loopback trainer: {e}");
             std::process::exit(1);
         });
+    let start_epoch = net_trainer.start_epoch();
     if resuming {
-        eprintln!("[dist_bench] resumed at round {}", net_trainer.start_epoch());
+        eprintln!("[dist_bench] resumed at round {start_epoch}");
     }
     let remote = net_trainer.train(&ds).unwrap_or_else(|e| {
         eprintln!("[dist_bench] FAILED: distributed run did not complete: {e}");
         std::process::exit(1);
     });
     let remote_secs = t0.elapsed().as_secs_f64();
-    let store_pushes = net_trainer.store().traffic().snapshot().1;
+    // At one shard the driver's store IS the deployment; at N the report
+    // already sums every shard's traffic counters.
+    let store_pushes =
+        if args.shards == 1 { net_trainer.store().traffic().snapshot().1 } else { remote.pushes };
+    // The merged final state, byte-comparable across shard counts: the
+    // CI shard-smoke job diffs this file between a 1-shard and a killed-
+    // and-recovered 4-shard run.
+    if let Some(dir) = &checkpoint_dir {
+        let path = dir.join("final-state.mamdrps");
+        let mut buf = Vec::new();
+        let written = mamdr_ps::checkpoint::save(&net_trainer.merged_store(), cfg.dim, &mut buf)
+            .map_err(|e| format!("{e}"))
+            .and_then(|()| std::fs::write(&path, &buf).map_err(|e| format!("{e}")));
+        if let Err(e) = written {
+            eprintln!("[dist_bench] FAILED to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[dist_bench] merged final state -> {}", path.display());
+    }
     net_trainer.shutdown();
 
     let reg = telemetry.registry();
@@ -129,15 +172,21 @@ fn main() {
     let duplicated = reg.counter("rpc_faults_duplicated_total").get();
     let disconnects = reg.counter("rpc_faults_disconnects_total").get();
 
+    let shard_kills = reg.counter("rpc_faults_shard_kills_total").get();
+    let shard_restarts = reg.counter("rpc_shard_restarts_total").get();
+    let rounds_run = cfg.epochs.saturating_sub(start_epoch);
+
     println!(
-        "dist_bench: {} workers, {} rounds, {} domains, threads={}",
+        "dist_bench: {} workers, {} rounds, {} shards, {} domains, threads={}",
         cfg.n_workers,
         cfg.epochs,
+        args.shards,
         ds.n_domains(),
         args.threads
     );
     println!("  in_process   {local_secs:.3} s");
     println!("  loopback     {remote_secs:.3} s  ({:.2}x)", remote_secs / local_secs.max(1e-9));
+    println!("  rounds_per_s {:.3}", rounds_run as f64 / remote_secs.max(1e-9));
     println!("  test_auc     {:.6}", remote.mean_auc);
     println!("  pulls        {}", remote.pulls);
     println!("  pushes       {}", remote.pushes);
@@ -146,6 +195,16 @@ fn main() {
     println!("  retries      {retries}");
     println!("  applied      {applied}  deduped {deduped}");
     println!("  faults       dropped={dropped} duplicated={duplicated} disconnects={disconnects}");
+    println!("  shards       rpc_faults_shard_kills_total={shard_kills} rpc_shard_restarts_total={shard_restarts}");
+    if args.phase_summary && args.shards > 1 {
+        println!("  per-shard occupancy and wire traffic:");
+        for s in 0..args.shards {
+            let entries = reg.gauge(&format!("ps_kv_entries{{shard=\"{s}\"}}")).get();
+            let bytes = reg.gauge(&format!("ps_kv_bytes{{shard=\"{s}\"}}")).get();
+            let shard_frames = reg.counter(&format!("rpc_frames_total{{shard=\"{s}\"}}")).get();
+            println!("    shard {s}: entries={entries:.0} bytes={bytes:.0} frames={shard_frames}");
+        }
+    }
 
     if let Some(tracer) = telemetry.tracer() {
         // Wire overhead = serialization + checksum on both directions;
@@ -192,6 +251,7 @@ fn main() {
             &[
                 ("workers", Value::from(cfg.n_workers as u64)),
                 ("rounds", Value::from(cfg.epochs as u64)),
+                ("shards", Value::from(args.shards as u64)),
                 ("fault_plan", Value::from(args.fault_plan.as_deref().unwrap_or("none"))),
                 ("in_process_secs", Value::from(local_secs)),
                 ("loopback_secs", Value::from(remote_secs)),

@@ -175,6 +175,36 @@ pub fn industry(n_domains: usize, head_samples: usize, seed: u64) -> MdrDataset 
     cfg.generate()
 }
 
+/// The sharding stress preset: thousands of Zipf-sized domains, most of
+/// them a handful of samples, standing in for the paper's production
+/// deployment (69k domains served by a sharded PS across 440 machines).
+/// Unlike [`industry`] — which models the *learning* dynamics of a long
+/// tail — this preset maximizes *key-space* pressure: every domain adds a
+/// bias row and its own slice of users/items, so a `longtail(2048, ..)`
+/// run touches tens of thousands of parameter rows and gives a sharded
+/// server fleet real routing work. Sizes decay as `1/rank^1.05` from
+/// `head_samples` with a floor of 4 (one train/val/test sample each).
+pub fn longtail(n_domains: usize, head_samples: usize, seed: u64) -> MdrDataset {
+    assert!(n_domains >= 2_000, "longtail is the many-domain preset: need >= 2000 domains");
+    let mut cfg = GeneratorConfig::base("longtail-sim", 20_000, 8_000, seed);
+    cfg.conflict = 0.4;
+    cfg.dense_dim = 8;
+    cfg.n_user_groups = 16;
+    cfg.n_item_cats = 32;
+    cfg.domains = (0..n_domains)
+        .map(|i| {
+            let n = ((head_samples as f64) / ((i + 1) as f64).powf(1.05)).round() as usize;
+            let ctr = 0.2 + 0.3 * ((i * 7 % 10) as f32 / 10.0);
+            let mut spec = DomainSpec::new(format!("tail-D{}", i + 1), n.max(4), ctr);
+            // Deep-tail domains are tiny niches: a few users, a few items.
+            spec.user_frac = (0.5 / ((i + 1) as f64).powf(0.3)).max(0.001);
+            spec.item_frac = (0.4 / ((i + 1) as f64).powf(0.3)).max(0.001);
+            spec
+        })
+        .collect();
+    cfg.generate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +259,29 @@ mod tests {
         let first = ds.domains[0].len();
         let last = ds.domains[15].len();
         assert!(first > 4 * last, "head {} should dwarf tail {}", first, last);
+    }
+
+    #[test]
+    fn longtail_is_zipf_with_a_deep_tail() {
+        let ds = longtail(2_000, 400, 5);
+        assert_eq!(ds.n_domains(), 2_000);
+        assert_eq!(ds.name, "longtail-sim");
+        // Zipf head dwarfs the tail, and the deep tail sits at the floor
+        // (4 samples: one val and one test each, the rest train).
+        assert_eq!(ds.domains[0].len(), 400);
+        assert!(ds.domains.iter().rev().take(100).all(|d| d.len() == 4));
+        for d in &ds.domains {
+            assert!(!d.split(Split::Test).is_empty(), "{} has no test split", d.name);
+        }
+        // Same seed, same bytes.
+        let again = longtail(2_000, 400, 5);
+        assert_eq!(ds.domains[1999].train, again.domains[1999].train);
+    }
+
+    #[test]
+    #[should_panic(expected = "many-domain preset")]
+    fn longtail_rejects_small_domain_counts() {
+        longtail(64, 400, 1);
     }
 
     #[test]

@@ -125,15 +125,32 @@ impl MetricsRegistry {
     /// a `# HELP` + `# TYPE` header per family, histograms rendered
     /// summary-style (`quantile`-labelled sample lines plus `_sum` /
     /// `_count`), so the output is scrapeable as-is.
+    ///
+    /// A labelled series like `ps_kv_entries{shard="2"}` belongs to the
+    /// `ps_kv_entries` family: the header is emitted once per family, not
+    /// per series. Name-sorted iteration keeps a family's members adjacent
+    /// (`{` sorts after every identifier character), so one pass with a
+    /// last-family cursor suffices.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = String::new();
+        let header = |out: &mut String, last: &mut String, name: &str, kind: &str| {
+            let family = name.split('{').next().unwrap_or(name);
+            if family != last {
+                out.push_str(&self.help_line(family, kind));
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+                last.clear();
+                last.push_str(family);
+            }
+        };
         for (name, v) in self.counter_values() {
-            out.push_str(&self.help_line(&name, "counter"));
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            header(&mut out, &mut last_family, &name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
         }
+        last_family.clear();
         for (name, v) in self.gauge_values() {
-            out.push_str(&self.help_line(&name, "gauge"));
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(v)));
+            header(&mut out, &mut last_family, &name, "gauge");
+            out.push_str(&format!("{name} {}\n", fmt_f64(v)));
         }
         for (name, s) in self.histogram_values() {
             out.push_str(&self.help_line(&name, "summary"));
@@ -293,6 +310,33 @@ mod tests {
         let types = text.matches("# TYPE ").count();
         assert_eq!(helps, 3, "{text}");
         assert_eq!(types, 3, "{text}");
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_labelled_series_into_families() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ps_kv_entries").set(10.0);
+        reg.gauge("ps_kv_entries{shard=\"0\"}").set(4.0);
+        reg.gauge("ps_kv_entries{shard=\"1\"}").set(6.0);
+        reg.describe("ps_kv_entries", "Rows resident in the KV store.");
+        reg.counter("rpc_frames_total{shard=\"0\"}").add(7);
+        let text = reg.render_prometheus();
+        // One header pair for the three-gauge family, above its samples.
+        assert_eq!(text.matches("# HELP ps_kv_entries ").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE ps_kv_entries gauge\n").count(), 1, "{text}");
+        assert!(text.contains("# HELP ps_kv_entries Rows resident in the KV store.\n"), "{text}");
+        assert!(text.contains("ps_kv_entries 10\n"), "{text}");
+        assert!(text.contains("ps_kv_entries{shard=\"0\"} 4\n"), "{text}");
+        assert!(text.contains("ps_kv_entries{shard=\"1\"} 6\n"), "{text}");
+        let family_at = text.find("# TYPE ps_kv_entries gauge").unwrap();
+        for sample in ["ps_kv_entries 10", "ps_kv_entries{shard=\"0\"}"] {
+            assert!(text.find(sample).unwrap() > family_at, "{text}");
+        }
+        // A family whose only series is labelled still gets headers named
+        // after the family, not the series.
+        assert!(text.contains("# TYPE rpc_frames_total counter\n"), "{text}");
+        assert!(text.contains("rpc_frames_total{shard=\"0\"} 7\n"), "{text}");
+        assert!(!text.contains("# TYPE rpc_frames_total{"), "{text}");
     }
 
     #[test]

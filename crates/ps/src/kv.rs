@@ -3,7 +3,7 @@
 use mamdr_obs::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Addresses one parameter row: an embedding table id plus a row index.
 ///
@@ -103,6 +103,16 @@ impl TrafficStats {
             self.bytes_pushed.load(Ordering::Relaxed),
         )
     }
+
+    /// Overwrites the counters with a [`TrafficStats::snapshot`] — the
+    /// recovery path: a shard store rebuilt from its committed journal
+    /// resumes the traffic figures the dead store had at that boundary.
+    pub fn restore(&self, snap: (u64, u64, u64, u64)) {
+        self.pulls.store(snap.0, Ordering::Relaxed);
+        self.pushes.store(snap.1, Ordering::Relaxed);
+        self.bytes_pulled.store(snap.2, Ordering::Relaxed);
+        self.bytes_pushed.store(snap.3, Ordering::Relaxed);
+    }
 }
 
 /// A sharded in-memory parameter server.
@@ -119,6 +129,10 @@ pub struct ParameterServer {
     versions: Vec<RwLock<HashMap<ParamKey, u64>>>,
     traffic: TrafficStats,
     dim_bytes: usize,
+    /// Number of *server* shards pull batches are modeled as routed over
+    /// (see [`ParameterServer::set_route_shards`]); 1 = the single-server
+    /// wire, today's default.
+    route_shards: AtomicUsize,
 }
 
 impl ParameterServer {
@@ -132,7 +146,19 @@ impl ParameterServer {
             versions: (0..n_shards).map(|_| RwLock::new(HashMap::new())).collect(),
             traffic: TrafficStats::default(),
             dim_bytes: value_dim * std::mem::size_of::<f32>(),
+            route_shards: AtomicUsize::new(1),
         }
+    }
+
+    /// Models this store's pull accounting as if key batches were routed
+    /// over `n` server shards: [`ParameterServer::pull_batch`] then counts
+    /// one RPC per [`WIRE_BATCH_KEYS`] chunk *per owning shard* (the
+    /// frames a sharded client spends on the same key set). The default of
+    /// 1 is exactly the single-server `div_ceil` accounting. Byte counters
+    /// are unaffected — bytes are per-key on any route.
+    pub fn set_route_shards(&self, n: usize) {
+        assert!(n >= 1, "a route needs at least one shard");
+        self.route_shards.store(n, Ordering::Relaxed);
     }
 
     /// The per-row vector width this server was built for.
@@ -177,7 +203,7 @@ impl ParameterServer {
         if keys.is_empty() {
             return Vec::new();
         }
-        let chunks = keys.len().div_ceil(WIRE_BATCH_KEYS) as u64;
+        let chunks = crate::shard::route_chunks(keys, self.route_shards.load(Ordering::Relaxed));
         self.traffic.pulls.fetch_add(chunks, Ordering::Relaxed);
         self.traffic
             .bytes_pulled
@@ -273,6 +299,18 @@ impl ParameterServer {
     pub fn export_kv_gauges(&self, registry: &MetricsRegistry) {
         registry.gauge("ps_kv_entries").set(self.n_rows() as f64);
         registry.gauge("ps_kv_bytes").set(self.resident_bytes() as f64);
+    }
+
+    /// Publishes store occupancy labeled by server shard, e.g.
+    /// `ps_kv_entries{shard="2"}`. The unlabeled family totals are the
+    /// caller's job (sum the shards and call
+    /// [`ParameterServer::export_kv_gauges`] on the merged store, or set
+    /// the gauges directly) — this only writes the per-shard series.
+    pub fn export_kv_gauges_for_shard(&self, registry: &MetricsRegistry, shard: usize) {
+        registry.gauge(&format!("ps_kv_entries{{shard=\"{shard}\"}}")).set(self.n_rows() as f64);
+        registry
+            .gauge(&format!("ps_kv_bytes{{shard=\"{shard}\"}}"))
+            .set(self.resident_bytes() as f64);
     }
 
     fn bump_version(&self, key: ParamKey) {

@@ -41,12 +41,17 @@ pub mod guard;
 pub mod journal;
 pub mod kv;
 pub mod model;
+pub mod shard;
 pub mod trainer;
 
 pub use cache::{CacheStats, StalenessStats, WorkerCache};
 pub use guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
 pub use journal::{latest_journal, JournalError, RoundJournal};
 pub use kv::{ParamKey, ParameterServer, RowSource, TimedRowSource, TrafficStats, WIRE_BATCH_KEYS};
+pub use shard::{
+    latest_manifest, load_manifest_state, merge_stores, route_chunks, shard_dir, ManifestError,
+    ManifestState, ShardFiles, ShardManifest, ShardMap, MANIFEST_EXT,
+};
 pub use trainer::{
     evaluate_server, partition_domains, partition_keys, run_cached_round, seed_server,
     worker_round_seed, CachedRoundOutput, DistributedConfig, DistributedMamdr, DistributedReport,

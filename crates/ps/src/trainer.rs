@@ -6,6 +6,7 @@ use crate::cache::{CacheStats, StalenessStats, WorkerCache};
 use crate::guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
 use crate::kv::{ParamKey, ParameterServer, RowSource, TimedRowSource};
 use crate::model::{error_signal, log_loss, score, tables, ExampleKeys};
+use crate::shard::ShardMap;
 use mamdr_core::metrics::auc;
 use mamdr_data::{MdrDataset, Split};
 use mamdr_obs::{MetricsRegistry, SpanContext, Tracer};
@@ -63,6 +64,12 @@ pub struct DistributedConfig {
     /// default; only consulted when [`DistributedConfig::sync_rounds`] is
     /// set, because only then does the driver see every update).
     pub guard: GuardConfig,
+    /// Number of *cross-server* shards the pull accounting should model
+    /// (see [`ParameterServer::set_route_shards`]). `1` (the default)
+    /// keeps the classic single-server chunk arithmetic; a sharded
+    /// loopback deployment with N servers matches an in-process run
+    /// configured with `route_shards: N` on every report field.
+    pub route_shards: usize,
 }
 
 impl Default for DistributedConfig {
@@ -79,6 +86,7 @@ impl Default for DistributedConfig {
             seed: 1,
             kernel_threads: 0,
             guard: GuardConfig::default(),
+            route_shards: 1,
         }
     }
 }
@@ -192,11 +200,30 @@ pub fn worker_round_seed(seed: u64, epoch: usize, worker: usize) -> u64 {
 /// [`DistributedMamdr::new`] so a networked server can be populated
 /// identically to the in-process one.
 pub fn seed_server(ps: &ParameterServer, ds: &MdrDataset, dim: usize, seed: u64) {
+    seed_sharded_servers(&[ps], &ShardMap::new(1), ds, dim, seed);
+}
+
+/// Seeds the same rows as [`seed_server`] — same RNG, same draw order —
+/// but routes each row to the store owning it under `map`, so a fleet of
+/// shard servers jointly holds exactly the state one server would.
+///
+/// # Panics
+///
+/// Panics when `stores.len()` disagrees with the map's shard count.
+pub fn seed_sharded_servers(
+    stores: &[&ParameterServer],
+    map: &ShardMap,
+    ds: &MdrDataset,
+    dim: usize,
+    seed: u64,
+) {
+    assert_eq!(stores.len(), map.n_shards(), "one store per shard");
     let mut rng = seeded(derive_seed(seed, 0xF5));
     let mut seed_table = |table: u32, rows: usize| {
         for r in 0..rows {
             let v: Vec<f32> = (0..dim).map(|_| 0.05 * normal(&mut rng)).collect();
-            ps.init_row(ParamKey::new(table, r as u32), v);
+            let key = ParamKey::new(table, r as u32);
+            stores[map.owner(key)].init_row(key, v);
         }
     };
     seed_table(tables::USER, ds.n_users);
@@ -260,6 +287,7 @@ impl DistributedMamdr {
     /// touch (`N(0, 0.05)`, deterministic in the config seed).
     pub fn new(ds: &MdrDataset, cfg: DistributedConfig) -> Self {
         let ps = ParameterServer::new(cfg.n_shards, cfg.dim);
+        ps.set_route_shards(cfg.route_shards.max(1));
         seed_server(&ps, ds, cfg.dim, cfg.seed);
         DistributedMamdr { ps, cfg, tracer: None }
     }

@@ -22,7 +22,7 @@ use crate::frame::{
     PullReq, PullResp, PushManyReq, PushReq, PushResp, TraceContext, FLAG_VERSION_ONLY,
 };
 use mamdr_obs::{MetricsRegistry, SpanContext, SpanGuard, Tracer};
-use mamdr_ps::{ParamKey, RowSource, WIRE_BATCH_KEYS};
+use mamdr_ps::{ParamKey, RowSource, ShardMap, WIRE_BATCH_KEYS};
 use mamdr_tensor::rng::{derive_seed, seeded};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -1093,5 +1093,210 @@ impl RowSource for RpcRowSource {
                 vec![0; keys.len()]
             }
         }
+    }
+}
+
+/// Builds one request per [`WIRE_BATCH_KEYS`] chunk of a shard's sub-batch
+/// (`idxs` indexes into the caller's key slice, input order preserved).
+fn shard_requests<F>(idxs: &[usize], keys: &[ParamKey], make_req: &F) -> Vec<Request>
+where
+    F: Fn(Vec<ParamKey>) -> Request,
+{
+    idxs.chunks(WIRE_BATCH_KEYS)
+        .map(|chunk| make_req(chunk.iter().map(|&i| keys[i]).collect()))
+        .collect()
+}
+
+/// Issues one pipelined [`WorkerClient::call_many`] per non-empty shard and
+/// returns the per-shard results (`None` for shards the batch never
+/// touches). A single live shard is called inline on the caller's thread —
+/// byte-for-byte the traffic a plain [`RpcRowSource`] would produce — while
+/// two or more live shards run concurrently on scoped threads, one per
+/// shard. Concurrency cannot perturb determinism: each client owns its
+/// socket, sequence space, and fault RNG, so nothing is shared across
+/// threads.
+fn call_shards<F>(
+    clients: &mut [WorkerClient],
+    parts: &[Vec<usize>],
+    keys: &[ParamKey],
+    make_req: F,
+) -> Vec<Option<Result<Vec<Response>, RpcError>>>
+where
+    F: Fn(Vec<ParamKey>) -> Request + Sync,
+{
+    let mut results: Vec<Option<Result<Vec<Response>, RpcError>>> =
+        (0..parts.len()).map(|_| None).collect();
+    let live = parts.iter().filter(|p| !p.is_empty()).count();
+    if live <= 1 {
+        if let Some((s, idxs)) = parts.iter().enumerate().find(|(_, p)| !p.is_empty()) {
+            let reqs = shard_requests(idxs, keys, &make_req);
+            results[s] = Some(clients[s].call_many(reqs));
+        }
+        return results;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .filter(|(s, _)| !parts[*s].is_empty())
+            .map(|(s, client)| {
+                let reqs = shard_requests(&parts[s], keys, &make_req);
+                scope.spawn(move || (s, client.call_many(reqs)))
+            })
+            .collect();
+        for h in handles {
+            let (s, r) = h.join().expect("shard rpc thread never panics");
+            results[s] = Some(r);
+        }
+    });
+    results
+}
+
+/// A [`RowSource`] over a *fleet* of per-shard [`WorkerClient`]s: every
+/// batched read is partitioned by the [`ShardMap`], the per-shard
+/// sub-batches are pulled concurrently (pipelined within each connection,
+/// parallel across shards), and the responses are re-assembled into the
+/// caller's key order. With one shard it degenerates to [`RpcRowSource`]
+/// exactly — same frames, same chunking, no extra threads.
+///
+/// Failure semantics mirror [`RpcRowSource`]: the first error (in shard
+/// order, so the record is deterministic) poisons the source, the whole
+/// read returns zeros, and the worker loop surfaces the failure via
+/// [`ShardedRowSource::take_error`].
+pub struct ShardedRowSource {
+    clients: RefCell<Vec<WorkerClient>>,
+    map: ShardMap,
+    dim: usize,
+    error: RefCell<Option<RpcError>>,
+}
+
+impl ShardedRowSource {
+    /// Wraps one client per shard of `map` (panics on a count mismatch).
+    pub fn new(clients: Vec<WorkerClient>, map: ShardMap, dim: usize) -> Self {
+        assert_eq!(clients.len(), map.n_shards(), "one client per shard");
+        ShardedRowSource { clients: RefCell::new(clients), map, dim, error: RefCell::new(None) }
+    }
+
+    /// Unwraps the per-shard clients (e.g. to run the end-of-round
+    /// barrier, which goes through shard 0 only).
+    pub fn into_clients(self) -> Vec<WorkerClient> {
+        self.clients.into_inner()
+    }
+
+    /// Takes the first RPC failure, if any read failed — same poisoned
+    /// contract as [`RpcRowSource::take_error`].
+    pub fn take_error(&self) -> Option<RpcError> {
+        self.error.borrow_mut().take()
+    }
+
+    fn poisoned(&self) -> bool {
+        self.error.borrow().is_some()
+    }
+
+    fn record(&self, e: RpcError) {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn zero_rows(&self, n: usize) -> Vec<(Vec<f32>, u64)> {
+        (0..n).map(|_| (vec![0.0; self.dim], 0)).collect()
+    }
+}
+
+impl RowSource for ShardedRowSource {
+    fn pull_rows(&self, keys: &[ParamKey]) -> Vec<(Vec<f32>, u64)> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        if self.poisoned() {
+            return self.zero_rows(keys.len());
+        }
+        let parts = self.map.partition_indices(keys);
+        let mut clients = self.clients.borrow_mut();
+        let mut results =
+            call_shards(&mut clients, &parts, keys, |keys| Request::PullMany { keys });
+        let mut out: Vec<(Vec<f32>, u64)> = Vec::new();
+        out.resize_with(keys.len(), || (Vec::new(), 0));
+        let mut failed = false;
+        for (shard, idxs) in parts.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            match results[shard].take().expect("live shard has a result") {
+                Ok(resps) => {
+                    for (chunk, resp) in idxs.chunks(WIRE_BATCH_KEYS).zip(resps) {
+                        let Response::PullMany { versions, values } = resp else {
+                            unreachable!("PullMany answered with a different variant")
+                        };
+                        if values.len() != chunk.len() * self.dim {
+                            self.record(RpcError::Frame(FrameError::Malformed(format!(
+                                "expected {} values for {} rows of width {}, got {}",
+                                chunk.len() * self.dim,
+                                chunk.len(),
+                                self.dim,
+                                values.len()
+                            ))));
+                            failed = true;
+                            break;
+                        }
+                        for ((&i, row), version) in
+                            chunk.iter().zip(values.chunks(self.dim)).zip(versions)
+                        {
+                            out[i] = (row.to_vec(), version);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.record(e);
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return self.zero_rows(keys.len());
+        }
+        out
+    }
+
+    fn versions_of(&self, keys: &[ParamKey]) -> Vec<u64> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        if self.poisoned() {
+            return vec![0; keys.len()];
+        }
+        let parts = self.map.partition_indices(keys);
+        let mut clients = self.clients.borrow_mut();
+        let mut results =
+            call_shards(&mut clients, &parts, keys, |keys| Request::PullVersions { keys });
+        let mut out = vec![0u64; keys.len()];
+        let mut failed = false;
+        for (shard, idxs) in parts.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            match results[shard].take().expect("live shard has a result") {
+                Ok(resps) => {
+                    for (chunk, resp) in idxs.chunks(WIRE_BATCH_KEYS).zip(resps) {
+                        let Response::PullVersions { versions } = resp else {
+                            unreachable!("PullVersions answered with a different variant")
+                        };
+                        for (&i, version) in chunk.iter().zip(versions) {
+                            out[i] = version;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.record(e);
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return vec![0; keys.len()];
+        }
+        out
     }
 }

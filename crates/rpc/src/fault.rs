@@ -51,6 +51,11 @@ pub struct FaultPlan {
     /// NaN after the round — the deterministic trigger for the divergence
     /// guard.
     pub poison: Vec<(u64, u32)>,
+    /// `(round, shard)` pairs at which an entire *server* shard is torn
+    /// down before the round runs: every connection to it dies, the round
+    /// attempt fails, and the supervisor must restart the shard from its
+    /// last committed checkpoint and replay the round.
+    pub kill_shard: Vec<(u64, u32)>,
 }
 
 impl FaultPlan {
@@ -102,6 +107,7 @@ impl FaultPlan {
                         .collect::<Result<_, _>>()?;
                 }
                 "kill" => plan.kill_worker = parse_round_worker("kill", value)?,
+                "kill_shard" => plan.kill_shard = parse_round_worker("kill_shard", value)?,
                 "hang" => plan.hang_worker = parse_round_worker("hang", value)?,
                 "poison" => plan.poison = parse_round_worker("poison", value)?,
                 "hang_micros" => {
@@ -124,6 +130,7 @@ impl FaultPlan {
             && self.kill_worker.is_empty()
             && self.hang_worker.is_empty()
             && self.poison.is_empty()
+            && self.kill_shard.is_empty()
     }
 
     /// True when `worker` is scheduled to crash in `round`. Consulted by
@@ -146,6 +153,14 @@ impl FaultPlan {
     /// *data*, which a re-run reproduces).
     pub fn should_poison(&self, round: u64, worker: u32) -> bool {
         self.poison.contains(&(round, worker))
+    }
+
+    /// The server shards scheduled to die in `round`, in schedule order.
+    /// Like the worker schedules, consulting this consumes no RNG draws,
+    /// and a restarted shard is never re-killed in the replay — recovery
+    /// always terminates.
+    pub fn shards_to_kill(&self, round: u64) -> Vec<u32> {
+        self.kill_shard.iter().filter(|(r, _)| *r == round).map(|&(_, s)| s).collect()
     }
 }
 
@@ -281,6 +296,18 @@ mod tests {
     }
 
     #[test]
+    fn parse_scheduled_shard_kills() {
+        let plan = FaultPlan::parse("kill_shard=1:2+1:0+3:1").unwrap();
+        assert_eq!(plan.kill_shard, vec![(1, 2), (1, 0), (3, 1)]);
+        assert!(!plan.is_noop());
+        assert_eq!(plan.shards_to_kill(1), vec![2, 0]);
+        assert_eq!(plan.shards_to_kill(3), vec![1]);
+        assert!(plan.shards_to_kill(0).is_empty());
+        assert!(FaultPlan::parse("kill_shard=1").is_err());
+        assert!(FaultPlan::parse("kill_shard=x:0").is_err());
+    }
+
+    #[test]
     fn scheduled_faults_do_not_shift_the_wire_fault_stream() {
         // A kill/hang/poison schedule must not perturb the per-attempt RNG
         // draws — CI greps exact wire-fault counters across such runs.
@@ -289,6 +316,7 @@ mod tests {
         with_sched.kill_worker = vec![(1, 0)];
         with_sched.hang_worker = vec![(2, 1)];
         with_sched.poison = vec![(0, 2)];
+        with_sched.kill_shard = vec![(1, 1)];
         let run = |plan: &FaultPlan| -> Vec<FaultDecision> {
             let mut fs = FaultState::new(plan.clone(), 1);
             (0..100).map(|_| fs.decide()).collect()

@@ -46,6 +46,15 @@ struct Inner {
     barrier: Mutex<HashMap<u64, HashSet<u32>>>,
     barrier_cv: Condvar,
     draining: AtomicBool,
+    /// Set by [`PsServer::kill`]: the shard died hard. Barrier waiters
+    /// abort instead of waiting for arrivals that can never come.
+    killed: AtomicBool,
+    /// Every accepted connection's stream, cloned so a kill can tear the
+    /// sockets down under the blocked connection threads.
+    conns: Mutex<Vec<TcpStream>>,
+    /// Server-shard id when this front end is one of several; frames it
+    /// serves are additionally counted as `rpc_frames_total{shard="i"}`.
+    shard_label: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
     /// When present, each traced request's handling is recorded as a span
     /// parented to the client-side logical span carried in the frame's
@@ -72,6 +81,22 @@ impl PsServer {
         checkpoint_dir: Option<PathBuf>,
         tracer: Option<Arc<Tracer>>,
     ) -> std::io::Result<Self> {
+        Self::bind_shard(addr, ps, dim, metrics, checkpoint_dir, tracer, None)
+    }
+
+    /// [`PsServer::bind`] for one shard of a sharded deployment: frames
+    /// this server handles are additionally counted under
+    /// `rpc_frames_total{shard="<label>"}` (the unlabeled total still
+    /// moves, so single-server dashboards and CI pins keep working).
+    pub fn bind_shard(
+        addr: &str,
+        ps: Arc<ParameterServer>,
+        dim: usize,
+        metrics: Arc<MetricsRegistry>,
+        checkpoint_dir: Option<PathBuf>,
+        tracer: Option<Arc<Tracer>>,
+        shard_label: Option<usize>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking so the accept loop can observe the drain flag.
@@ -84,6 +109,9 @@ impl PsServer {
             barrier: Mutex::new(HashMap::new()),
             barrier_cv: Condvar::new(),
             draining: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            shard_label,
             checkpoint_dir,
             tracer,
         });
@@ -96,6 +124,9 @@ impl PsServer {
                 }
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_inner.conns.lock().expect("conn registry lock").push(clone);
+                        }
                         let conn_inner = Arc::clone(&accept_inner);
                         conns.push(std::thread::spawn(move || serve_conn(stream, &conn_inner)));
                     }
@@ -142,6 +173,32 @@ impl PsServer {
     /// dead wire can never wedge [`PsServer::join`].
     pub fn begin_drain(&self) {
         self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Kills the shard *hard*, simulating a server-machine death: every
+    /// open connection's socket is shut down under its thread (in-flight
+    /// requests fail mid-read or mid-write, nothing is drained), barrier
+    /// waiters are woken to abort, the accept loop stops, and the call
+    /// returns once every server thread has exited. Unlike the graceful
+    /// drain there is no goodbye on the wire — clients observe exactly
+    /// what a crashed machine looks like: connection reset.
+    pub fn kill(mut self) {
+        self.inner.killed.store(true, Ordering::SeqCst);
+        self.inner.draining.store(true, Ordering::SeqCst);
+        // Take the barrier lock before notifying: a waiter is either
+        // holding it (it will re-check `killed` before waiting again) or
+        // blocked in `wait` (the notification reaches it) — the flag can
+        // never slip between a waiter's check and its sleep.
+        {
+            let _rounds = self.inner.barrier.lock().expect("barrier lock");
+            self.inner.barrier_cv.notify_all();
+        }
+        for conn in self.inner.conns.lock().expect("conn registry lock").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -207,6 +264,9 @@ fn serve_conn(mut stream: TcpStream, inner: &Inner) {
             m.counter("rpc_trace_bytes_total").add(TRACE_EXT_LEN as u64);
         }
         m.counter("rpc_frames_total").inc();
+        if let Some(shard) = inner.shard_label {
+            m.counter(&format!("rpc_frames_total{{shard=\"{shard}\"}}")).inc();
+        }
         m.counter("rpc_bytes_in_total").add(req.wire_len() as u64);
         let span = match (&inner.tracer, trace_ctx) {
             (Some(t), Some(TraceContext { trace_id, span_id })) => {
@@ -363,6 +423,12 @@ fn handle(req: &Frame, inner: &Inner) -> Frame {
                 rounds.entry(bar.round).or_default().insert(bar.client_id);
                 inner.barrier_cv.notify_all();
                 while rounds.get(&bar.round).map_or(0, HashSet::len) < bar.expected as usize {
+                    if inner.killed.load(Ordering::SeqCst) {
+                        // The shard died under us: the remaining arrivals
+                        // can never come. (The response rarely reaches the
+                        // client — the kill shut the socket down too.)
+                        return error("server shard killed".into());
+                    }
                     rounds = inner.barrier_cv.wait(rounds).expect("barrier wait");
                 }
                 Frame::new(OpCode::BarrierOk, seq, Vec::new())

@@ -1,5 +1,6 @@
-//! Networked MAMDR training against the loopback [`PsServer`], with worker
-//! supervision, crash-resumable rounds, and divergence guardrails.
+//! Networked MAMDR training against one or more loopback [`PsServer`]
+//! shards, with worker supervision, crash-resumable rounds, shard-death
+//! recovery, and divergence guardrails.
 //!
 //! The driver mirrors the in-process synchronous trainer
 //! (`DistributedConfig::sync_rounds`) move for move: identical domain
@@ -12,6 +13,19 @@
 //! traffic counters and report to the in-process trainer; with faults on,
 //! retries and deduplication keep the *parameters* identical while the
 //! `rpc_*` counters record exactly what the fault plan injected.
+//!
+//! ## Sharding
+//!
+//! With [`LoopbackConfig::shards`] above one, the key space is split over
+//! N independent servers by the FNV [`ShardMap`] — the pure hash route
+//! every client computes identically. Reads and writes are partitioned
+//! into per-shard sub-batches that preserve the global order within each
+//! shard; Adagrad updates on distinct keys commute, so applying each
+//! shard's key-sorted sub-sequence yields bit-identical parameters to the
+//! single-server order. Checkpoints and journals are written per shard
+//! (shard-parallel) and committed by a [`ShardManifest`] written last —
+//! the rename is the commit point, and resume re-routes the merged state
+//! through whatever shard count the new run uses.
 //!
 //! ## Supervision
 //!
@@ -29,43 +43,57 @@
 //! [`LoopbackConfig::max_worker_retries`] fails the round with
 //! [`TrainerError::RoundFailed`] instead of looping forever.
 //!
+//! Servers are supervised too: a `kill_shard=round:shard` schedule hard-
+//! kills that shard's server at the top of the round (sockets reset, no
+//! drain — what a dead machine looks like). The doomed round attempt fails
+//! once worker retries exhaust, nothing is applied, and the supervisor
+//! restarts the shard from its last *committed* manifest files — honest
+//! disk-based recovery — then replays the round. Workers are read-only
+//! mid-round and every seed is stateless, so the replay is bit-identical.
+//! Restarts count as `rpc_shard_restarts_total`.
+//!
 //! ## Crash-resumable rounds
 //!
 //! With [`LoopbackConfig::checkpoint_every`] set, the driver writes a
 //! parameter checkpoint plus a [`RoundJournal`] (round index, report
 //! aggregates, and the Adagrad accumulators the checkpoint format omits)
-//! at each boundary. The journal is written *after* the checkpoint and is
-//! the commit point: a torn write is detected by its checksum and resume
-//! falls back to the previous boundary. A restarted driver with
-//! [`LoopbackConfig::resume`] restores the store and re-runs the remaining
-//! rounds; since every RNG stream is derived statelessly from
-//! `(seed, epoch, worker)`, the resumed run's final parameters and report
-//! are bit-identical to an uninterrupted run.
+//! at each boundary. Single-server runs keep the journal itself as the
+//! commit point; sharded runs write one checkpoint + journal per shard in
+//! parallel and commit them all with one digest-carrying manifest. A
+//! restarted driver with [`LoopbackConfig::resume`] restores the store(s)
+//! and re-runs the remaining rounds; since every RNG stream is derived
+//! statelessly from `(seed, epoch, worker)`, the resumed run's final
+//! parameters and report are bit-identical to an uninterrupted run — at
+//! *any* shard count, because resume merges the committed shard files and
+//! re-routes them through the new map.
 //!
 //! ## Divergence guardrails
 //!
 //! When [`mamdr_ps::GuardConfig`] is enabled, every worker-round update is
 //! vetted (in application order) before the driver pushes it: non-finite
 //! or exploding loss / gradient norms are skipped, and after K consecutive
-//! trips the store is rolled back in place to the last clean round
+//! trips the stores are rolled back in place to the last clean round
 //! boundary — values *and* optimizer state.
 
-use crate::client::{Request, RetryPolicy, RpcRowSource, WorkerClient};
+use crate::client::{Request, RetryPolicy, ShardedRowSource, WorkerClient};
 use crate::fault::{FaultPlan, FaultState};
 use crate::server::PsServer;
 use mamdr_data::{MdrDataset, Split};
 use mamdr_obs::{maybe_child, maybe_span, MetricsRegistry, SpanContext, Tracer};
 use mamdr_ps::journal::{latest_journal, RoundJournal};
 use mamdr_ps::trainer::{
-    evaluate_server, partition_domains, run_cached_round, seed_server, worker_round_seed,
+    evaluate_server, partition_domains, run_cached_round, seed_sharded_servers, worker_round_seed,
     CachedRoundOutput,
 };
 use mamdr_ps::{
-    checkpoint, outer_grad_norm, CacheStats, DistributedConfig, DistributedReport, GuardRail,
-    GuardVerdict, ParamKey, ParameterServer, SyncMode, TimedRowSource, WIRE_BATCH_KEYS,
+    checkpoint, latest_manifest, load_manifest_state, merge_stores, outer_grad_norm, shard_dir,
+    CacheStats, DistributedConfig, DistributedReport, GuardRail, GuardVerdict, ParamKey,
+    ParameterServer, ShardFiles, ShardManifest, ShardMap, SyncMode, TimedRowSource,
+    WIRE_BATCH_KEYS,
 };
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::derive_seed;
+use mamdr_util::Checksum;
 use std::net::SocketAddr;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
@@ -200,17 +228,24 @@ pub struct LoopbackConfig {
     /// baseline's per-example round trips are an in-process measurement
     /// tool, not a wire protocol.
     pub train: DistributedConfig,
+    /// Number of independent parameter-server shards the key space is
+    /// split over (consistent FNV routing via [`ShardMap`]). `1` — the
+    /// default — is the classic single-server deployment.
+    pub shards: usize,
     /// Deterministic fault schedule; `None` injects nothing.
     pub fault: Option<FaultPlan>,
     /// Client retry/deadline policy.
     pub retry: RetryPolicy,
     /// Where `Checkpoint` RPCs write snapshots (`None` disables them).
+    /// Sharded runs write per-shard files under `shard-<i>/` plus a
+    /// top-level manifest.
     pub checkpoint_dir: Option<PathBuf>,
     /// Write a checkpoint + round journal every this many rounds
     /// (`0` disables journaling). Requires a checkpoint directory.
     pub checkpoint_every: usize,
-    /// Resume from the newest valid journal in the checkpoint directory
-    /// instead of starting from round 0.
+    /// Resume from the newest valid journal (single-server) or committed
+    /// manifest (sharded) in the checkpoint directory instead of starting
+    /// from round 0.
     pub resume: bool,
     /// How long the supervisor waits without hearing from *any* worker
     /// before presuming the missing ones hung and restarting them.
@@ -226,12 +261,13 @@ pub struct LoopbackConfig {
 }
 
 impl LoopbackConfig {
-    /// A loopback config over training hyper-parameters, no faults, no
-    /// journaling, and a supervision deadline generous enough that only a
-    /// genuinely wedged worker trips it.
+    /// A loopback config over training hyper-parameters, one shard, no
+    /// faults, no journaling, and a supervision deadline generous enough
+    /// that only a genuinely wedged worker trips it.
     pub fn new(train: DistributedConfig) -> Self {
         LoopbackConfig {
             train,
+            shards: 1,
             fault: None,
             retry: RetryPolicy::default(),
             checkpoint_dir: None,
@@ -260,25 +296,33 @@ struct ResumeBase {
 /// guard's rollback target.
 type StoreSnapshot = (Vec<(ParamKey, Vec<f32>)>, Vec<(ParamKey, Vec<f32>)>);
 
-/// The networked PS–worker trainer: a loopback [`PsServer`] plus N worker
-/// threads driving it through [`WorkerClient`]s, under driver-side
-/// supervision.
-pub struct DistributedTrainer {
+/// One server shard's runtime state: its store, its (possibly dead)
+/// server, and the address clients reach it at.
+struct ShardRt {
     ps: Arc<ParameterServer>,
     server: Option<PsServer>,
     addr: SocketAddr,
+}
+
+/// The networked PS–worker trainer: one or more loopback [`PsServer`]
+/// shards plus N worker threads driving them through [`WorkerClient`]s,
+/// under driver-side supervision.
+pub struct DistributedTrainer {
+    shards: Vec<ShardRt>,
+    map: ShardMap,
     cfg: LoopbackConfig,
     metrics: Arc<MetricsRegistry>,
     resume_base: ResumeBase,
 }
 
 impl DistributedTrainer {
-    /// Seeds a fresh store exactly like [`mamdr_ps::DistributedMamdr::new`]
-    /// and starts the loopback server on an ephemeral port. With
-    /// [`LoopbackConfig::resume`], the newest valid journal in the
-    /// checkpoint directory is loaded on top: parameter rows from its
-    /// checkpoint, Adagrad accumulators and report aggregates from the
-    /// journal itself.
+    /// Seeds fresh stores exactly like [`mamdr_ps::DistributedMamdr::new`]
+    /// — one RNG stream, each row routed to its owning shard — and starts
+    /// one loopback server per shard on an ephemeral port. With
+    /// [`LoopbackConfig::resume`], the newest committed state is loaded on
+    /// top: the legacy journal for single-server runs, the newest manifest
+    /// for sharded ones (merged and re-routed, so the shard count may
+    /// differ from the run that wrote it).
     pub fn new(
         ds: &MdrDataset,
         cfg: LoopbackConfig,
@@ -294,41 +338,133 @@ impl DistributedTrainer {
                 "checkpoint_every / resume require a checkpoint directory".into(),
             ));
         }
-        let ps = Arc::new(ParameterServer::new(cfg.train.n_shards, cfg.train.dim));
-        seed_server(&ps, ds, cfg.train.dim, cfg.train.seed);
-        let resume_base = if cfg.resume {
-            match &cfg.checkpoint_dir {
-                Some(dir) => load_resume_state(&ps, dir, &cfg.train)?,
-                None => ResumeBase::default(),
+        let n = cfg.shards;
+        if n == 0 {
+            return Err(TrainerError::Config("a deployment needs at least one shard".into()));
+        }
+        if let Some(plan) = &cfg.fault {
+            if !plan.kill_shard.is_empty() {
+                if n < 2 {
+                    return Err(TrainerError::Config(
+                        "kill_shard requires a sharded deployment (shards >= 2)".into(),
+                    ));
+                }
+                if cfg.checkpoint_every != 1 {
+                    return Err(TrainerError::Config(
+                        "kill_shard recovery requires checkpoint_every = 1 (every round committed)"
+                            .into(),
+                    ));
+                }
+                for &(round, shard) in &plan.kill_shard {
+                    if shard as usize >= n {
+                        return Err(TrainerError::Config(format!(
+                            "kill_shard {round}:{shard} targets a shard >= {n}"
+                        )));
+                    }
+                }
             }
-        } else {
-            ResumeBase::default()
+        }
+        let stores: Vec<Arc<ParameterServer>> = (0..n)
+            .map(|_| Arc::new(ParameterServer::new(cfg.train.n_shards, cfg.train.dim)))
+            .collect();
+        let mut map = ShardMap::new(n);
+        {
+            let refs: Vec<&ParameterServer> = stores.iter().map(|s| s.as_ref()).collect();
+            seed_sharded_servers(&refs, &map, ds, cfg.train.dim, cfg.train.seed);
+        }
+        let resume_base = match (&cfg.checkpoint_dir, cfg.resume) {
+            (Some(dir), true) if n == 1 => {
+                // Prefer the legacy single-server journal; fall back to a
+                // committed manifest so an N-shard run can shrink to one.
+                match load_resume_state(&stores[0], dir, &cfg.train) {
+                    Ok(base) => base,
+                    Err(journal_err) => match load_sharded_resume_state(&stores, dir, &cfg.train) {
+                        Ok((m, base)) => {
+                            map = m;
+                            base
+                        }
+                        Err(_) => return Err(journal_err),
+                    },
+                }
+            }
+            (Some(dir), true) => {
+                let (m, base) = load_sharded_resume_state(&stores, dir, &cfg.train)?;
+                map = m;
+                base
+            }
+            _ => ResumeBase::default(),
         };
-        let server = PsServer::bind(
-            "127.0.0.1:0",
-            Arc::clone(&ps),
-            cfg.train.dim,
-            Arc::clone(&metrics),
-            cfg.checkpoint_dir.clone(),
-            cfg.tracer.clone(),
-        )?;
-        let addr = server.addr();
-        Ok(DistributedTrainer { ps, server: Some(server), addr, cfg, metrics, resume_base })
+        let shards = stores
+            .into_iter()
+            .enumerate()
+            .map(|(s, ps)| -> Result<ShardRt, TrainerError> {
+                let ckpt_dir = cfg.checkpoint_dir.as_ref().map(|d| {
+                    if n == 1 {
+                        d.clone()
+                    } else {
+                        shard_dir(d, s)
+                    }
+                });
+                let server = PsServer::bind_shard(
+                    "127.0.0.1:0",
+                    Arc::clone(&ps),
+                    cfg.train.dim,
+                    Arc::clone(&metrics),
+                    ckpt_dir,
+                    cfg.tracer.clone(),
+                    (n > 1).then_some(s),
+                )?;
+                let addr = server.addr();
+                Ok(ShardRt { ps, server: Some(server), addr })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let trainer = DistributedTrainer { shards, map, cfg, metrics, resume_base };
+        if n > 1
+            && trainer.cfg.checkpoint_every > 0
+            && !trainer.cfg.resume
+            && trainer.resume_base.start_epoch == 0
+        {
+            // Commit the seeded round-0 state up front so a shard killed in
+            // the very first round has a committed recovery source.
+            trainer.commit_sharded_round(
+                0,
+                CacheStats::default(),
+                0,
+                &[],
+                &GuardRail::new(trainer.cfg.train.guard),
+            )?;
+        }
+        Ok(trainer)
     }
 
-    /// The server's loopback address, or [`TrainerError::ServerStopped`]
-    /// once the server was drained.
+    /// Shard 0's loopback address, or [`TrainerError::ServerStopped`] once
+    /// the servers were drained.
     pub fn addr(&self) -> Result<SocketAddr, TrainerError> {
-        if self.server.is_some() {
-            Ok(self.addr)
+        if self.shards[0].server.is_some() {
+            Ok(self.shards[0].addr)
         } else {
             Err(TrainerError::ServerStopped)
         }
     }
 
-    /// The server-side store (for evaluation and checkpoint comparison).
+    /// Shard 0's store — *the* store of a single-shard run (evaluation and
+    /// checkpoint comparison). Sharded callers want
+    /// [`DistributedTrainer::merged_store`].
     pub fn store(&self) -> &Arc<ParameterServer> {
-        &self.ps
+        &self.shards[0].ps
+    }
+
+    /// The routing map of this deployment.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// A fresh store holding every shard's rows, accumulators and row
+    /// versions merged — byte-comparable (via `checkpoint::save`) against
+    /// a single-server run's store.
+    pub fn merged_store(&self) -> ParameterServer {
+        let stores: Vec<&ParameterServer> = self.shards.iter().map(|rt| rt.ps.as_ref()).collect();
+        merge_stores(&stores, self.cfg.train.n_shards, self.cfg.train.dim)
     }
 
     /// The round the next `train` call starts at (nonzero after a
@@ -337,22 +473,33 @@ impl DistributedTrainer {
         self.resume_base.start_epoch
     }
 
-    /// A client with this run's retry policy and — when a fault plan is
-    /// configured — a fault stream decorrelated by `(stream, client_id)`.
-    fn make_client(&self, client_id: u32, stream: u64) -> WorkerClient {
+    /// A client to shard `shard` with this run's retry policy and — when a
+    /// fault plan is configured — a fault stream decorrelated by
+    /// `(stream, client_id)` and, beyond one shard, by the shard index
+    /// (single-shard runs keep the exact legacy stream).
+    fn make_client(&self, client_id: u32, stream: u64, shard: usize) -> WorkerClient {
         let fault = self.cfg.fault.as_ref().map(|plan| {
             let mut p = plan.clone();
             p.seed = derive_seed(plan.seed, stream);
+            if self.map.n_shards() > 1 {
+                p.seed = derive_seed(p.seed, 0x5A + shard as u64);
+            }
             FaultState::new(p, client_id)
         });
-        WorkerClient::new(self.addr, client_id, self.cfg.retry, fault, Arc::clone(&self.metrics))
-            .with_tracer(self.cfg.tracer.clone())
+        WorkerClient::new(
+            self.shards[shard].addr,
+            client_id,
+            self.cfg.retry,
+            fault,
+            Arc::clone(&self.metrics),
+        )
+        .with_tracer(self.cfg.tracer.clone())
     }
 
     /// One worker's round: scheduled-fault checks, the cached inner loop
-    /// over RPC reads, and the poison injection. Returns the round output
-    /// plus the client so the caller can run the barrier *after* reporting
-    /// the result to the supervisor.
+    /// over sharded RPC reads, and the poison injection. Returns the round
+    /// output plus the per-shard clients so the caller can run the barrier
+    /// *after* reporting the result to the supervisor.
     fn worker_round(
         &self,
         ds: &MdrDataset,
@@ -361,7 +508,7 @@ impl DistributedTrainer {
         part: &[usize],
         is_replacement: bool,
         parent: Option<SpanContext>,
-    ) -> Result<(CachedRoundOutput, WorkerClient), WorkerFailure> {
+    ) -> Result<(CachedRoundOutput, Vec<WorkerClient>), WorkerFailure> {
         let cfg = self.cfg.train;
         if !is_replacement {
             if let Some(plan) = &self.cfg.fault {
@@ -386,9 +533,13 @@ impl DistributedTrainer {
             }
             span
         };
-        let mut client = self.make_client(w as u32 + 1, epoch as u64);
-        client.set_trace_parent(worker_span.as_ref().map(|s| s.ctx()));
-        let src = RpcRowSource::new(client, cfg.dim);
+        let mut clients: Vec<WorkerClient> = (0..self.map.n_shards())
+            .map(|s| self.make_client(w as u32 + 1, epoch as u64, s))
+            .collect();
+        for client in &mut clients {
+            client.set_trace_parent(worker_span.as_ref().map(|s| s.ctx()));
+        }
+        let src = ShardedRowSource::new(clients, self.map, cfg.dim);
         let round_seed = worker_round_seed(cfg.seed, epoch, w);
         // With a tracer, split the worker's wall-clock into time spent in
         // row reads (the wire) vs everything else (local compute). The
@@ -419,7 +570,7 @@ impl DistributedTrainer {
                 *first = f32::NAN;
             }
         }
-        Ok((out, src.into_client()))
+        Ok((out, src.into_clients()))
     }
 
     /// Runs one supervised round: spawns every worker, collects results
@@ -451,12 +602,13 @@ impl DistributedTrainer {
                         Ok(Err(fail)) => {
                             let _ = tx.send((w, Err(fail)));
                         }
-                        Ok(Ok((out, mut client))) => {
+                        Ok(Ok((out, mut clients))) => {
                             // Result first, barrier second: the supervisor
                             // learns the outcome even while slower workers
-                            // hold the barrier open.
+                            // hold the barrier open. The barrier lives on
+                            // shard 0 only — one rendezvous per round.
                             let _ = tx.send((w, Ok(out)));
-                            if let Err(e) = client.barrier(epoch as u64, n as u32) {
+                            if let Err(e) = clients[0].barrier(epoch as u64, n as u32) {
                                 let fail =
                                     WorkerFailure::Barrier { worker: w, error: e.to_string() };
                                 let _ = tx.send((w, Err(fail)));
@@ -471,7 +623,7 @@ impl DistributedTrainer {
             // must be reliable even under an adversarial schedule.
             let release_barrier = |w: usize| {
                 let mut client = WorkerClient::new(
-                    self.addr,
+                    self.shards[0].addr,
                     w as u32 + 1,
                     self.cfg.retry,
                     None,
@@ -582,32 +734,42 @@ impl DistributedTrainer {
         })
     }
 
+    /// A rollback snapshot of every shard store, in shard order.
+    fn snapshot_stores(&self) -> Vec<StoreSnapshot> {
+        self.shards.iter().map(|rt| (rt.ps.dump_rows(), rt.ps.dump_adagrad())).collect()
+    }
+
     /// Runs the configured rounds over the wire and reports exactly like
     /// the in-process trainer. Recovers killed / hung / disconnected
-    /// workers, skips or rolls back divergent updates when the guard is
-    /// enabled, and journals every [`LoopbackConfig::checkpoint_every`]
-    /// rounds.
-    pub fn train(&self, ds: &MdrDataset) -> Result<DistributedReport, TrainerError> {
+    /// workers *and* killed server shards, skips or rolls back divergent
+    /// updates when the guard is enabled, and journals every
+    /// [`LoopbackConfig::checkpoint_every`] rounds.
+    pub fn train(&mut self, ds: &MdrDataset) -> Result<DistributedReport, TrainerError> {
         let cfg = self.cfg.train;
         if cfg.kernel_threads > 0 {
             pool::set_threads(cfg.kernel_threads);
         }
-        let base = &self.resume_base;
-        let mut combined = base.cache;
-        let mut max_staleness = base.max_staleness;
-        let mut round_losses = base.round_losses.clone();
+        let n_sh = self.map.n_shards();
+        let start_epoch = self.resume_base.start_epoch;
+        let base_traffic = self.resume_base.traffic;
+        let base_guard = (self.resume_base.guard_trips, self.resume_base.guard_rollbacks);
+        let mut combined = self.resume_base.cache;
+        let mut max_staleness = self.resume_base.max_staleness;
+        let mut round_losses = self.resume_base.round_losses.clone();
         // The networked protocol is always synchronous (the driver is the
         // only writer), so the guard is active whenever it is enabled.
         let guard_active = cfg.guard.enabled;
         let mut guard = GuardRail::new(cfg.guard);
-        let mut last_good: Option<StoreSnapshot> =
-            if guard_active { Some((self.ps.dump_rows(), self.ps.dump_adagrad())) } else { None };
+        let mut last_good: Option<Vec<StoreSnapshot>> =
+            if guard_active { Some(self.snapshot_stores()) } else { None };
         // Client id 0 is the driver; workers are 1..=n. The driver's
         // pushes carry the fault plan too, so retries exercise the
-        // server's exactly-once path where it matters most.
-        let mut driver = self.make_client(0, 0xD0);
+        // server's exactly-once path where it matters most. One driver
+        // client per shard: each holds its own monotonic sequence space.
+        let mut drivers: Vec<WorkerClient> =
+            (0..n_sh).map(|s| self.make_client(0, 0xD0, s)).collect();
         let tracer = self.cfg.tracer.clone();
-        for epoch in base.start_epoch..cfg.epochs {
+        for epoch in start_epoch..cfg.epochs {
             let round_span = {
                 let mut span = maybe_span(&tracer, "round");
                 if let Some(s) = &mut span {
@@ -620,17 +782,42 @@ impl DistributedTrainer {
                 let _span = maybe_child(&tracer, "round.partition", round_ctx);
                 partition_domains(ds.n_domains(), cfg.seed, epoch, cfg.n_workers)
             };
+            let kills: Vec<u32> =
+                self.cfg.fault.as_ref().map(|p| p.shards_to_kill(epoch as u64)).unwrap_or_default();
+            if !kills.is_empty() {
+                for &s in &kills {
+                    self.metrics.counter("rpc_faults_shard_kills_total").inc();
+                    if let Some(server) = self.shards[s as usize].server.take() {
+                        server.kill();
+                    }
+                }
+                // The doomed attempt: workers run against the dead shard
+                // until their retries exhaust and the round fails. Nothing
+                // is applied — gradients only reach the stores after a
+                // successful round — so the discarded attempt leaves every
+                // parameter untouched.
+                let _ = self.run_round(ds, epoch, &partitions, None);
+                for &s in &kills {
+                    self.restart_shard(s as usize)?;
+                    // The dead server's address died with it: rebuild this
+                    // shard's driver client against the restarted one (a
+                    // fresh sequence space against a fresh dedup map).
+                    drivers[s as usize] = self.make_client(0, 0xD0, s as usize);
+                }
+            }
             let outputs = {
                 let workers_span = maybe_child(&tracer, "round.workers", round_ctx);
                 let workers_ctx = workers_span.as_ref().map(|s| s.ctx());
                 self.run_round(ds, epoch, &partitions, workers_ctx)?
             };
             let apply_span = maybe_child(&tracer, "round.apply", round_ctx);
-            driver.set_trace_parent(apply_span.as_ref().map(|s| s.ctx()));
+            for driver in &mut drivers {
+                driver.set_trace_parent(apply_span.as_ref().map(|s| s.ctx()));
+            }
             let mut loss_sum = 0.0f64;
             let mut n_examples = 0u64;
             let mut round_tripped = false;
-            let mut pending_pushes: Vec<Request> = Vec::new();
+            let mut pending: Vec<Vec<Request>> = (0..n_sh).map(|_| Vec::new()).collect();
             for out in outputs {
                 combined.hits += out.cache.hits;
                 combined.misses += out.cache.misses;
@@ -654,8 +841,10 @@ impl DistributedTrainer {
                             // the driver owns the apply phase, so there is
                             // no concurrent writer to race.
                             round_tripped = true;
-                            if let Some((rows, acc)) = &last_good {
-                                self.ps.restore_state(rows, acc);
+                            if let Some(snaps) = &last_good {
+                                for (rt, (rows, acc)) in self.shards.iter().zip(snaps) {
+                                    rt.ps.restore_state(rows, acc);
+                                }
                             }
                             continue;
                         }
@@ -664,64 +853,94 @@ impl DistributedTrainer {
                 loss_sum += out.loss_sum;
                 n_examples += out.n_examples;
                 // Single writer, worker order, keys pre-sorted: the same
-                // total order the in-process synchronous driver applies,
-                // delivered as one `PushMany` per wire chunk instead of
-                // one `Push` per key.
-                let reqs = push_many_requests(&out.grads, cfg.outer_lr);
+                // total order the in-process synchronous driver applies.
+                // Each shard receives its key-sorted sub-sequence — Adagrad
+                // updates on distinct keys commute, so per-shard order is
+                // all that bit-identity needs.
+                let shard_reqs = sharded_push_requests(&out.grads, cfg.outer_lr, &self.map);
                 if guard_active {
                     // The guard interleaves verdicts with application (a
                     // rollback rewinds the store to the round boundary but
                     // never the traffic counters), so each accepted
-                    // worker's update must hit the store before the next
+                    // worker's update must hit the stores before the next
                     // verdict — flush immediately rather than batching
                     // across workers.
-                    flush_pushes(&mut driver, reqs)?;
+                    flush_sharded(&mut drivers, shard_reqs)?;
                 } else {
-                    pending_pushes.extend(reqs);
+                    for (s, reqs) in shard_reqs.into_iter().enumerate() {
+                        pending[s].extend(reqs);
+                    }
                 }
             }
             // No guard: every accepted worker's chunks ride one pipelined
-            // window. Same requests, same order, same sequence numbers as
-            // per-worker flushing — only the wire scheduling differs.
-            flush_pushes(&mut driver, std::mem::take(&mut pending_pushes))?;
+            // window per shard, all shards concurrently. Same requests,
+            // same per-shard order, same sequence numbers as per-worker
+            // flushing — only the wire scheduling differs.
+            flush_sharded(&mut drivers, std::mem::take(&mut pending))?;
             drop(apply_span);
             round_losses.push(if n_examples == 0 { 0.0 } else { loss_sum / n_examples as f64 });
             if guard_active && !round_tripped {
-                last_good = Some((self.ps.dump_rows(), self.ps.dump_adagrad()));
+                last_good = Some(self.snapshot_stores());
             }
             let rounds_done = epoch + 1;
             if self.cfg.checkpoint_every > 0 && rounds_done % self.cfg.checkpoint_every == 0 {
                 let _span = maybe_child(&tracer, "round.journal", round_ctx);
-                self.write_journal(
-                    rounds_done as u64,
-                    combined,
-                    max_staleness,
-                    &round_losses,
-                    &guard,
-                )?;
+                if n_sh == 1 {
+                    self.write_journal(
+                        rounds_done as u64,
+                        combined,
+                        max_staleness,
+                        &round_losses,
+                        &guard,
+                    )?;
+                } else {
+                    self.commit_sharded_round(
+                        rounds_done as u64,
+                        combined,
+                        max_staleness,
+                        &round_losses,
+                        &guard,
+                    )?;
+                }
             }
         }
-        let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
-        self.ps.export_kv_gauges(&self.metrics);
-        let mean_auc = {
+        let mut traffic = (0u64, 0u64, 0u64, 0u64);
+        for rt in &self.shards {
+            let (p, q, bp, bs) = rt.ps.traffic().snapshot();
+            traffic.0 += p;
+            traffic.1 += q;
+            traffic.2 += bp;
+            traffic.3 += bs;
+        }
+        let mean_auc = if n_sh == 1 {
+            self.shards[0].ps.export_kv_gauges(&self.metrics);
             let _span = maybe_span(&tracer, "round.evaluate");
-            evaluate_server(&self.ps, ds, Split::Test)
+            evaluate_server(&self.shards[0].ps, ds, Split::Test)
+        } else {
+            let merged = self.merged_store();
+            merged.export_kv_gauges(&self.metrics);
+            for (s, rt) in self.shards.iter().enumerate() {
+                rt.ps.export_kv_gauges_for_shard(&self.metrics, s);
+            }
+            let _span = maybe_span(&tracer, "round.evaluate");
+            evaluate_server(&merged, ds, Split::Test)
         };
         Ok(DistributedReport {
             mean_auc,
-            pulls: base.traffic.0 + pulls,
-            pushes: base.traffic.1 + pushes,
-            total_bytes: base.traffic.2 + base.traffic.3 + bp + bs,
+            pulls: base_traffic.0 + traffic.0,
+            pushes: base_traffic.1 + traffic.1,
+            total_bytes: base_traffic.2 + base_traffic.3 + traffic.2 + traffic.3,
             cache: combined,
             max_staleness,
             round_losses,
-            guard_trips: base.guard_trips + guard.trips(),
-            guard_rollbacks: base.guard_rollbacks + guard.rollbacks(),
+            guard_trips: base_guard.0 + guard.trips(),
+            guard_rollbacks: base_guard.1 + guard.rollbacks(),
         })
     }
 
     /// Writes the round-boundary checkpoint (over RPC, so the server-side
-    /// path is exercised) and then the journal that commits it.
+    /// path is exercised) and then the journal that commits it — the
+    /// single-server boundary protocol.
     fn write_journal(
         &self,
         rounds_done: u64,
@@ -734,13 +953,9 @@ impl DistributedTrainer {
             return Err(TrainerError::Config("journaling requires a checkpoint directory".into()));
         };
         let ckpt_path = self.checkpoint(rounds_done)?;
-        let checkpoint_file = Path::new(&ckpt_path)
-            .file_name()
-            .and_then(|n| n.to_str())
-            .map(str::to_owned)
-            .unwrap_or_else(|| ckpt_path.clone());
+        let checkpoint_file = file_name_of(&ckpt_path);
         let base = &self.resume_base;
-        let (pulls, pushes, bp, bs) = self.ps.traffic().snapshot();
+        let (pulls, pushes, bp, bs) = self.shards[0].ps.traffic().snapshot();
         let journal = RoundJournal {
             rounds_done,
             checkpoint_file,
@@ -756,7 +971,7 @@ impl DistributedTrainer {
             guard_rollbacks: base.guard_rollbacks + guard.rollbacks(),
             round_losses: round_losses.to_vec(),
             dim: self.cfg.train.dim as u32,
-            adagrad: self.ps.dump_adagrad(),
+            adagrad: self.shards[0].ps.dump_adagrad(),
         };
         journal
             .write_to_dir(dir)
@@ -765,36 +980,190 @@ impl DistributedTrainer {
         Ok(())
     }
 
-    /// Writes a server-side checkpoint via the `Checkpoint` RPC and
-    /// returns its path. Requires [`LoopbackConfig::checkpoint_dir`].
+    /// The sharded round boundary: every shard's checkpoint RPC and
+    /// journal write run shard-parallel on scoped threads, then one
+    /// [`ShardManifest`] carrying each file's digest is written at the
+    /// top level. The manifest rename is the *only* commit point — a crash
+    /// at any earlier moment leaves the previous boundary committed.
+    fn commit_sharded_round(
+        &self,
+        rounds_done: u64,
+        cache: CacheStats,
+        max_staleness: u64,
+        round_losses: &[f64],
+        guard: &GuardRail,
+    ) -> Result<(), TrainerError> {
+        let Some(dir) = &self.cfg.checkpoint_dir else {
+            return Err(TrainerError::Config("journaling requires a checkpoint directory".into()));
+        };
+        let base = &self.resume_base;
+        let guard_trips = base.guard_trips + guard.trips();
+        let guard_rollbacks = base.guard_rollbacks + guard.rollbacks();
+        let results: Vec<Result<ShardFiles, TrainerError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, rt)| {
+                    scope.spawn(move || -> Result<ShardFiles, TrainerError> {
+                        let ckpt_path =
+                            self.make_client(u32::MAX, 0xCC, s).checkpoint(rounds_done).map_err(
+                                |e| TrainerError::Driver(format!("shard {s} checkpoint rpc: {e}")),
+                            )?;
+                        let checkpoint_file = file_name_of(&ckpt_path);
+                        // Each shard journals its own adagrad rows and its
+                        // own store's traffic; the run-level aggregates
+                        // (losses, cache, guard) are duplicated into every
+                        // journal so any one shard carries the metadata.
+                        let journal = RoundJournal {
+                            rounds_done,
+                            checkpoint_file: checkpoint_file.clone(),
+                            cache,
+                            max_staleness,
+                            traffic: rt.ps.traffic().snapshot(),
+                            guard_trips,
+                            guard_rollbacks,
+                            round_losses: round_losses.to_vec(),
+                            dim: self.cfg.train.dim as u32,
+                            adagrad: rt.ps.dump_adagrad(),
+                        };
+                        journal.write_to_dir(&shard_dir(dir, s)).map_err(|e| {
+                            TrainerError::Driver(format!("shard {s} journal write: {e}"))
+                        })?;
+                        let digest = |rel: &str| -> Result<u64, TrainerError> {
+                            let bytes = std::fs::read(dir.join(rel)).map_err(|e| {
+                                TrainerError::Driver(format!("digest of {rel}: {e}"))
+                            })?;
+                            Ok(Checksum::of(&bytes))
+                        };
+                        let checkpoint = format!("shard-{s}/{checkpoint_file}");
+                        let journal_rel = format!("shard-{s}/{}", journal.file_name());
+                        Ok(ShardFiles {
+                            checkpoint_fnv: digest(&checkpoint)?,
+                            checkpoint,
+                            journal_fnv: digest(&journal_rel)?,
+                            journal: journal_rel,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(TrainerError::Driver("shard commit thread panicked".into()))
+                    })
+                })
+                .collect()
+        });
+        let shards: Vec<ShardFiles> = results.into_iter().collect::<Result<_, _>>()?;
+        let manifest = ShardManifest { rounds_done, map_version: self.map.version(), shards };
+        manifest
+            .write_to_dir(dir)
+            .map_err(|e| TrainerError::Driver(format!("manifest write: {e}")))?;
+        self.metrics.counter("rpc_journal_writes_total").inc();
+        self.metrics.counter("rpc_manifest_writes_total").inc();
+        Ok(())
+    }
+
+    /// Brings a killed shard back: a fresh store is rebuilt from the last
+    /// *committed* manifest's files for that shard (checkpoint rows,
+    /// journal accumulators and traffic — honest disk-based recovery, no
+    /// in-memory shortcuts), and a fresh server is bound on a new port.
+    fn restart_shard(&mut self, s: usize) -> Result<(), TrainerError> {
+        let n = self.map.n_shards();
+        let dir = self.cfg.checkpoint_dir.clone().ok_or_else(|| {
+            TrainerError::Config("shard recovery requires a checkpoint directory".into())
+        })?;
+        let (path, manifest) = latest_manifest(&dir, None)
+            .map_err(|e| TrainerError::Resume(format!("restart discovery: {e}")))?
+            .ok_or_else(|| {
+                TrainerError::Resume(format!(
+                    "no committed manifest in {} to restart shard {s} from",
+                    dir.display()
+                ))
+            })?;
+        let ps = Arc::new(ParameterServer::new(self.cfg.train.n_shards, self.cfg.train.dim));
+        if manifest.n_shards() == n {
+            let files = &manifest.shards[s];
+            let loaded = checkpoint::load_from_path(&dir.join(&files.checkpoint), 1)
+                .map_err(|e| TrainerError::Resume(format!("{}: {e}", files.checkpoint)))?;
+            let journal = RoundJournal::read(&dir.join(&files.journal))
+                .map_err(|e| TrainerError::Resume(format!("{}: {e}", files.journal)))?;
+            ps.restore_state(&loaded.dump_rows(), &journal.adagrad);
+            ps.traffic().restore(journal.traffic);
+        } else {
+            // Committed under a different topology (a rehash resumed this
+            // run and no new-topology boundary has committed yet): rebuild
+            // the shard's slice by re-routing the merged state. The dead
+            // store's traffic share is unknowable under the old topology
+            // and restarts at zero.
+            let state = load_manifest_state(&dir, &manifest)
+                .map_err(|e| TrainerError::Resume(format!("{}: {e}", path.display())))?;
+            let rows: Vec<_> =
+                state.rows.into_iter().filter(|(k, _)| self.map.owner(*k) == s).collect();
+            let accs: Vec<_> =
+                state.adagrad.into_iter().filter(|(k, _)| self.map.owner(*k) == s).collect();
+            ps.restore_state(&rows, &accs);
+        }
+        let server = PsServer::bind_shard(
+            "127.0.0.1:0",
+            Arc::clone(&ps),
+            self.cfg.train.dim,
+            Arc::clone(&self.metrics),
+            Some(shard_dir(&dir, s)),
+            self.cfg.tracer.clone(),
+            Some(s),
+        )?;
+        let addr = server.addr();
+        self.shards[s] = ShardRt { ps, server: Some(server), addr };
+        self.metrics.counter("rpc_shard_restarts_total").inc();
+        Ok(())
+    }
+
+    /// Writes a server-side checkpoint via the `Checkpoint` RPC (shard 0
+    /// of a sharded run — boundary commits go through
+    /// `commit_sharded_round` instead) and returns its path. Requires
+    /// [`LoopbackConfig::checkpoint_dir`].
     pub fn checkpoint(&self, round: u64) -> Result<String, TrainerError> {
-        self.make_client(u32::MAX, 0xCC)
+        self.make_client(u32::MAX, 0xCC, 0)
             .checkpoint(round)
             .map_err(|e| TrainerError::Driver(format!("checkpoint rpc: {e}")))
     }
 
-    /// Gracefully drains the server: `Shutdown` RPC, then joins the accept
-    /// loop and every connection thread. A failed drain request is
-    /// non-fatal — the drain flag is set directly instead (counted as
+    /// Gracefully drains every shard's server: `Shutdown` RPC, then joins
+    /// the accept loop and every connection thread. A failed drain request
+    /// is non-fatal — the drain flag is set directly instead (counted as
     /// `rpc_drain_fallback_total`), so a dead wire can never wedge the
     /// join. Idempotent: a second call is a no-op.
     pub fn shutdown(&mut self) {
-        let Some(server) = self.server.take() else { return };
-        // The drain request itself must not be fault-injected away.
-        let mut client = WorkerClient::new(
-            self.addr,
-            u32::MAX - 1,
-            self.cfg.retry,
-            None,
-            Arc::clone(&self.metrics),
-        );
-        if client.shutdown().is_err() {
-            self.metrics.counter("rpc_drain_fallback_total").inc();
-            server.begin_drain();
+        for s in 0..self.shards.len() {
+            let Some(server) = self.shards[s].server.take() else { continue };
+            // The drain request itself must not be fault-injected away.
+            let mut client = WorkerClient::new(
+                self.shards[s].addr,
+                u32::MAX - 1,
+                self.cfg.retry,
+                None,
+                Arc::clone(&self.metrics),
+            );
+            if client.shutdown().is_err() {
+                self.metrics.counter("rpc_drain_fallback_total").inc();
+                server.begin_drain();
+            }
+            drop(client);
+            server.join();
         }
-        drop(client);
-        server.join();
     }
+}
+
+/// The file-name component of a checkpoint path the server returned.
+fn file_name_of(path: &str) -> String {
+    Path::new(path)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_owned)
+        .unwrap_or_else(|| path.to_owned())
 }
 
 /// Packs one worker's drained outer gradients into `PushMany` requests,
@@ -814,16 +1183,85 @@ fn push_many_requests(grads: &[(ParamKey, Vec<f32>)], lr: f32) -> Vec<Request> {
         .collect()
 }
 
-/// Sends a batch of driver pushes through one pipelined window and fails
-/// the round on the first request that exhausts its retries.
-fn flush_pushes(driver: &mut WorkerClient, reqs: Vec<Request>) -> Result<(), TrainerError> {
-    if reqs.is_empty() {
+/// Partitions one worker's key-sorted gradients over the shard map and
+/// packs each shard's (still key-sorted) sub-sequence into `PushMany`
+/// chunks. With one shard this is exactly [`push_many_requests`].
+fn sharded_push_requests(
+    grads: &[(ParamKey, Vec<f32>)],
+    lr: f32,
+    map: &ShardMap,
+) -> Vec<Vec<Request>> {
+    if map.n_shards() == 1 {
+        return vec![push_many_requests(grads, lr)];
+    }
+    let keys: Vec<ParamKey> = grads.iter().map(|(k, _)| *k).collect();
+    map.partition_indices(&keys)
+        .into_iter()
+        .map(|idxs| {
+            idxs.chunks(WIRE_BATCH_KEYS)
+                .map(|chunk| {
+                    let mut keys = Vec::with_capacity(chunk.len());
+                    let mut flat = Vec::new();
+                    for &i in chunk {
+                        keys.push(grads[i].0);
+                        flat.extend_from_slice(&grads[i].1);
+                    }
+                    Request::PushMany { lr, keys, grads: flat }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sends each shard's push batch through its own pipelined window — all
+/// shards concurrently when more than one has work — and fails the round
+/// on the first request that exhausts its retries (first shard in shard
+/// order wins, so the error is deterministic).
+fn flush_sharded(
+    drivers: &mut [WorkerClient],
+    mut reqs: Vec<Vec<Request>>,
+) -> Result<(), TrainerError> {
+    let push_err =
+        |e: crate::client::RpcError| TrainerError::Driver(format!("gradient push batch: {e}"));
+    let live = reqs.iter().filter(|r| !r.is_empty()).count();
+    if live == 0 {
         return Ok(());
     }
-    driver
-        .call_many(reqs)
-        .map_err(|e| TrainerError::Driver(format!("gradient push batch: {e}")))?;
-    Ok(())
+    if live == 1 {
+        for (driver, shard_reqs) in drivers.iter_mut().zip(reqs) {
+            if !shard_reqs.is_empty() {
+                driver.call_many(shard_reqs).map_err(push_err)?;
+            }
+        }
+        return Ok(());
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = drivers
+            .iter_mut()
+            .zip(reqs.drain(..))
+            .enumerate()
+            .filter(|(_, (_, r))| !r.is_empty())
+            .map(|(s, (driver, shard_reqs))| {
+                (s, scope.spawn(move || driver.call_many(shard_reqs).map(|_| ())))
+            })
+            .collect();
+        let mut first_err: Option<TrainerError> = None;
+        for (_, h) in handles {
+            let joined = match h.join() {
+                Ok(r) => r.map_err(push_err),
+                Err(_) => Err(TrainerError::Driver("shard push thread panicked".into())),
+            };
+            if let Err(e) = joined {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    })
 }
 
 /// Restores a resumed run's store and aggregates from the newest valid
@@ -858,4 +1296,63 @@ fn load_resume_state(
         guard_trips: journal.guard_trips,
         guard_rollbacks: journal.guard_rollbacks,
     })
+}
+
+/// Restores a resumed *sharded* run from the newest committed manifest in
+/// `dir`: the per-shard checkpoints and journals are merged, the merged
+/// key-sorted rows and accumulators are re-routed through a map for the
+/// *new* shard count (the N→M rehash — the map generation is bumped when
+/// the topology changed), and the dead run's summed wire traffic rides
+/// shard 0's counters so the final report still reaches the global figure.
+fn load_sharded_resume_state(
+    stores: &[Arc<ParameterServer>],
+    dir: &Path,
+    train: &DistributedConfig,
+) -> Result<(ShardMap, ResumeBase), TrainerError> {
+    let n = stores.len();
+    let (path, manifest) = latest_manifest(dir, None)
+        .map_err(|e| TrainerError::Resume(format!("manifest discovery: {e}")))?
+        .ok_or_else(|| {
+            TrainerError::Resume(format!("no committed manifest in {}", dir.display()))
+        })?;
+    let state = load_manifest_state(dir, &manifest)
+        .map_err(|e| TrainerError::Resume(format!("{}: {e}", path.display())))?;
+    if state.meta.dim as usize != train.dim {
+        return Err(TrainerError::Resume(format!(
+            "manifest {} has dim {}, config wants {}",
+            path.display(),
+            state.meta.dim,
+            train.dim
+        )));
+    }
+    let map = if manifest.n_shards() == n {
+        ShardMap::with_version(n, manifest.map_version)
+    } else {
+        ShardMap::with_version(n, manifest.map_version + 1)
+    };
+    let mut rows: Vec<Vec<(ParamKey, Vec<f32>)>> = vec![Vec::new(); n];
+    for (key, value) in state.rows {
+        rows[map.owner(key)].push((key, value));
+    }
+    let mut accs: Vec<Vec<(ParamKey, Vec<f32>)>> = vec![Vec::new(); n];
+    for (key, acc) in state.adagrad {
+        accs[map.owner(key)].push((key, acc));
+    }
+    for (s, store) in stores.iter().enumerate() {
+        store.restore_state(&rows[s], &accs[s]);
+    }
+    stores[0].traffic().restore(state.traffic);
+    let meta = &state.meta;
+    Ok((
+        map,
+        ResumeBase {
+            start_epoch: meta.rounds_done as usize,
+            cache: meta.cache,
+            max_staleness: meta.max_staleness,
+            round_losses: meta.round_losses.clone(),
+            traffic: (0, 0, 0, 0),
+            guard_trips: meta.guard_trips,
+            guard_rollbacks: meta.guard_rollbacks,
+        },
+    ))
 }
