@@ -60,6 +60,19 @@ pub struct BenchArgs {
     /// simulation; `longtail` is the 2048-domain Zipf key-space stress
     /// preset for sharding runs.
     pub preset: Option<String>,
+    /// Serve-bench mode: drive a trace-scheduled open-loop load (arrivals
+    /// on the trace clock, overload sheds) instead of closed-loop clients.
+    pub open_loop: bool,
+    /// Open-loop offered rate, requests per second (0 = the binary's
+    /// default).
+    pub rate: f64,
+    /// Open-loop trace duration, seconds (0 = the binary's default).
+    pub duration: f64,
+    /// Serving replica count behind the deterministic user router.
+    pub replicas: usize,
+    /// Micro-batch close policy for the serving dispatcher
+    /// (`fixed` | `adaptive`; `None` keeps the server default, adaptive).
+    pub policy: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -82,6 +95,11 @@ impl Default for BenchArgs {
             pipeline_depth: 0,
             shards: 1,
             preset: None,
+            open_loop: false,
+            rate: 0.0,
+            duration: 0.0,
+            replicas: 1,
+            policy: None,
         }
     }
 }
@@ -142,9 +160,14 @@ impl BenchArgs {
                 }
                 "--shards" => out.shards = num("--shards", take("--shards")) as usize,
                 "--preset" => out.preset = Some(take("--preset")),
+                "--open-loop" => out.open_loop = true,
+                "--rate" => out.rate = num("--rate", take("--rate")),
+                "--duration" => out.duration = num("--duration", take("--duration")),
+                "--replicas" => out.replicas = num("--replicas", take("--replicas")) as usize,
+                "--policy" => out.policy = Some(take("--policy")),
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n> --shards <n> --preset <industry|longtail>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n> --shards <n> --preset <industry|longtail> --open-loop --rate <rps> --duration <s> --replicas <n> --policy <fixed|adaptive>"
                     );
                     std::process::exit(2);
                 }
@@ -239,6 +262,26 @@ impl BenchArgs {
                 return Err(format!("--preset {p} is unknown (expected industry or longtail)"));
             }
         }
+        if self.replicas == 0 {
+            return Err("--replicas must be at least 1".into());
+        }
+        if self.replicas > MAX_REPLICAS {
+            return Err(format!(
+                "--replicas {} exceeds the supported maximum of {MAX_REPLICAS}",
+                self.replicas
+            ));
+        }
+        if !(self.rate.is_finite() && self.rate >= 0.0) {
+            return Err(format!("--rate must be a non-negative number, got {}", self.rate));
+        }
+        if !(self.duration.is_finite() && self.duration >= 0.0) {
+            return Err(format!("--duration must be a non-negative number, got {}", self.duration));
+        }
+        if let Some(p) = &self.policy {
+            if let Err(e) = mamdr_serve::BatchPolicy::parse(p) {
+                return Err(format!("--policy: {e}"));
+            }
+        }
         // A multi-shard resume restores from a shard manifest, never from
         // the legacy single-server journal — catch a directory that cannot
         // possibly satisfy it before any training starts.
@@ -301,6 +344,10 @@ pub const MAX_PIPELINE_DEPTH: usize = 4096;
 /// loopback process cannot usefully host more servers than this, and the
 /// manifest format itself caps a deployment at 4096 shards.
 pub const MAX_SHARDS: usize = 64;
+
+/// Upper bound [`BenchArgs::validate`] accepts for `--replicas`; one
+/// process cannot usefully host more complete serving stacks than this.
+pub const MAX_REPLICAS: usize = 64;
 
 /// `--quick` caps per-binary default epochs at this many.
 pub const QUICK_EPOCH_CAP: usize = 3;
@@ -499,6 +546,47 @@ mod tests {
         std::fs::write(dir.join("manifest-0000000001.mamdrmf"), b"x").unwrap();
         assert!(parse(&["--shards", "2", "--resume", dir_s]).validate().is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_loop_flags_parse_and_validate() {
+        let a = parse(&[]);
+        assert!(!a.open_loop);
+        assert_eq!(a.rate, 0.0);
+        assert_eq!(a.duration, 0.0);
+        assert_eq!(a.replicas, 1);
+        assert_eq!(a.policy, None);
+        assert!(a.validate().is_ok());
+
+        let a = parse(&[
+            "--open-loop",
+            "--rate",
+            "50000",
+            "--duration",
+            "20",
+            "--replicas",
+            "4",
+            "--policy",
+            "adaptive",
+        ]);
+        assert!(a.open_loop);
+        assert_eq!(a.rate, 50_000.0);
+        assert_eq!(a.duration, 20.0);
+        assert_eq!(a.replicas, 4);
+        assert_eq!(a.policy.as_deref(), Some("adaptive"));
+        assert!(a.validate().is_ok());
+        assert!(parse(&["--policy", "fixed"]).validate().is_ok());
+
+        let err = parse(&["--replicas", "0"]).validate().unwrap_err();
+        assert!(err.contains("--replicas"), "{err}");
+        let err = parse(&["--replicas", "65"]).validate().unwrap_err();
+        assert!(err.contains("maximum"), "{err}");
+        let err = parse(&["--rate", "-5"]).validate().unwrap_err();
+        assert!(err.contains("--rate"), "{err}");
+        let err = parse(&["--duration", "-1"]).validate().unwrap_err();
+        assert!(err.contains("--duration"), "{err}");
+        let err = parse(&["--policy", "banana"]).validate().unwrap_err();
+        assert!(err.contains("--policy"), "{err}");
     }
 
     #[test]

@@ -1,38 +1,51 @@
-//! `serve_bench` — closed-loop load generator for the `mamdr-serve`
-//! subsystem.
+//! `serve_bench` — load generator for the `mamdr-serve` subsystem, closed-
+//! and open-loop.
 //!
 //! Trains a tiny MLP under MAMDR, freezes it into serving snapshot v1 (and
-//! a retrained v2), then drives the micro-batching server with `--threads`
-//! closed-loop clients. Halfway through the run the model is hot-swapped to
-//! v2 **while clients are in flight**; the binary fails (exit 1) if any
-//! request is dropped, rejected, or answered by an unknown snapshot
-//! version.
+//! a retrained v2), then drives a pool of `--replicas` serving stacks
+//! behind the deterministic user router. The model is hot-swapped to v2
+//! mid-run **while requests are in flight**; the binary fails (exit 1) if
+//! any request is dropped, rejected unexpectedly, or answered by an
+//! unknown snapshot version.
 //!
-//! Reports QPS and latency quantiles (p50/p99) on stdout; with
-//! `--metrics-out <path>` the full `serve_*` metric set (counters,
-//! queue-depth gauge, latency/batch-size histograms) is dumped as JSONL
-//! plus a Prometheus-style `.prom` snapshot.
+//! Two load modes:
 //!
-//! Knobs: `--scale` multiplies the request count (default 1 000 requests),
-//! `--threads` sets both the client count and the kernel pool, `--quick`
-//! caps training epochs, `--seed` and `--epochs` as everywhere else.
+//! * **Closed loop** (default): `--threads` clients, each submitting the
+//!   next request when the previous one answers. Measures best-case
+//!   latency; cannot see overload (the offered rate adapts to capacity).
+//! * **Open loop** (`--open-loop`): a seeded trace (Zipf users/domains,
+//!   diurnal Poisson arrivals, interactive/bulk SLO split from
+//!   `mamdr-load`) submits on the trace clock at `--rate` rps for
+//!   `--duration` seconds regardless of completions. Overload fills the
+//!   bounded queues and sheds — typed per class — and the binary asserts
+//!   the accounting identities `submitted = admitted + shed + rejected`
+//!   and `admitted = scored + deadline + invalid` per class, failing on
+//!   any silent drop.
 //!
-//! Tracing: `--trace-out <path>` records every request's lifecycle span
-//! chain (queue → coalesce → score → respond, plus hot-swap spans) as
-//! Chrome `trace_event` JSON; `--phase-summary` prints the wall-clock
-//! attribution table; `--introspect-addr <addr>` serves live `/healthz`
-//! `/metrics` `/spans` over HTTP while the bench runs.
+//! Both modes print a `probe_digest`: an FNV-1a digest over the scores of
+//! a fixed probe set served through the pool before the run. The digest is
+//! invariant across `--replicas` and `--policy` — bit-identical scoring is
+//! a hard guarantee, and CI diffs it across configurations.
+//!
+//! Knobs: `--scale` multiplies the closed-loop request count (default
+//! 1 000), `--threads` sets the client count and kernel pool, `--replicas`
+//! the serving-stack count, `--policy fixed|adaptive` the micro-batch
+//! close policy, `--rate`/`--duration` the open-loop trace, `--quick` caps
+//! training epochs and shrinks the default trace. `--metrics-out`,
+//! `--trace-out`, `--phase-summary`, `--introspect-addr` as everywhere
+//! else.
 
 use mamdr_bench::{render_phase_table, BenchArgs, BenchTelemetry};
 use mamdr_core::{FrameworkKind, TrainConfig, TrainEnv, TrainedModel};
 use mamdr_data::{DomainSpec, GeneratorConfig, MdrDataset};
+use mamdr_load::{run_open_loop, LoadOptions, TraceConfig, TraceGen};
 use mamdr_models::{build_model, FeatureConfig, ModelConfig, ModelKind};
 use mamdr_obs::Value;
 use mamdr_serve::{
-    ModelSpec, ScoreRequest, ScoringEngine, ServeConfig, ServeResult, Server, ServingSnapshot,
+    BatchPolicy, ModelSpec, ReplicatedServer, ScoreRequest, ServeConfig, ServeResult,
+    ServingSnapshot, SloClass,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn dataset(args: &BenchArgs) -> MdrDataset {
@@ -65,31 +78,238 @@ fn train_snapshot(
     (spec, snap)
 }
 
+/// Scores a fixed probe set through the pool and digests the score bits
+/// with FNV-1a. Identical across replica counts and batch policies — the
+/// bit-identity evidence CI diffs.
+fn probe_digest(pool: &ReplicatedServer, fc: &FeatureConfig, n_domains: usize) -> u64 {
+    let pending: Vec<_> = (0..64u32)
+        .map(|k| {
+            let req = ScoreRequest::new(
+                (k as usize) % n_domains,
+                (k * 13) % fc.n_users as u32,
+                (k * 5) % fc.n_items as u32,
+                k % fc.n_user_groups as u32,
+                k % fc.n_item_cats as u32,
+            );
+            pool.submit(req, None).expect("probe admitted on an idle pool")
+        })
+        .collect();
+    let mut digest = mamdr_util::Checksum::new();
+    for p in pending {
+        match p.wait() {
+            ServeResult::Scored(r) => digest.update(&r.score.to_bits().to_le_bytes()),
+            other => panic!("probe request not scored: {other:?}"),
+        }
+    }
+    digest.digest()
+}
+
 fn main() {
     let args = BenchArgs::from_env();
     let telemetry = BenchTelemetry::from_args(&args);
-    let total_requests = ((1_000.0 * args.scale).round() as usize).max(100);
-    let clients = args.threads.max(1);
+    let policy = match args.policy.as_deref() {
+        Some(p) => BatchPolicy::parse(p).expect("validated at parse time"),
+        None => BatchPolicy::default(),
+    };
 
     eprintln!("[serve_bench] training snapshot versions 1 and 2 ...");
     let ds = dataset(&args);
     let fc = FeatureConfig::from_dataset(&ds);
     let (_, v1) = train_snapshot(&ds, &args, 1, args.seed);
     let (_, v2) = train_snapshot(&ds, &args, 2, args.seed ^ 0xBEEF);
+    let n_domains = ds.n_domains();
 
-    let engine =
-        Arc::new(ScoringEngine::new(v1, telemetry.registry()).with_tracer(telemetry.tracer()));
-    let server = Server::start(
-        Arc::clone(&engine),
-        ServeConfig {
-            queue_cap: total_requests.max(1024),
-            n_workers: clients.min(8),
-            ..ServeConfig::default()
-        },
+    let config = ServeConfig {
+        queue_cap: 4096,
+        // Bulk admission is bounded well below the global cap: a bulk
+        // flood sheds (typed) long before it can crowd out interactive.
+        class_caps: [0, 1024],
+        n_workers: args.threads.clamp(1, 8),
+        policy,
+        ..ServeConfig::default()
+    };
+    let pool = ReplicatedServer::start(
+        v1,
+        args.replicas,
+        config,
+        telemetry.registry(),
+        telemetry.tracer(),
+    );
+    let digest = probe_digest(&pool, &fc, n_domains);
+
+    if args.open_loop {
+        run_open(&args, &telemetry, &pool, &fc, n_domains, v2, digest);
+    } else {
+        run_closed(&args, &telemetry, &pool, &fc, n_domains, v2, digest);
+    }
+}
+
+/// The trace-driven open-loop mode.
+fn run_open(
+    args: &BenchArgs,
+    telemetry: &BenchTelemetry,
+    pool: &ReplicatedServer,
+    fc: &FeatureConfig,
+    n_domains: usize,
+    v2: ServingSnapshot,
+    digest: u64,
+) {
+    let rate = if args.rate > 0.0 {
+        args.rate
+    } else if args.quick {
+        4_000.0
+    } else {
+        60_000.0
+    };
+    let duration = if args.duration > 0.0 {
+        args.duration
+    } else if args.quick {
+        0.5
+    } else {
+        18.0
+    };
+    let mut trace_cfg = TraceConfig::new(args.seed, rate, duration);
+    trace_cfg.n_domains = n_domains;
+    trace_cfg.n_users = fc.n_users as u32;
+    trace_cfg.n_items = fc.n_items as u32;
+    trace_cfg.n_user_groups = fc.n_user_groups as u32;
+    trace_cfg.n_item_cats = fc.n_item_cats as u32;
+    let trace = TraceGen::new(trace_cfg);
+
+    let opts = LoadOptions {
+        // Interactive traffic carries a deadline: under overload the
+        // dispatcher sheds what it can no longer serve in time (counted in
+        // serve_deadline_expired_total). Bulk waits as long as it takes.
+        deadline: [Some(Duration::from_millis(20)), None],
+        time_scale: 1.0,
+    };
+    let swap_at_us = (duration * 1e6 / 2.0) as u64;
+    eprintln!(
+        "[serve_bench] open loop: {rate:.0} rps for {duration}s (~{:.0} requests), \
+         {} replica(s), hot swap at trace t={:.1}s ...",
+        rate * duration,
+        pool.n_replicas(),
+        duration / 2.0
     );
 
+    let mut v2_slot = Some(v2);
+    let retired_version = AtomicU64::new(u64::MAX);
+    let report = run_open_loop(pool, trace, &opts, Some(swap_at_us), |at_us| {
+        if let Some(next) = v2_slot.take() {
+            let retired = pool.publish(next);
+            retired_version.store(retired, Ordering::Relaxed);
+            eprintln!(
+                "[serve_bench] swapped v{retired} -> v{} at trace t={:.3}s",
+                pool.current_version(),
+                at_us as f64 / 1e6
+            );
+        }
+    });
+    let retired = retired_version.load(Ordering::Relaxed);
+
+    let engine = pool.engine(0);
+    let batch = engine.metrics().batch_size.snapshot();
+    let queue_wait = engine.metrics().queue_wait_us.snapshot();
+    let compute = engine.metrics().batch_compute_us.snapshot();
+
+    println!(
+        "serve_bench[open]: rate={rate:.0} duration={duration}s replicas={} policy={} threads={}",
+        pool.n_replicas(),
+        args.policy.as_deref().unwrap_or("adaptive"),
+        args.threads
+    );
+    println!("  submitted    {}", report.submitted());
+    println!("  scored       {}", report.scored());
+    println!("  scored_qps   {:.1}", report.scored_qps());
+    println!("  wall         {:.3} s", report.wall_secs);
+    println!("  max_sched_lag {} us", report.max_sched_lag_us);
+    for class in SloClass::ALL {
+        let c = report.class(class);
+        println!(
+            "  class {:<11} submitted={} admitted={} scored={} shed={} rejected={} deadline={} invalid={} shed_rate={:.4} p50={:.1}us p99={:.1}us",
+            class.label(),
+            c.submitted,
+            c.admitted,
+            c.scored,
+            c.shed_overload,
+            c.rejected_full,
+            c.deadline_expired,
+            c.invalid,
+            c.shed_rate(),
+            c.latency_us.p50,
+            c.latency_us.p99,
+        );
+    }
+    println!("  batch_size   p50 {:.1}  p99 {:.1}  mean {:.2}", batch.p50, batch.p99, batch.mean());
+    println!("  queue_wait   p50 {:.1} us  p99 {:.1} us", queue_wait.p50, queue_wait.p99);
+    println!("  batch_compute p50 {:.1} us  p99 {:.1} us", compute.p50, compute.p99);
+    let total_shed: u64 =
+        report.classes.iter().map(|c| c.shed_overload + c.rejected_full + c.deadline_expired).sum();
+    println!("  overload     total_shed={total_shed} (class sheds + queue-full + deadline)");
+    println!("  versions_seen {:?}", report.versions_seen);
+    println!("  swap         retired_version={retired}");
+    println!("  probe_digest 0x{digest:016x}");
+    println!("  accounting   {}", if report.accounting_ok() { "OK" } else { "VIOLATED" });
+
+    let mut fields = vec![
+        ("mode", Value::from("open_loop".to_string())),
+        ("rate_rps", Value::from(rate)),
+        ("duration_secs", Value::from(duration)),
+        ("replicas", Value::from(pool.n_replicas() as u64)),
+        ("submitted", Value::from(report.submitted())),
+        ("scored", Value::from(report.scored())),
+        ("scored_qps", Value::from(report.scored_qps())),
+        ("wall_secs", Value::from(report.wall_secs)),
+        ("batch_p50", Value::from(batch.p50)),
+        ("batch_p99", Value::from(batch.p99)),
+        ("probe_digest", Value::from(format!("0x{digest:016x}"))),
+        ("accounting_ok", Value::from(report.accounting_ok())),
+    ];
+    for class in SloClass::ALL {
+        let c = report.class(class);
+        let l = class.label();
+        fields.push((leak(format!("{l}_submitted")), Value::from(c.submitted)));
+        fields.push((leak(format!("{l}_scored")), Value::from(c.scored)));
+        fields.push((leak(format!("{l}_shed")), Value::from(c.shed_overload)));
+        fields.push((leak(format!("{l}_rejected")), Value::from(c.rejected_full)));
+        fields.push((leak(format!("{l}_deadline")), Value::from(c.deadline_expired)));
+        fields.push((leak(format!("{l}_p50_us")), Value::from(c.latency_us.p50)));
+        fields.push((leak(format!("{l}_p99_us")), Value::from(c.latency_us.p99)));
+    }
+    telemetry.log().emit("serve_bench_open", &fields);
+    telemetry.finish();
+
+    if !report.accounting_ok() {
+        eprintln!("[serve_bench] FAILED: per-class accounting identity violated (silent drop)");
+        std::process::exit(1);
+    }
+    if report.scored() == 0 {
+        eprintln!("[serve_bench] FAILED: nothing scored");
+        std::process::exit(1);
+    }
+}
+
+/// One emitted field name lives for the rest of the process — a handful
+/// per run, so leaking beats threading a string arena through the log.
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// The PR 3 closed-loop mode, generalized over the replica pool.
+fn run_closed(
+    args: &BenchArgs,
+    telemetry: &BenchTelemetry,
+    pool: &ReplicatedServer,
+    fc: &FeatureConfig,
+    n_domains: usize,
+    v2: ServingSnapshot,
+    digest: u64,
+) {
+    let total_requests = ((1_000.0 * args.scale).round() as usize).max(100);
+    let clients = args.threads.max(1);
     eprintln!(
-        "[serve_bench] {total_requests} requests, {clients} closed-loop clients, hot swap at 50% ..."
+        "[serve_bench] {total_requests} requests, {clients} closed-loop clients, {} replica(s), hot swap at 50% ...",
+        pool.n_replicas()
     );
     let per_client = total_requests.div_ceil(clients);
     let scored_v1 = AtomicU64::new(0);
@@ -99,10 +319,8 @@ fn main() {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for c in 0..clients {
-            let server = &server;
-            let fc = &fc;
             let (scored_v1, scored_v2, dropped, done) = (&scored_v1, &scored_v2, &dropped, &done);
-            let n_domains = ds.n_domains();
+            let pool = &pool;
             s.spawn(move || {
                 for i in 0..per_client {
                     let k = (c * per_client + i) as u32;
@@ -113,7 +331,7 @@ fn main() {
                         k % fc.n_user_groups as u32,
                         k % fc.n_item_cats as u32,
                     );
-                    match server.submit(req, Some(Duration::from_secs(30))) {
+                    match pool.submit(req, Some(Duration::from_secs(30))) {
                         Ok(pending) => match pending.wait() {
                             ServeResult::Scored(r) if r.snapshot_version == 1 => {
                                 scored_v1.fetch_add(1, Ordering::Relaxed);
@@ -140,16 +358,14 @@ fn main() {
         while done.load(Ordering::Relaxed) < half {
             std::thread::sleep(Duration::from_micros(200));
         }
-        let retired = engine.publish(v2);
+        let retired = pool.publish(v2);
         eprintln!(
-            "[serve_bench] swapped v{} -> v{} after {} responses",
-            retired.version(),
-            engine.current_version(),
+            "[serve_bench] swapped v{retired} -> v{} after {} responses",
+            pool.current_version(),
             done.load(Ordering::Relaxed)
         );
     });
     let elapsed = t0.elapsed().as_secs_f64();
-    server.shutdown();
 
     let served = clients * per_client;
     let (n1, n2, bad) = (
@@ -158,22 +374,25 @@ fn main() {
         dropped.load(Ordering::Relaxed),
     );
     let qps = served as f64 / elapsed;
+    let engine = pool.engine(0);
     let lat = engine.metrics().latency_seconds.snapshot();
     let batch = engine.metrics().batch_size.snapshot();
     let queue_wait = engine.metrics().queue_wait_us.snapshot();
     let compute = engine.metrics().batch_compute_us.snapshot();
 
-    println!("serve_bench: {served} requests, {clients} clients, threads={}", args.threads);
+    println!(
+        "serve_bench: {served} requests, {clients} clients, replicas={}, threads={}",
+        pool.n_replicas(),
+        args.threads
+    );
     println!("  qps          {qps:.1}");
     println!("  p50_latency  {:.1} us", lat.p50 * 1e6);
     println!("  p99_latency  {:.1} us", lat.p99 * 1e6);
     println!("  queue_wait   p50 {:.1} us  p99 {:.1} us", queue_wait.p50, queue_wait.p99);
     println!("  batch_compute p50 {:.1} us  p99 {:.1} us", compute.p50, compute.p99);
-    println!(
-        "  mean_batch   {:.2}",
-        if batch.count > 0 { batch.sum / batch.count as f64 } else { 0.0 }
-    );
+    println!("  batch_size   p50 {:.1}  p99 {:.1}  mean {:.2}", batch.p50, batch.p99, batch.mean());
     println!("  versions     v1={n1} v2={n2}");
+    println!("  probe_digest 0x{digest:016x}");
     println!("  dropped      {bad}");
 
     if let Some(tracer) = telemetry.tracer() {
@@ -199,6 +418,7 @@ fn main() {
         &[
             ("requests", Value::from(served as u64)),
             ("clients", Value::from(clients as u64)),
+            ("replicas", Value::from(pool.n_replicas() as u64)),
             ("qps", Value::from(qps)),
             ("p50_seconds", Value::from(lat.p50)),
             ("p99_seconds", Value::from(lat.p99)),
@@ -206,8 +426,11 @@ fn main() {
             ("queue_wait_p99_us", Value::from(queue_wait.p99)),
             ("batch_compute_p50_us", Value::from(compute.p50)),
             ("batch_compute_p99_us", Value::from(compute.p99)),
+            ("batch_p50", Value::from(batch.p50)),
+            ("batch_p99", Value::from(batch.p99)),
             ("scored_v1", Value::from(n1)),
             ("scored_v2", Value::from(n2)),
+            ("probe_digest", Value::from(format!("0x{digest:016x}"))),
             ("dropped", Value::from(bad)),
         ],
     );

@@ -1,0 +1,250 @@
+//! Adaptive batch-closing policy and its speedup predictor.
+//!
+//! The fixed-window dispatcher of PR 3 held every request for up to
+//! `max_wait_us` hoping peers would arrive — and the PR 6 span data showed
+//! the cost: ~96% of a request's lifecycle was queue wait at low offered
+//! load, with `mean_batch = 1.0` (nobody ever arrived inside the window).
+//! The adaptive policy inverts the default: a batch closes **as soon as
+//! the admission queue drains**, unless waiting is predicted to pay for
+//! itself. Waiting pays when the expected gap to the next arrival is
+//! smaller than the per-request speedup a larger batch would buy — the
+//! amortizable fixed cost `a` of a forward pass, taken from a live linear
+//! fit `compute(n) ≈ a + b·n` over the same observations that feed the
+//! `serve_batch_compute_us` histogram.
+//!
+//! Both inputs are cheap EWMAs/decayed sums behind one mutex that is
+//! touched once per batch (workers) and once per arrival (dispatcher) —
+//! never inside a forward pass.
+
+use std::sync::Mutex;
+
+/// How the dispatcher decides a micro-batch is complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// PR 3 behavior: hold a domain's buffer until it reaches `max_batch`
+    /// requests or its oldest request has waited `max_wait_us`.
+    FixedWindow,
+    /// Close a batch when the queue drains or when the predicted wait for
+    /// the next arrival exceeds the predicted per-request speedup from a
+    /// larger batch. `max_wait_us` remains the hard upper bound, so the
+    /// adaptive policy is never *slower* to flush than the fixed window.
+    #[default]
+    Adaptive,
+}
+
+impl BatchPolicy {
+    /// Parses the `--policy` spelling used by `serve_bench`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fixed" => Ok(BatchPolicy::FixedWindow),
+            "adaptive" => Ok(BatchPolicy::Adaptive),
+            other => Err(format!("unknown batch policy {other:?} (expected fixed or adaptive)")),
+        }
+    }
+}
+
+/// Decayed sufficient statistics for the line `compute(n) = a + b·n`,
+/// plus an EWMA of request inter-arrival gaps.
+#[derive(Debug, Clone)]
+struct PredictorState {
+    // Exponentially decayed least-squares sums over (batch_size, cost_us).
+    s_1: f64,
+    s_n: f64,
+    s_nn: f64,
+    s_c: f64,
+    s_nc: f64,
+    /// EWMA of the gap between consecutive admissions, microseconds.
+    gap_us: f64,
+}
+
+/// Live model of batch economics: what a bigger batch saves, and how long
+/// the next arrival is likely to take.
+///
+/// Fed by the scoring workers (one `observe_batch` per forward pass, the
+/// same numbers recorded into `serve_batch_compute_us`) and by the
+/// dispatcher (one `observe_arrival` per admission). Read by the
+/// dispatcher to decide whether holding a batch open is worth it.
+#[derive(Debug)]
+pub struct SpeedupPredictor {
+    state: Mutex<PredictorState>,
+}
+
+/// Observation decay per new batch sample: ~1% weight loss, so the fit
+/// tracks a model swap or thermal shift within a few hundred batches while
+/// staying stable against single outliers.
+const DECAY: f64 = 0.99;
+/// EWMA weight of a new inter-arrival gap observation.
+const GAP_ALPHA: f64 = 0.2;
+/// Until enough batches are observed, assume zero amortizable cost —
+/// i.e. flush on queue drain. Waiting is opt-in by evidence.
+const MIN_WEIGHT: f64 = 8.0;
+
+impl Default for SpeedupPredictor {
+    fn default() -> Self {
+        SpeedupPredictor {
+            state: Mutex::new(PredictorState {
+                s_1: 0.0,
+                s_n: 0.0,
+                s_nn: 0.0,
+                s_c: 0.0,
+                s_nc: 0.0,
+                gap_us: f64::INFINITY,
+            }),
+        }
+    }
+}
+
+impl SpeedupPredictor {
+    /// A predictor with no observations: it predicts zero speedup (never
+    /// wait) until workers feed it real batch costs.
+    pub fn new() -> Self {
+        SpeedupPredictor::default()
+    }
+
+    /// Records one executed batch: `n` requests scored in `cost_us`.
+    pub fn observe_batch(&self, n: usize, cost_us: f64) {
+        if !(cost_us.is_finite() && cost_us >= 0.0) {
+            return;
+        }
+        let n = n.max(1) as f64;
+        let mut s = self.state.lock().expect("predictor lock");
+        s.s_1 = s.s_1 * DECAY + 1.0;
+        s.s_n = s.s_n * DECAY + n;
+        s.s_nn = s.s_nn * DECAY + n * n;
+        s.s_c = s.s_c * DECAY + cost_us;
+        s.s_nc = s.s_nc * DECAY + n * cost_us;
+    }
+
+    /// Records the gap since the previous admission, microseconds.
+    pub fn observe_arrival(&self, gap_us: f64) {
+        if !(gap_us.is_finite() && gap_us >= 0.0) {
+            return;
+        }
+        let mut s = self.state.lock().expect("predictor lock");
+        if s.gap_us.is_finite() {
+            s.gap_us = (1.0 - GAP_ALPHA) * s.gap_us + GAP_ALPHA * gap_us;
+        } else {
+            s.gap_us = gap_us;
+        }
+    }
+
+    /// The fitted amortizable fixed cost `a` of one forward pass,
+    /// microseconds: what every extra request coalesced into an existing
+    /// batch saves over being scored in its own batch. `0` until the fit
+    /// has enough weight, and never negative.
+    pub fn per_request_speedup_us(&self) -> f64 {
+        let s = self.state.lock().expect("predictor lock");
+        fixed_cost_us(&s)
+    }
+
+    /// EWMA of the inter-admission gap, microseconds (`∞` before the
+    /// second admission is seen).
+    pub fn expected_gap_us(&self) -> f64 {
+        self.state.lock().expect("predictor lock").gap_us
+    }
+
+    /// The adaptive close decision: should a non-empty batch wait for one
+    /// more arrival? Waiting is worth it only when the predicted gap is
+    /// shorter than the predicted per-request speedup — otherwise the
+    /// marginal wait costs more latency than the bigger batch saves
+    /// compute.
+    pub fn worth_waiting(&self) -> bool {
+        let s = self.state.lock().expect("predictor lock");
+        s.gap_us < fixed_cost_us(&s)
+    }
+}
+
+/// Solves the decayed least-squares line for its intercept `a`, clamped
+/// to be non-negative (a negative intercept means the fit is noise).
+fn fixed_cost_us(s: &PredictorState) -> f64 {
+    if s.s_1 < MIN_WEIGHT {
+        return 0.0;
+    }
+    let det = s.s_1 * s.s_nn - s.s_n * s.s_n;
+    if det.abs() < 1e-9 {
+        // All observed batches were the same size; the split between fixed
+        // and marginal cost is unidentifiable. Treat the whole mean cost
+        // as fixed: with single-request batches (the low-load signature)
+        // that is exactly the amortizable amount.
+        return (s.s_c / s.s_1).max(0.0);
+    }
+    let b = (s.s_1 * s.s_nc - s.s_n * s.s_c) / det;
+    let a = (s.s_c - b * s.s_n) / s.s_1;
+    a.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_defaults_to_adaptive() {
+        assert_eq!(BatchPolicy::parse("fixed").unwrap(), BatchPolicy::FixedWindow);
+        assert_eq!(BatchPolicy::parse("adaptive").unwrap(), BatchPolicy::Adaptive);
+        assert!(BatchPolicy::parse("banana").is_err());
+        assert_eq!(BatchPolicy::default(), BatchPolicy::Adaptive);
+    }
+
+    #[test]
+    fn cold_predictor_never_waits() {
+        let p = SpeedupPredictor::new();
+        assert_eq!(p.per_request_speedup_us(), 0.0);
+        assert!(!p.worth_waiting());
+        // A handful of observations below MIN_WEIGHT still refuse to wait.
+        for _ in 0..4 {
+            p.observe_batch(1, 50.0);
+            p.observe_arrival(1.0);
+        }
+        assert!(!p.worth_waiting());
+    }
+
+    #[test]
+    fn fit_recovers_fixed_cost_from_mixed_batch_sizes() {
+        let p = SpeedupPredictor::new();
+        // compute(n) = 40 + 3n exactly.
+        for &n in [1usize, 2, 4, 8, 16, 32].iter().cycle().take(120) {
+            p.observe_batch(n, 40.0 + 3.0 * n as f64);
+        }
+        let a = p.per_request_speedup_us();
+        assert!((a - 40.0).abs() < 2.0, "fitted fixed cost {a}, want ~40");
+    }
+
+    #[test]
+    fn uniform_batch_sizes_fall_back_to_mean_cost() {
+        let p = SpeedupPredictor::new();
+        for _ in 0..50 {
+            p.observe_batch(1, 25.0);
+        }
+        let a = p.per_request_speedup_us();
+        assert!((a - 25.0).abs() < 1.0, "degenerate fit {a}, want ~25");
+    }
+
+    #[test]
+    fn waiting_tracks_the_gap_to_speedup_ratio() {
+        let p = SpeedupPredictor::new();
+        for &n in [1usize, 4, 16].iter().cycle().take(90) {
+            p.observe_batch(n, 100.0 + 2.0 * n as f64);
+        }
+        // Arrivals every 5us, speedup ~100us: waiting pays.
+        for _ in 0..20 {
+            p.observe_arrival(5.0);
+        }
+        assert!(p.worth_waiting(), "gap 5us vs speedup ~100us should wait");
+        // Arrivals every 10ms: flush immediately.
+        for _ in 0..60 {
+            p.observe_arrival(10_000.0);
+        }
+        assert!(!p.worth_waiting(), "gap 10ms vs speedup ~100us should flush");
+    }
+
+    #[test]
+    fn pathological_observations_are_ignored() {
+        let p = SpeedupPredictor::new();
+        p.observe_batch(3, f64::NAN);
+        p.observe_batch(3, -1.0);
+        p.observe_arrival(f64::NAN);
+        p.observe_arrival(-2.0);
+        assert_eq!(p.per_request_speedup_us(), 0.0);
+        assert!(!p.worth_waiting());
+    }
+}

@@ -16,6 +16,7 @@
 //! `Release` decrements with an `Acquire` fence before deallocation, so the
 //! retiring thread sees all reader writes before the memory is reclaimed.
 
+use crate::request::SloClass;
 use crate::snapshot::ServingSnapshot;
 use mamdr_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 use std::sync::{Arc, Mutex};
@@ -34,6 +35,14 @@ pub struct ServeMetrics {
     pub rejected_total: Counter,
     /// Admitted requests that expired before scoring.
     pub deadline_exceeded_total: Counter,
+    /// Admitted requests whose deadline expired *while queued* and were
+    /// shed by the dispatcher without ever reaching a scoring worker — a
+    /// subset of the deadline outcomes that `deadline_exceeded_total`
+    /// does not include (that one counts worker-side pickup expiry).
+    pub deadline_expired_total: Counter,
+    /// Submissions shed because their SLO class hit its bounded depth,
+    /// one counter per class (`serve_shed_total{class="..."}`).
+    pub shed_total: [Counter; SloClass::COUNT],
     /// Micro-batches executed.
     pub batches_total: Counter,
     /// Snapshot hot swaps performed.
@@ -65,6 +74,14 @@ impl ServeMetrics {
             "serve_deadline_exceeded_total",
             "Admitted requests that expired before scoring.",
         );
+        registry.describe(
+            "serve_deadline_expired_total",
+            "Admitted requests shed while queued because their deadline expired.",
+        );
+        registry.describe(
+            "serve_shed_total",
+            "Submissions shed because their SLO class hit its bounded depth.",
+        );
         registry.describe("serve_batches_total", "Micro-batches executed.");
         registry.describe("serve_swaps_total", "Snapshot hot swaps performed.");
         registry.describe("serve_queue_depth", "Current depth of the admission queue.");
@@ -82,6 +99,9 @@ impl ServeMetrics {
             responses_total: registry.counter("serve_responses_total"),
             rejected_total: registry.counter("serve_rejected_total"),
             deadline_exceeded_total: registry.counter("serve_deadline_exceeded_total"),
+            deadline_expired_total: registry.counter("serve_deadline_expired_total"),
+            shed_total: SloClass::ALL
+                .map(|c| registry.counter(&format!("serve_shed_total{{class=\"{}\"}}", c.label()))),
             batches_total: registry.counter("serve_batches_total"),
             swaps_total: registry.counter("serve_swaps_total"),
             queue_depth: registry.gauge("serve_queue_depth"),
@@ -106,8 +126,15 @@ pub struct ScoringEngine {
 impl ScoringEngine {
     /// An engine serving `snapshot`, reporting into `registry`.
     pub fn new(snapshot: ServingSnapshot, registry: &MetricsRegistry) -> Self {
+        Self::new_shared(Arc::new(snapshot), registry)
+    }
+
+    /// An engine serving an already-shared snapshot. Replicated pools use
+    /// this so N replicas pin the *same* allocation — one set of
+    /// materialized Θ_d in memory no matter how many replicas serve it.
+    pub fn new_shared(snapshot: Arc<ServingSnapshot>, registry: &MetricsRegistry) -> Self {
         ScoringEngine {
-            current: Mutex::new(Arc::new(snapshot)),
+            current: Mutex::new(snapshot),
             metrics: ServeMetrics::register(registry),
             tracer: None,
         }
@@ -137,11 +164,16 @@ impl ScoringEngine {
     /// In-flight batches pinned to the old version finish on it; its memory
     /// is reclaimed when the returned `Arc` and every pin drop.
     pub fn publish(&self, snapshot: ServingSnapshot) -> Arc<ServingSnapshot> {
+        self.publish_shared(Arc::new(snapshot))
+    }
+
+    /// [`publish`](Self::publish) for a snapshot that other engines also
+    /// serve: the replicated pool swaps every replica to one shared `Arc`.
+    pub fn publish_shared(&self, next: Arc<ServingSnapshot>) -> Arc<ServingSnapshot> {
         let mut swap_span = self.tracer.as_deref().map(|t| t.span("serve.swap"));
         if let Some(s) = swap_span.as_mut() {
-            s.attr("version", snapshot.version());
+            s.attr("version", next.version());
         }
-        let next = Arc::new(snapshot);
         let old = {
             let mut cur = self.current.lock().expect("engine lock");
             std::mem::replace(&mut *cur, next)

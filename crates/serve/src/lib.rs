@@ -13,22 +13,33 @@
 //!   atomically replaceable `Arc<ServingSnapshot>` where in-flight batches
 //!   finish on the version they pinned and the retired snapshot is freed
 //!   when its last pin drops.
-//! * [`Server`] — bounded-queue admission (full ⇒ explicit rejection),
-//!   a dispatcher that coalesces same-domain requests into micro-batches
-//!   (`max_batch` / `max_wait_us`), per-request deadlines, and worker
-//!   threads scoring through the same deterministic kernels as training —
-//!   scores are bit-identical at any `MAMDR_THREADS` setting.
+//! * [`Server`] — bounded-queue admission (full ⇒ explicit rejection,
+//!   per-[`SloClass`] bounds ⇒ typed shed), a dispatcher that coalesces
+//!   same-(domain, class) requests into micro-batches under a pluggable
+//!   [`BatchPolicy`] (adaptive queue-drain closing by default, the PR 3
+//!   fixed window on request), per-request deadlines enforced both while
+//!   queued and at worker pickup, and worker threads scoring through the
+//!   same deterministic kernels as training — scores are bit-identical at
+//!   any `MAMDR_THREADS` setting.
+//! * [`ReplicatedServer`] — N complete serving stacks over one shared
+//!   snapshot allocation, routed by FNV-1a over the user id (the
+//!   `ShardMap` discipline: reproducible, feedback-free), with hot swap
+//!   propagated to every replica under one pool lock.
 //!
 //! All serve-side telemetry (serve_* counters, queue-depth gauge, latency
 //! and batch-size histograms) flows through `mamdr-obs`'s
 //! [`MetricsRegistry`](mamdr_obs::MetricsRegistry).
 
+mod batcher;
 mod engine;
+mod replica;
 mod request;
 mod server;
 mod snapshot;
 
+pub use batcher::{BatchPolicy, SpeedupPredictor};
 pub use engine::{ScoringEngine, ServeMetrics};
-pub use request::{Response, ScoreRequest, ServeResult, SubmitError};
+pub use replica::{replica_of, ReplicatedServer};
+pub use request::{Response, ScoreRequest, ServeResult, SloClass, SubmitError};
 pub use server::{Pending, ServeConfig, Server};
 pub use snapshot::{ModelSpec, ServingSnapshot, SnapshotError};

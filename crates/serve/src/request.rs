@@ -81,12 +81,57 @@ impl ServeResult {
     }
 }
 
+/// The service class of a request: which admission queue it competes in
+/// and how aggressively overload sheds it.
+///
+/// Classes partition the admission bound: each has its own bounded depth,
+/// so a flood of `Bulk` traffic can never starve `Interactive` admission —
+/// the bulk queue fills and sheds (typed, per class) while interactive
+/// requests keep flowing into their own budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SloClass {
+    /// User-facing traffic: tight latency target, flushed ahead of bulk.
+    #[default]
+    Interactive,
+    /// Offline/batch rescoring traffic: tolerant of queueing, first to
+    /// shed under overload.
+    Bulk,
+}
+
+impl SloClass {
+    /// Index into per-class arrays (`Interactive = 0`, `Bulk = 1`).
+    pub const COUNT: usize = 2;
+
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Bulk => 1,
+        }
+    }
+
+    /// Stable lower-case label, used in per-class metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Bulk => "bulk",
+        }
+    }
+
+    /// Both classes, in index order.
+    pub const ALL: [SloClass; 2] = [SloClass::Interactive, SloClass::Bulk];
+}
+
 /// Why a submission was refused admission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded request queue is at capacity. Explicit rejection, never
     /// blocking: the caller sheds load or retries with backoff.
     QueueFull,
+    /// The request's service class is at its own bounded depth: the
+    /// request was shed by class under overload. Other classes may still
+    /// be admitting.
+    ShedOverload(SloClass),
     /// The server is shutting down.
     Closed,
 }
@@ -95,6 +140,9 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "request queue full"),
+            SubmitError::ShedOverload(c) => {
+                write!(f, "{} queue overloaded, request shed", c.label())
+            }
             SubmitError::Closed => write!(f, "server shutting down"),
         }
     }
@@ -107,6 +155,7 @@ impl std::error::Error for SubmitError {}
 pub(crate) struct Envelope {
     pub id: u64,
     pub req: ScoreRequest,
+    pub class: SloClass,
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
     /// When the dispatcher flushed this request's micro-batch toward the

@@ -1,12 +1,30 @@
 //! The micro-batching request server.
 //!
-//! Requests enter through a bounded admission queue (`submit` never blocks:
-//! a full queue is an explicit [`SubmitError::QueueFull`]). A dispatcher
-//! thread drains the queue and coalesces same-domain requests into
-//! micro-batches, flushing a domain when it reaches `max_batch` requests or
-//! its oldest request has waited `max_wait_us`. Worker threads pull flushed
-//! batches, pin the current snapshot, expire per-request deadlines, validate,
-//! and score the survivors in a single forward pass.
+//! Requests enter through bounded admission (`submit` never blocks: the
+//! global bound rejects with [`SubmitError::QueueFull`], a class bound
+//! sheds with the typed [`SubmitError::ShedOverload`]). A dispatcher
+//! thread drains the queue and coalesces same-(domain, class) requests
+//! into micro-batches. When a batch closes is the [`BatchPolicy`]'s call:
+//!
+//! * [`BatchPolicy::FixedWindow`] flushes a buffer when it reaches
+//!   `max_batch` requests or its oldest request has waited `max_wait_us`
+//!   (PR 3 behavior — p50 is pinned to the window at low load).
+//! * [`BatchPolicy::Adaptive`] flushes the moment the admission queue
+//!   drains, *unless* the [`SpeedupPredictor`] says waiting pays: the
+//!   expected gap to the next arrival is smaller than the per-request
+//!   speedup a larger batch buys (the amortizable fixed cost of a forward
+//!   pass, fit live from the same observations as
+//!   `serve_batch_compute_us`). `max_wait_us` stays the hard cap, and a
+//!   predicted arrival that fails to show within a few expected gaps
+//!   flushes immediately — the policy can delay a request by at most a
+//!   few inter-arrival times, never by the full window.
+//!
+//! Worker threads pull flushed batches, pin the current snapshot, expire
+//! per-request deadlines, validate, and score the survivors in a single
+//! forward pass. The dispatcher additionally sheds requests whose
+//! deadline expires *while queued* (typed `DeadlineExceeded`, counted in
+//! `serve_deadline_expired_total`) so an expired request never occupies a
+//! batch slot or is scored late.
 //!
 //! Invariants:
 //!
@@ -21,12 +39,13 @@
 //!   score is the same whether it was scored alone or inside a batch (STAR's
 //!   partitioned normalization is the documented exception, see DESIGN §7).
 
+use crate::batcher::{BatchPolicy, SpeedupPredictor};
 use crate::engine::{ScoringEngine, ServeMetrics};
-use crate::request::{Envelope, Response, ScoreRequest, ServeResult, SubmitError};
+use crate::request::{Envelope, Response, ScoreRequest, ServeResult, SloClass, SubmitError};
 use mamdr_obs::Tracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,21 +53,48 @@ use std::time::{Duration, Instant};
 /// Tunables of the micro-batching scheduler.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Flush a domain's buffer as soon as it holds this many requests.
+    /// Flush a buffer as soon as it holds this many requests.
     pub max_batch: usize,
-    /// Flush a domain's buffer once its oldest request has waited this long
-    /// (microseconds). `0` disables coalescing: every request flushes alone.
+    /// Hard cap on coalescing wait (microseconds): a buffer is flushed
+    /// once its oldest request has waited this long regardless of policy.
+    /// Under `FixedWindow` it is also the *only* age trigger. `0` disables
+    /// coalescing: every request flushes alone.
     pub max_wait_us: u64,
     /// Admission bound: maximum requests in flight (queued, buffered or
     /// being scored). Submissions beyond it are rejected, never blocked.
     pub queue_cap: usize,
+    /// Per-class admission bounds, indexed by [`SloClass::index`]. `0`
+    /// inherits `queue_cap` (class unconstrained beyond the global bound).
+    /// A class at its bound sheds with the typed
+    /// [`SubmitError::ShedOverload`] while other classes keep admitting.
+    pub class_caps: [usize; SloClass::COUNT],
     /// Scoring worker threads.
     pub n_workers: usize,
+    /// When a coalescing buffer closes (see module docs).
+    pub policy: BatchPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 32, max_wait_us: 500, queue_cap: 1024, n_workers: 2 }
+        ServeConfig {
+            max_batch: 32,
+            max_wait_us: 500,
+            queue_cap: 1024,
+            class_caps: [0; SloClass::COUNT],
+            n_workers: 2,
+            policy: BatchPolicy::Adaptive,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective admission bound of `class` (`0` inherits the global
+    /// `queue_cap`).
+    pub fn class_cap(&self, class: SloClass) -> usize {
+        match self.class_caps[class.index()] {
+            0 => self.queue_cap,
+            n => n,
+        }
     }
 }
 
@@ -76,13 +122,31 @@ impl Pending {
     }
 }
 
-/// The running serving stack: admission queue, dispatcher, workers.
+/// In-system request depth, global and per class. One release per
+/// delivered result keeps `admitted = in-system + responded` exact.
+pub(crate) struct Depths {
+    total: AtomicI64,
+    class: [AtomicI64; SloClass::COUNT],
+}
+
+impl Depths {
+    fn new() -> Self {
+        Depths { total: AtomicI64::new(0), class: [AtomicI64::new(0), AtomicI64::new(0)] }
+    }
+
+    fn release(&self, class: SloClass) -> i64 {
+        self.class[class.index()].fetch_sub(1, Ordering::Relaxed);
+        self.total.fetch_sub(1, Ordering::Relaxed) - 1
+    }
+}
+
+/// The running serving stack: admission queues, dispatcher, workers.
 pub struct Server {
     engine: Arc<ScoringEngine>,
     submit_tx: Option<SyncSender<Envelope>>,
     next_id: AtomicU64,
-    depth: Arc<AtomicI64>,
-    queue_cap: usize,
+    depths: Arc<Depths>,
+    config: ServeConfig,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -96,22 +160,28 @@ impl Server {
         assert!(config.queue_cap >= 1, "queue_cap must be positive");
         let (submit_tx, submit_rx) = mpsc::sync_channel(config.queue_cap);
         let (batch_tx, batch_rx) = mpsc::channel();
-        let max_batch = config.max_batch;
-        let max_wait = Duration::from_micros(config.max_wait_us);
-        let dispatcher = std::thread::Builder::new()
-            .name("serve-dispatch".into())
-            .spawn(move || run_dispatcher(submit_rx, batch_tx, max_batch, max_wait))
-            .expect("spawn dispatcher");
+        let depths = Arc::new(Depths::new());
+        let predictor = Arc::new(SpeedupPredictor::new());
+        let dispatcher = {
+            let cfg = config.clone();
+            let metrics = engine.metrics().clone();
+            let depths = Arc::clone(&depths);
+            let predictor = Arc::clone(&predictor);
+            std::thread::Builder::new()
+                .name("serve-dispatch".into())
+                .spawn(move || run_dispatcher(submit_rx, batch_tx, cfg, metrics, depths, predictor))
+                .expect("spawn dispatcher")
+        };
         let batch_rx = Arc::new(Mutex::new(batch_rx));
-        let depth = Arc::new(AtomicI64::new(0));
         let workers = (0..config.n_workers)
             .map(|i| {
                 let rx = Arc::clone(&batch_rx);
                 let engine = Arc::clone(&engine);
-                let depth = Arc::clone(&depth);
+                let depths = Arc::clone(&depths);
+                let predictor = Arc::clone(&predictor);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || run_worker(rx, engine, depth))
+                    .spawn(move || run_worker(rx, engine, depths, predictor))
                     .expect("spawn worker")
             })
             .collect();
@@ -119,27 +189,44 @@ impl Server {
             engine,
             submit_tx: Some(submit_tx),
             next_id: AtomicU64::new(0),
-            depth,
-            queue_cap: config.queue_cap,
+            depths,
+            config,
             dispatcher: Some(dispatcher),
             workers,
         }
     }
 
-    /// Submits a request. Never blocks: a full queue rejects with
-    /// [`SubmitError::QueueFull`]. `deadline` (relative to now) is checked
-    /// when a worker picks the request up; expired requests are answered
-    /// with [`ServeResult::DeadlineExceeded`] instead of being scored.
+    /// Submits an [`SloClass::Interactive`] request. Never blocks: a full
+    /// queue rejects with [`SubmitError::QueueFull`], a full class sheds
+    /// with [`SubmitError::ShedOverload`]. `deadline` (relative to now) is
+    /// enforced while queued and at worker pickup; expired requests are
+    /// answered with [`ServeResult::DeadlineExceeded`] instead of being
+    /// scored late.
     pub fn submit(
         &self,
         req: ScoreRequest,
         deadline: Option<Duration>,
     ) -> Result<Pending, SubmitError> {
+        self.submit_class(req, deadline, SloClass::Interactive)
+    }
+
+    /// [`submit`](Self::submit) with an explicit service class.
+    pub fn submit_class(
+        &self,
+        req: ScoreRequest,
+        deadline: Option<Duration>,
+        class: SloClass,
+    ) -> Result<Pending, SubmitError> {
         let m = self.engine.metrics();
         let tx = self.submit_tx.as_ref().ok_or(SubmitError::Closed)?;
-        if self.depth.load(Ordering::Relaxed) >= self.queue_cap as i64 {
+        if self.depths.total.load(Ordering::Relaxed) >= self.config.queue_cap as i64 {
             m.rejected_total.inc();
             return Err(SubmitError::QueueFull);
+        }
+        let ci = class.index();
+        if self.depths.class[ci].load(Ordering::Relaxed) >= self.config.class_cap(class) as i64 {
+            m.shed_total[ci].inc();
+            return Err(SubmitError::ShedOverload(class));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = mpsc::channel();
@@ -147,12 +234,14 @@ impl Server {
         let env = Envelope {
             id,
             req,
+            class,
             deadline: deadline.map(|d| now + d),
             enqueued: now,
             flushed: None,
             reply,
         };
-        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let d = self.depths.total.fetch_add(1, Ordering::Relaxed) + 1;
+        self.depths.class[ci].fetch_add(1, Ordering::Relaxed);
         match tx.try_send(env) {
             Ok(()) => {
                 m.requests_total.inc();
@@ -160,12 +249,12 @@ impl Server {
                 Ok(Pending { id, rx })
             }
             Err(TrySendError::Full(_)) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.depths.release(class);
                 m.rejected_total.inc();
                 Err(SubmitError::QueueFull)
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.depths.release(class);
                 Err(SubmitError::Closed)
             }
         }
@@ -174,6 +263,11 @@ impl Server {
     /// The engine, for hot swaps (`engine().publish(...)`) and metrics.
     pub fn engine(&self) -> &Arc<ScoringEngine> {
         &self.engine
+    }
+
+    /// The scheduler configuration this server runs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
     }
 
     /// Graceful shutdown: stops admission, flushes every buffered request
@@ -199,53 +293,164 @@ impl Drop for Server {
     }
 }
 
-/// Drains the admission queue into per-domain buffers; flushes on size or age.
+/// Coalescing buffers keyed by (domain, class) — a batch never mixes
+/// domains (different Θ_d) or classes (different latency contracts).
+type BufferKey = (usize, SloClass);
+
+/// Drains the admission queue into per-(domain, class) buffers and closes
+/// batches per the configured policy. Also the queue-side deadline
+/// enforcer: expired buffered requests are shed here, never scored.
 fn run_dispatcher(
     rx: Receiver<Envelope>,
     batch_tx: mpsc::Sender<Vec<Envelope>>,
-    max_batch: usize,
-    max_wait: Duration,
+    config: ServeConfig,
+    metrics: ServeMetrics,
+    depths: Arc<Depths>,
+    predictor: Arc<SpeedupPredictor>,
 ) {
-    let mut buffers: HashMap<usize, Vec<Envelope>> = HashMap::new();
-    loop {
-        // Sleep only until the oldest buffered request is due to flush.
-        let timeout = buffers
+    let max_wait = Duration::from_micros(config.max_wait_us);
+    let mut buffers: HashMap<BufferKey, Vec<Envelope>> = HashMap::new();
+    let mut last_arrival: Option<Instant> = None;
+    'outer: loop {
+        // Sleep only until the next actionable instant: the oldest
+        // buffered request's hard flush cap, or the earliest buffered
+        // deadline (so an expiring request is shed on time, not when the
+        // next unrelated event happens to wake us).
+        let now = Instant::now();
+        let next_due = buffers
             .values()
             .filter_map(|b| b.first())
-            .map(|e| (e.enqueued + max_wait).saturating_duration_since(Instant::now()))
-            .min()
-            .unwrap_or(max_wait.max(Duration::from_millis(10)));
+            .map(|e| e.enqueued + max_wait)
+            .chain(buffers.values().flatten().filter_map(|e| e.deadline))
+            .min();
+        let mut gap_elapsed = false;
+        let timeout = match next_due {
+            Some(t) => {
+                let mut d = t.saturating_duration_since(now);
+                // Adaptive holds are additionally bounded by the arrival
+                // forecast: if the predicted next arrival is several gaps
+                // overdue, stop waiting for it.
+                if config.policy == BatchPolicy::Adaptive && !buffers.is_empty() {
+                    let gap = predictor.expected_gap_us();
+                    if gap.is_finite() {
+                        let fallback = Duration::from_micros((4.0 * gap).min(1e9) as u64);
+                        if fallback < d {
+                            d = fallback;
+                            gap_elapsed = true;
+                        }
+                    }
+                }
+                d
+            }
+            None => max_wait.max(Duration::from_millis(10)),
+        };
+        let mut timed_out = false;
         match rx.recv_timeout(timeout) {
             Ok(env) => {
-                let d = env.req.domain;
-                let buf = buffers.entry(d).or_default();
-                buf.push(env);
-                if buf.len() >= max_batch {
-                    let batch = buffers.remove(&d).expect("just filled");
-                    let _ = batch_tx.send(stamp_flushed(batch));
+                receive(env, &mut buffers, &mut last_arrival, &predictor);
+                // Greedily drain whatever else is already queued: the
+                // close decision below is made against a *drained* queue.
+                loop {
+                    match rx.try_recv() {
+                        Ok(env) => receive(env, &mut buffers, &mut last_arrival, &predictor),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => break 'outer,
+                    }
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Timeout) => timed_out = true,
             Err(RecvTimeoutError::Disconnected) => break,
         }
+        // Queue-side deadline enforcement: shed expired requests now so
+        // they never occupy a batch slot or get scored late.
+        shed_expired(&mut buffers, &metrics, &depths);
+
+        // Size trigger is policy-independent.
+        flush_if(&mut buffers, &batch_tx, |b| b.len() >= config.max_batch);
+
         let now = Instant::now();
-        let due: Vec<usize> = buffers
-            .iter()
-            .filter(|(_, b)| b.first().is_some_and(|e| now.duration_since(e.enqueued) >= max_wait))
-            .map(|(&d, _)| d)
-            .collect();
-        for d in due {
-            let batch = buffers.remove(&d).expect("listed as due");
-            let _ = batch_tx.send(stamp_flushed(batch));
+        match config.policy {
+            BatchPolicy::FixedWindow => {
+                flush_if(&mut buffers, &batch_tx, |b| {
+                    b.first().is_some_and(|e| now.duration_since(e.enqueued) >= max_wait)
+                });
+            }
+            BatchPolicy::Adaptive => {
+                // The queue is drained. Hold open only if the predictor
+                // says the next arrival comes sooner than the speedup it
+                // would buy — and it hasn't already failed to show up.
+                let age_capped = |b: &Vec<Envelope>| {
+                    b.first().is_some_and(|e| now.duration_since(e.enqueued) >= max_wait)
+                };
+                if (timed_out && gap_elapsed) || !predictor.worth_waiting() {
+                    flush_if(&mut buffers, &batch_tx, |b| !b.is_empty());
+                } else {
+                    flush_if(&mut buffers, &batch_tx, age_capped);
+                }
+            }
         }
     }
     // Shutdown: flush everything still buffered so every admitted request
     // gets its reply before the workers see the channel close.
-    for (_, batch) in buffers.drain() {
+    shed_expired(&mut buffers, &metrics, &depths);
+    flush_if(&mut buffers, &batch_tx, |b| !b.is_empty());
+}
+
+/// Books one arrival into its buffer and feeds the inter-arrival EWMA.
+fn receive(
+    env: Envelope,
+    buffers: &mut HashMap<BufferKey, Vec<Envelope>>,
+    last_arrival: &mut Option<Instant>,
+    predictor: &SpeedupPredictor,
+) {
+    if let Some(prev) = *last_arrival {
+        predictor.observe_arrival(env.enqueued.duration_since(prev).as_micros() as f64);
+    }
+    *last_arrival = Some(env.enqueued);
+    buffers.entry((env.req.domain, env.class)).or_default().push(env);
+}
+
+/// Flushes every buffer satisfying `pred`, interactive classes first so
+/// tight-SLO batches reach the worker queue ahead of bulk ones.
+fn flush_if(
+    buffers: &mut HashMap<BufferKey, Vec<Envelope>>,
+    batch_tx: &mpsc::Sender<Vec<Envelope>>,
+    pred: impl Fn(&Vec<Envelope>) -> bool,
+) {
+    let mut due: Vec<BufferKey> =
+        buffers.iter().filter(|(_, b)| pred(b)).map(|(&k, _)| k).collect();
+    due.sort_by_key(|&(domain, class)| (class.index(), domain));
+    for key in due {
+        let batch = buffers.remove(&key).expect("listed as due");
         if !batch.is_empty() {
             let _ = batch_tx.send(stamp_flushed(batch));
         }
     }
+}
+
+/// Sheds every buffered request whose deadline has passed: typed
+/// `DeadlineExceeded` reply, counted in `serve_deadline_expired_total`.
+fn shed_expired(
+    buffers: &mut HashMap<BufferKey, Vec<Envelope>>,
+    metrics: &ServeMetrics,
+    depths: &Depths,
+) {
+    let now = Instant::now();
+    for buf in buffers.values_mut() {
+        if buf.iter().any(|e| e.deadline.is_some_and(|d| now >= d)) {
+            let mut kept = Vec::with_capacity(buf.len());
+            for env in buf.drain(..) {
+                if env.deadline.is_some_and(|d| now >= d) {
+                    metrics.deadline_expired_total.inc();
+                    finish(metrics, depths, &env, ServeResult::DeadlineExceeded { id: env.id });
+                } else {
+                    kept.push(env);
+                }
+            }
+            *buf = kept;
+        }
+    }
+    buffers.retain(|_, b| !b.is_empty());
 }
 
 /// Marks every request in a flushed batch with the flush instant (one clock
@@ -264,7 +469,8 @@ fn stamp_flushed(mut batch: Vec<Envelope>) -> Vec<Envelope> {
 fn run_worker(
     batch_rx: Arc<Mutex<Receiver<Vec<Envelope>>>>,
     engine: Arc<ScoringEngine>,
-    depth: Arc<AtomicI64>,
+    depths: Arc<Depths>,
+    predictor: Arc<SpeedupPredictor>,
 ) {
     loop {
         let batch = {
@@ -274,11 +480,16 @@ fn run_worker(
                 Err(_) => break,
             }
         };
-        score_batch(&engine, &depth, batch);
+        score_batch(&engine, &depths, &predictor, batch);
     }
 }
 
-fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) {
+fn score_batch(
+    engine: &ScoringEngine,
+    depths: &Depths,
+    predictor: &SpeedupPredictor,
+    batch: Vec<Envelope>,
+) {
     let m = engine.metrics().clone();
     let tracer = engine.tracer().map(Arc::clone);
     // Pin one snapshot for the whole batch: every response in it is scored
@@ -289,12 +500,12 @@ fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) 
     for env in batch {
         if env.deadline.is_some_and(|d| now >= d) {
             m.deadline_exceeded_total.inc();
-            finish(&m, depth, &env, ServeResult::DeadlineExceeded { id: env.id });
+            finish(&m, depths, &env, ServeResult::DeadlineExceeded { id: env.id });
             if let Some(t) = tracer.as_deref() {
                 record_terminal_span(t, &env, "deadline_exceeded");
             }
         } else if let Err(error) = snap.validate(&env.req) {
-            finish(&m, depth, &env, ServeResult::Invalid { id: env.id, error });
+            finish(&m, depths, &env, ServeResult::Invalid { id: env.id, error });
             if let Some(t) = tracer.as_deref() {
                 record_terminal_span(t, &env, "invalid");
             }
@@ -313,13 +524,15 @@ fn score_batch(engine: &ScoringEngine, depth: &AtomicI64, batch: Vec<Envelope>) 
     }
     let scores = snap.score(domain, &reqs);
     let score_end = Instant::now();
-    m.batch_compute_us.record(score_end.duration_since(score_start).as_micros() as f64);
+    let compute_us = score_end.duration_since(score_start).as_micros() as f64;
+    m.batch_compute_us.record(compute_us);
+    predictor.observe_batch(live.len(), compute_us);
     m.batches_total.inc();
     m.batch_size.record(live.len() as f64);
     for (env, score) in live.iter().zip(scores) {
         m.latency_seconds.record(env.enqueued.elapsed().as_secs_f64());
         let resp = Response { id: env.id, score, snapshot_version: snap.version() };
-        finish(&m, depth, env, ServeResult::Scored(resp));
+        finish(&m, depths, env, ServeResult::Scored(resp));
         if let Some(t) = tracer.as_deref() {
             record_request_chain(t, env, score_start, score_end);
         }
@@ -376,13 +589,13 @@ fn record_terminal_span(t: &Tracer, env: &Envelope, outcome: &'static str) {
     );
 }
 
-/// Delivers one result: count it, release the admission slot, then reply
+/// Delivers one result: count it, release the admission slots, then reply
 /// (ignoring a hung-up client). Counting happens *before* the reply so a
 /// client that reads the metrics right after `Pending::wait` returns sees
 /// its own response counted.
-fn finish(m: &ServeMetrics, depth: &AtomicI64, env: &Envelope, result: ServeResult) {
+fn finish(m: &ServeMetrics, depths: &Depths, env: &Envelope, result: ServeResult) {
     m.responses_total.inc();
-    let d = depth.fetch_sub(1, Ordering::Relaxed) - 1;
+    let d = depths.release(env.class);
     m.queue_depth.set(d as f64);
     let _ = env.reply.send(result);
 }
@@ -426,10 +639,17 @@ mod tests {
     fn full_queue_rejects_and_drains_on_shutdown() {
         let registry = MetricsRegistry::new();
         let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
-        // Huge batch + wait: nothing flushes, so depth can't drain and the
-        // cap is hit deterministically.
-        let config =
-            ServeConfig { max_batch: 1000, max_wait_us: 10_000_000, queue_cap: 8, n_workers: 1 };
+        // Fixed window with a huge batch + wait: nothing flushes, so depth
+        // can't drain and the cap is hit deterministically. (The adaptive
+        // policy would flush on queue drain, defeating the setup.)
+        let config = ServeConfig {
+            max_batch: 1000,
+            max_wait_us: 10_000_000,
+            queue_cap: 8,
+            n_workers: 1,
+            policy: BatchPolicy::FixedWindow,
+            ..ServeConfig::default()
+        };
         let server = Server::start(Arc::clone(&engine), config);
         let admitted: Vec<Pending> =
             (0..8).map(|i| server.submit(request(0, i), None).expect("under cap")).collect();
@@ -446,21 +666,148 @@ mod tests {
     }
 
     #[test]
+    fn class_at_its_bound_sheds_typed_while_other_class_admits() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        // Bulk budget of 2; fixed window so nothing drains mid-test.
+        let config = ServeConfig {
+            max_batch: 1000,
+            max_wait_us: 10_000_000,
+            queue_cap: 64,
+            class_caps: [0, 2],
+            n_workers: 1,
+            policy: BatchPolicy::FixedWindow,
+        };
+        let server = Server::start(Arc::clone(&engine), config);
+        let b1 = server.submit_class(request(0, 1), None, SloClass::Bulk).expect("bulk 1");
+        let b2 = server.submit_class(request(0, 2), None, SloClass::Bulk).expect("bulk 2");
+        // The bulk class is at depth: typed shed, not QueueFull.
+        assert!(matches!(
+            server.submit_class(request(0, 3), None, SloClass::Bulk),
+            Err(SubmitError::ShedOverload(SloClass::Bulk))
+        ));
+        // Interactive admission is untouched by bulk pressure.
+        let i1 = server.submit_class(request(0, 4), None, SloClass::Interactive).expect("inter");
+        server.shutdown();
+        for p in [&b1, &b2, &i1] {
+            assert!(matches!(p.wait(), ServeResult::Scored(_)));
+        }
+        assert_eq!(registry.counter("serve_shed_total{class=\"bulk\"}").get(), 1);
+        assert_eq!(registry.counter("serve_shed_total{class=\"interactive\"}").get(), 0);
+        assert_eq!(registry.counter("serve_rejected_total").get(), 0);
+        assert_eq!(registry.counter("serve_responses_total").get(), 3);
+    }
+
+    #[test]
+    fn queued_deadline_expiry_is_shed_by_the_dispatcher() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        // Fixed 200ms window: without queue-side expiry, a 5ms deadline
+        // would sit buffered for the full window and only be caught at
+        // worker pickup. The dispatcher must shed it at ~its deadline.
+        let config = ServeConfig {
+            max_batch: 100,
+            max_wait_us: 200_000,
+            queue_cap: 16,
+            n_workers: 1,
+            policy: BatchPolicy::FixedWindow,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Arc::clone(&engine), config);
+        let doomed =
+            server.submit(request(0, 1), Some(Duration::from_millis(5))).expect("admitted");
+        let t0 = Instant::now();
+        assert!(matches!(doomed.wait(), ServeResult::DeadlineExceeded { .. }));
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_millis(150),
+            "expired request waited the full window: {waited:?}"
+        );
+        server.shutdown();
+        assert_eq!(registry.counter("serve_deadline_expired_total").get(), 1);
+        assert_eq!(registry.counter("serve_responses_total").get(), 1);
+        assert_eq!(registry.gauge("serve_queue_depth").get(), 0.0);
+    }
+
+    #[test]
     fn expired_deadlines_are_reported_not_scored() {
         let registry = MetricsRegistry::new();
         let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
         // 50ms coalescing window guarantees the zero deadline has expired by
-        // the time a worker sees the request.
-        let config =
-            ServeConfig { max_batch: 100, max_wait_us: 50_000, queue_cap: 16, n_workers: 1 };
+        // the time the dispatcher or a worker sees the request.
+        let config = ServeConfig {
+            max_batch: 100,
+            max_wait_us: 50_000,
+            queue_cap: 16,
+            n_workers: 1,
+            policy: BatchPolicy::FixedWindow,
+            ..ServeConfig::default()
+        };
         let server = Server::start(engine, config);
         let expired = server.submit(request(0, 1), Some(Duration::ZERO)).expect("admitted");
         let fine = server.submit(request(0, 2), Some(Duration::from_secs(60))).expect("admitted");
         assert!(matches!(expired.wait(), ServeResult::DeadlineExceeded { .. }));
         assert!(matches!(fine.wait(), ServeResult::Scored(_)));
         server.shutdown();
-        assert_eq!(registry.counter("serve_deadline_exceeded_total").get(), 1);
+        // The expiry is caught queue-side or at worker pickup depending on
+        // timing; either way it is counted exactly once.
+        let expired_total = registry.counter("serve_deadline_expired_total").get()
+            + registry.counter("serve_deadline_exceeded_total").get();
+        assert_eq!(expired_total, 1);
         assert_eq!(registry.counter("serve_responses_total").get(), 2);
+    }
+
+    #[test]
+    fn adaptive_policy_flushes_on_queue_drain_at_low_load() {
+        let registry = MetricsRegistry::new();
+        let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+        // A 5s hard window: if a lone request's latency stays far under
+        // it, the adaptive policy flushed on queue drain instead of
+        // waiting out the window.
+        let config = ServeConfig {
+            max_batch: 64,
+            max_wait_us: 5_000_000,
+            queue_cap: 64,
+            n_workers: 1,
+            policy: BatchPolicy::Adaptive,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(engine, config);
+        for i in 0..5 {
+            let t0 = Instant::now();
+            let p = server.submit(request(0, i), None).expect("admitted");
+            assert!(matches!(p.wait(), ServeResult::Scored(_)));
+            let lat = t0.elapsed();
+            assert!(
+                lat < Duration::from_millis(500),
+                "adaptive p50 pinned to the window: lone request took {lat:?}"
+            );
+        }
+        server.shutdown();
+        assert_eq!(registry.counter("serve_responses_total").get(), 5);
+    }
+
+    #[test]
+    fn adaptive_and_fixed_policies_score_identically() {
+        let reqs: Vec<ScoreRequest> = (0..32).map(|i| request(i as usize % 2, i)).collect();
+        let mut scores: Vec<Vec<u32>> = Vec::new();
+        for policy in [BatchPolicy::FixedWindow, BatchPolicy::Adaptive] {
+            let registry = MetricsRegistry::new();
+            let engine = Arc::new(ScoringEngine::new(tiny_dense_snapshot(1), &registry));
+            let server = Server::start(engine, ServeConfig { policy, ..ServeConfig::default() });
+            let pending: Vec<Pending> =
+                reqs.iter().map(|r| server.submit(r.clone(), None).expect("admitted")).collect();
+            let bits = pending
+                .iter()
+                .map(|p| match p.wait() {
+                    ServeResult::Scored(r) => r.score.to_bits(),
+                    other => panic!("expected score, got {other:?}"),
+                })
+                .collect();
+            server.shutdown();
+            scores.push(bits);
+        }
+        assert_eq!(scores[0], scores[1], "batching policy changed a served score");
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   embedding static/dynamic cache.
 //! * [`obs`] — unified telemetry: metrics registry, event log, observers.
 //! * [`serve`] — online inference: frozen serving snapshots, per-domain
-//!   routing, micro-batched scoring with hot model swap.
+//!   routing, adaptive micro-batched scoring, replicated engines and hot
+//!   model swap.
+//! * [`load`] — trace-driven open-loop load generation: Zipf users and
+//!   domains, diurnal Poisson arrivals, per-SLO-class overload accounting.
 //! * [`rpc`] — the networked PS–worker runtime: checksummed TCP wire
 //!   protocol, retrying clients, deterministic fault injection, and a
 //!   loopback distributed trainer.
@@ -43,6 +46,7 @@
 pub use mamdr_autodiff as autodiff;
 pub use mamdr_core as core;
 pub use mamdr_data as data;
+pub use mamdr_load as load;
 pub use mamdr_models as models;
 pub use mamdr_nn as nn;
 pub use mamdr_obs as obs;
