@@ -73,6 +73,18 @@ pub struct BenchArgs {
     /// Micro-batch close policy for the serving dispatcher
     /// (`fixed` | `adaptive`; `None` keeps the server default, adaptive).
     pub policy: Option<String>,
+    /// Continual publishing: commit a serving snapshot every this many
+    /// training rounds (0 disables). Snapshots land under the checkpoint
+    /// directory, so `--publish-every` requires `--checkpoint-dir`.
+    pub publish_every: usize,
+    /// Canary slice size as a percentage of the replica pool, in (0, 50]
+    /// (0 disables the canary phase of the publish gate).
+    pub canary_pct: f64,
+    /// Live continual-serving mode for `dist_bench`: stand up a gated
+    /// replica pool next to the trainer, publish through the gate every
+    /// `--publish-every` rounds, and drive closed-loop traffic across the
+    /// swaps. Requires `--publish-every`.
+    pub serve_live: bool,
 }
 
 impl Default for BenchArgs {
@@ -100,6 +112,9 @@ impl Default for BenchArgs {
             duration: 0.0,
             replicas: 1,
             policy: None,
+            publish_every: 0,
+            canary_pct: 0.0,
+            serve_live: false,
         }
     }
 }
@@ -165,9 +180,14 @@ impl BenchArgs {
                 "--duration" => out.duration = num("--duration", take("--duration")),
                 "--replicas" => out.replicas = num("--replicas", take("--replicas")) as usize,
                 "--policy" => out.policy = Some(take("--policy")),
+                "--publish-every" => {
+                    out.publish_every = num("--publish-every", take("--publish-every")) as usize;
+                }
+                "--canary-pct" => out.canary_pct = num("--canary-pct", take("--canary-pct")),
+                "--serve-live" => out.serve_live = true,
                 other => {
                     eprintln!(
-                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n> --shards <n> --preset <industry|longtail> --open-loop --rate <rps> --duration <s> --replicas <n> --policy <fixed|adaptive>"
+                        "unknown flag {other}; supported: --scale <f> --epochs <n> --threads <n> --seed <n> --quick --metrics-out <path> --workers <n> --fault-plan <spec> --checkpoint-every <n> --checkpoint-dir <dir> --resume <dir> --trace-out <path> --phase-summary --introspect-addr <addr> --pipeline-depth <n> --shards <n> --preset <industry|longtail> --open-loop --rate <rps> --duration <s> --replicas <n> --policy <fixed|adaptive> --publish-every <n> --canary-pct <p> --serve-live"
                     );
                     std::process::exit(2);
                 }
@@ -281,6 +301,24 @@ impl BenchArgs {
             if let Err(e) = mamdr_serve::BatchPolicy::parse(p) {
                 return Err(format!("--policy: {e}"));
             }
+        }
+        if self.publish_every > 0 && self.checkpoint_dir.is_none() {
+            return Err("--publish-every requires --checkpoint-dir <dir> (snapshots are \
+                        committed next to the checkpoints)"
+                .into());
+        }
+        // NaN-safe: a NaN --canary-pct fails the range check too.
+        if self.canary_pct != 0.0 && !(self.canary_pct > 0.0 && self.canary_pct <= 50.0) {
+            return Err(format!(
+                "--canary-pct must be in (0, 50] (a canary larger than half the pool is a \
+                 cutover, not a canary), got {}",
+                self.canary_pct
+            ));
+        }
+        if self.serve_live && self.publish_every == 0 {
+            return Err("--serve-live requires --publish-every <n> (live serving without \
+                        publication has nothing to swap)"
+                .into());
         }
         // A multi-shard resume restores from a shard manifest, never from
         // the legacy single-server journal — catch a directory that cannot
@@ -587,6 +625,50 @@ mod tests {
         assert!(err.contains("--duration"), "{err}");
         let err = parse(&["--policy", "banana"]).validate().unwrap_err();
         assert!(err.contains("--policy"), "{err}");
+    }
+
+    #[test]
+    fn publish_flags_parse_and_validate() {
+        let a = parse(&[]);
+        assert_eq!(a.publish_every, 0);
+        assert_eq!(a.canary_pct, 0.0);
+        assert!(!a.serve_live);
+        assert!(a.validate().is_ok());
+
+        let a = parse(&[
+            "--publish-every",
+            "2",
+            "--checkpoint-dir",
+            "/tmp/ckpts",
+            "--canary-pct",
+            "25",
+            "--serve-live",
+        ]);
+        assert_eq!(a.publish_every, 2);
+        assert_eq!(a.canary_pct, 25.0);
+        assert!(a.serve_live);
+        assert!(a.validate().is_ok());
+
+        // Snapshots are committed under the checkpoint directory.
+        let err = parse(&["--publish-every", "2"]).validate().unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+
+        // Live serving without publication has nothing to swap.
+        let err = parse(&["--serve-live"]).validate().unwrap_err();
+        assert!(err.contains("--publish-every"), "{err}");
+
+        // The canary slice must stay a minority of the pool.
+        for bad in ["-1", "0.0000001", "50.5", "100", "NaN"] {
+            let words = ["--canary-pct", bad];
+            let a = parse(&words);
+            if bad == "0.0000001" {
+                assert!(a.validate().is_ok(), "tiny positive pct is valid");
+            } else {
+                let err = a.validate().unwrap_err();
+                assert!(err.contains("--canary-pct"), "{bad}: {err}");
+            }
+        }
+        assert!(parse(&["--canary-pct", "50"]).validate().is_ok());
     }
 
     #[test]

@@ -46,14 +46,41 @@
 //! resumed run must still match the uninterrupted in-process ground truth
 //! in every round loss and the final AUC bits (the push-count gates are
 //! skipped, since the RPC counters only cover the resumed segment).
+//!
+//! Continual-serving drill: `--serve-live --publish-every N` stands up a
+//! gated replica pool next to the trainer. Every N rounds the merged
+//! store is committed as a serving snapshot under
+//! `<checkpoint-dir>/publish/` and offered to the publish gate
+//! (`--canary-pct` enables the live canary phase); a closed-loop load
+//! thread scores through the pool across every swap. Scheduled publisher
+//! faults (`kill_publish=r`, `corrupt_snapshot=r` in the fault plan) must
+//! leave the pool answering from the last-good version with **zero**
+//! dropped requests; at exit the final served snapshot must be
+//! byte-identical to one built offline from the in-process ground-truth
+//! store, and is written to `<checkpoint-dir>/serve-final.mamdrsv` for
+//! cross-run `cmp`. The `publish_*` gate counters are printed one per
+//! line for exact grepping.
 
 use mamdr_bench::{render_phase_table, BenchArgs, BenchTelemetry, QUICK_SCALE_FACTOR};
 use mamdr_data::presets;
 use mamdr_obs::Value;
 use mamdr_ps::{DistributedConfig, DistributedMamdr};
-use mamdr_rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, RetryPolicy};
+use mamdr_rpc::{DistributedTrainer, FaultPlan, LoopbackConfig, PublishHook, RetryPolicy};
+use mamdr_serve::{
+    GateConfig, PublishGate, ReplicatedServer, ServeConfig, ServeResult, ServingSnapshot,
+    GATE_REASONS,
+};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// What the closed-loop load thread observed across the whole run.
+struct LoadReport {
+    scored: u64,
+    dropped: u64,
+    versions: Vec<u64>,
+}
 
 fn main() {
     let args = BenchArgs::from_env();
@@ -96,6 +123,12 @@ fn main() {
     eprintln!("[dist_bench] in-process ground truth ({} workers) ...", cfg.n_workers);
     let t0 = Instant::now();
     let local_trainer = DistributedMamdr::new(&ds, cfg);
+    // The version-0 snapshot the serving pool starts on: built from the
+    // freshly seeded (untrained) store, which is bit-identical to the
+    // networked trainer's merged initial state by construction.
+    let serve_initial = args
+        .serve_live
+        .then(|| ServingSnapshot::from_ps(0, local_trainer.server(), ds.n_domains()));
     let local = local_trainer.train(&ds);
     let local_secs = t0.elapsed().as_secs_f64();
 
@@ -117,6 +150,57 @@ fn main() {
     if args.pipeline_depth > 0 {
         retry.pipeline_depth = args.pipeline_depth;
     }
+    // --serve-live: a gated replica pool fed by the trainer's publish
+    // hook. Scores are sigmoid outputs in [0, 1], so a divergence/drift
+    // bound of 1.0 admits every structurally sound, finite round — the
+    // drill is about *fault* containment, not semantic drift.
+    let serve = serve_initial.map(|snap0| {
+        let registry = telemetry.registry_arc();
+        let pool = Arc::new(ReplicatedServer::start(
+            snap0,
+            args.replicas,
+            ServeConfig::default(),
+            &registry,
+            telemetry.tracer(),
+        ));
+        let gate_cfg = GateConfig {
+            max_divergence: 1.0,
+            canary_pct: args.canary_pct,
+            max_canary_drift: 1.0,
+            ..Default::default()
+        };
+        let gate = Arc::new(PublishGate::new(
+            gate_cfg,
+            pool.engine(0).snapshot(),
+            &registry,
+            telemetry.publish_state(),
+            telemetry.tracer(),
+        ));
+        let publish_dir =
+            checkpoint_dir.clone().expect("--serve-live requires --checkpoint-dir").join("publish");
+        (pool, gate, publish_dir)
+    });
+    let publish_hook = serve.as_ref().map(|(pool, gate, publish_dir)| {
+        let n_domains = ds.n_domains();
+        let gate = Arc::clone(gate);
+        let pool = Arc::clone(pool);
+        PublishHook {
+            every: args.publish_every,
+            dir: publish_dir.clone(),
+            encode: Arc::new(move |round, ps| {
+                let mut buf = Vec::new();
+                ServingSnapshot::from_ps(round, ps, n_domains)
+                    .write_to(&mut buf)
+                    .map_err(|e| e.to_string())?;
+                Ok(buf)
+            }),
+            // A rejection is the gate's verdict, fully recorded in its
+            // counters and health state — training never stops for it.
+            on_commit: Arc::new(move |round, path| {
+                let _ = gate.offer_file(round, path, &pool);
+            }),
+        }
+    });
     let loopback = LoopbackConfig {
         fault: plan,
         retry,
@@ -125,6 +209,7 @@ fn main() {
         checkpoint_every: args.checkpoint_every,
         resume: resuming,
         tracer: telemetry.tracer(),
+        publish: publish_hook,
         ..LoopbackConfig::new(cfg)
     };
     let t0 = Instant::now();
@@ -137,11 +222,49 @@ fn main() {
     if resuming {
         eprintln!("[dist_bench] resumed at round {start_epoch}");
     }
+    // The closed-loop load thread: scores the fixed probe set through the
+    // pool, over and over, across every publish/rollback the gate performs
+    // while training runs. Every submitted request must come back scored —
+    // a shed, deadline, or invalid result is a drop, and the drill demands
+    // zero.
+    let load_stop = Arc::new(AtomicBool::new(false));
+    let load_thread = serve.as_ref().map(|(pool, _, _)| {
+        let pool = Arc::clone(pool);
+        let stop = Arc::clone(&load_stop);
+        std::thread::spawn(move || {
+            let probes = pool.engine(0).snapshot().probe_requests(0xBEEF, 8);
+            let mut scored = 0u64;
+            let mut dropped = 0u64;
+            let mut versions = std::collections::BTreeSet::new();
+            'outer: loop {
+                for req in &probes {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'outer;
+                    }
+                    match pool.submit(req.clone(), None) {
+                        Ok(pending) => match pending.wait() {
+                            ServeResult::Scored(r) => {
+                                scored += 1;
+                                versions.insert(r.snapshot_version);
+                            }
+                            _ => dropped += 1,
+                        },
+                        Err(_) => dropped += 1,
+                    }
+                }
+                // Keep the pool busy but leave the trainer the CPU.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+            LoadReport { scored, dropped, versions: versions.into_iter().collect() }
+        })
+    });
     let remote = net_trainer.train(&ds).unwrap_or_else(|e| {
         eprintln!("[dist_bench] FAILED: distributed run did not complete: {e}");
         std::process::exit(1);
     });
     let remote_secs = t0.elapsed().as_secs_f64();
+    load_stop.store(true, Ordering::Relaxed);
+    let load_report = load_thread.map(|h| h.join().expect("load thread"));
     // At one shard the driver's store IS the deployment; at N the report
     // already sums every shard's traffic counters.
     let store_pushes =
@@ -162,6 +285,9 @@ fn main() {
         eprintln!("[dist_bench] merged final state -> {}", path.display());
     }
     net_trainer.shutdown();
+    // Release the publish hook's pool/gate handles so the pool can be
+    // unwrapped and drained below.
+    drop(net_trainer);
 
     let reg = telemetry.registry();
     let frames = reg.counter("rpc_frames_total").get();
@@ -196,6 +322,84 @@ fn main() {
     println!("  applied      {applied}  deduped {deduped}");
     println!("  faults       dropped={dropped} duplicated={duplicated} disconnects={disconnects}");
     println!("  shards       rpc_faults_shard_kills_total={shard_kills} rpc_shard_restarts_total={shard_restarts}");
+
+    // --serve-live verdict: print every publish counter one per line
+    // (exact-greppable by CI), enforce zero dropped requests, and prove
+    // the final served snapshot is byte-identical to one built offline
+    // from the in-process ground-truth store.
+    let mut serve_failures: Vec<String> = Vec::new();
+    if let Some((pool, gate, _)) = serve {
+        let report = load_report.expect("--serve-live starts the load thread");
+        let final_version = gate.last_good().version();
+        println!(
+            "  serve_live   scored={} versions_served={:?} final_version={final_version}",
+            report.scored, report.versions
+        );
+        println!("  serve_live_dropped={}", report.dropped);
+        for name in [
+            "publish_attempts_total",
+            "publish_commits_total",
+            "publish_kills_total",
+            "publish_corruptions_total",
+            "publish_offered_total",
+            "publish_accepted_total",
+            "publish_rollbacks_total",
+            "publish_canary_phases_total",
+        ] {
+            println!("  {name}={}", reg.counter(name).get());
+        }
+        for reason in GATE_REASONS {
+            let name = format!("publish_rejected_total{{reason=\"{reason}\"}}");
+            println!("  {name}={}", reg.counter(&name).get());
+        }
+        if report.dropped != 0 {
+            serve_failures.push(format!(
+                "{} live requests dropped across publishes (the drill demands 0)",
+                report.dropped
+            ));
+        }
+        if pool.current_version() != final_version {
+            serve_failures.push(format!(
+                "pool serves v{} but the gate's last-good is v{final_version}",
+                pool.current_version()
+            ));
+        }
+        let mut served = Vec::new();
+        gate.last_good().write_to(&mut served).expect("encode served snapshot");
+        let out = checkpoint_dir.as_ref().expect("validated").join("serve-final.mamdrsv");
+        if let Err(e) = std::fs::write(&out, &served) {
+            serve_failures.push(format!("cannot write {}: {e}", out.display()));
+        } else {
+            eprintln!("[dist_bench] final served snapshot -> {}", out.display());
+        }
+        if final_version == cfg.epochs as u64 {
+            // The offline ground truth: the in-process trainer's store is
+            // the end-of-training state, so a snapshot built from it must
+            // match the served bytes exactly when the final round's
+            // publication was accepted.
+            let mut offline = Vec::new();
+            ServingSnapshot::from_ps(final_version, local_trainer.server(), ds.n_domains())
+                .write_to(&mut offline)
+                .expect("encode offline snapshot");
+            if served != offline {
+                serve_failures.push(
+                    "final served snapshot is not byte-identical to the offline snapshot built \
+                     from the in-process ground-truth store"
+                        .into(),
+                );
+            }
+        } else {
+            serve_failures.push(format!(
+                "final served version v{final_version} is not the final round ({}); the \
+                 byte-identity gate needs the last publish round to commit cleanly",
+                cfg.epochs
+            ));
+        }
+        match Arc::try_unwrap(pool) {
+            Ok(p) => p.shutdown(),
+            Err(_) => eprintln!("[dist_bench] warning: pool still shared, skipping drain"),
+        }
+    }
     if args.phase_summary && args.shards > 1 {
         println!("  per-shard occupancy and wire traffic:");
         for s in 0..args.shards {
@@ -265,7 +469,7 @@ fn main() {
     // The acceptance gate: the network layer must be invisible to the
     // math. Any lost, reordered, or double-applied outer update shifts a
     // round loss or the final parameters.
-    let mut failures = Vec::new();
+    let mut failures = serve_failures;
     if remote.round_losses != local.round_losses {
         failures.push(format!(
             "round losses diverged: {:?} vs {:?}",

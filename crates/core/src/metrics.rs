@@ -5,6 +5,10 @@
 ///
 /// Returns 0.5 when either class is absent (an undefined AUC is scored as
 /// chance, which keeps per-domain averages well-defined for tiny domains).
+///
+/// NaN scores are ordered last via IEEE total ordering rather than
+/// panicking: a diverged model yields a garbage-but-finite AUC, so the
+/// fault-injection paths can evaluate a poisoned store without crashing.
 pub fn auc(labels: &[f32], scores: &[f32]) -> f64 {
     assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
     let n_pos = labels.iter().filter(|&&y| y > 0.5).count();
@@ -14,12 +18,12 @@ pub fn auc(labels: &[f32], scores: &[f32]) -> f64 {
     }
     // Sort indices by score ascending; assign average ranks to ties.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
     while i < idx.len() {
         let mut j = i;
-        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+        while j + 1 < idx.len() && scores[idx[j + 1]].total_cmp(&scores[idx[i]]).is_eq() {
             j += 1;
         }
         // ranks i+1 ..= j+1 share the average rank
@@ -66,7 +70,7 @@ pub fn average_rank(auc_matrix: &[Vec<f64>]) -> Vec<f64> {
     for d in 0..n_domains {
         // Sort methods by AUC descending within this domain.
         let mut order: Vec<usize> = (0..n_methods).collect();
-        order.sort_by(|&a, &b| auc_matrix[b][d].partial_cmp(&auc_matrix[a][d]).unwrap());
+        order.sort_by(|&a, &b| auc_matrix[b][d].total_cmp(&auc_matrix[a][d]));
         let mut i = 0usize;
         while i < n_methods {
             let mut j = i;
@@ -136,6 +140,16 @@ mod tests {
             }
         }
         assert!((auc(&labels, &scores) - wins / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_survives_nan_scores() {
+        // A diverged model must produce a defined value, not a panic.
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let got = auc(&labels, &[f32::NAN, 0.2, f32::NAN, 0.4]);
+        assert!(got.is_finite());
+        // All scores NaN -> every pair tied under total order -> chance.
+        assert!((auc(&labels, &[f32::NAN; 4]) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Shared health state of the continual-publication gate.
+//!
+//! The serve-side publish gate records every verdict here; the
+//! [`IntrospectServer`](crate::IntrospectServer) reads it to answer
+//! `/healthz` and `/publish`. Keeping the state in this crate (plain
+//! atomics plus a small mutexed history ring) lets the observability
+//! layer report on publication without depending on the serving crate —
+//! the same inversion as metrics: producers push, `obs` renders.
+//!
+//! Health semantics: the serving tier is **degraded**, not down, when the
+//! most recent candidate was rejected — traffic is still answered, from
+//! the last-good snapshot — so `/healthz` stays HTTP 200 and reports
+//! `degraded` with the last-good version and the consecutive-failure
+//! count in the body. A subsequently accepted candidate clears the state
+//! back to `ok`.
+
+use crate::events::push_json_str;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Most recent gate verdicts kept for `/publish`.
+const HISTORY_CAP: usize = 64;
+
+/// One gate verdict: a candidate snapshot was offered and either cut over
+/// or rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishEvent {
+    /// Training round that produced the candidate.
+    pub round: u64,
+    /// Candidate snapshot version (0 when the file was too corrupt to
+    /// even read a version out of).
+    pub version: u64,
+    /// Whether the candidate reached traffic.
+    pub accepted: bool,
+    /// Typed rejection reason (`digest`, `version`, `structure`,
+    /// `nonfinite`, `divergence`, `canary`); empty for accepts.
+    pub reason: String,
+    /// Human-readable detail of the verdict.
+    pub detail: String,
+}
+
+/// Live gate state: last-good version, consecutive rejections, verdict
+/// history. All methods are lock-cheap and callable from any thread.
+#[derive(Debug, Default)]
+pub struct PublishState {
+    last_good: AtomicU64,
+    consecutive_rejects: AtomicU64,
+    history: Mutex<Vec<PublishEvent>>,
+}
+
+impl PublishState {
+    /// Fresh state serving `initial_version` as last-good.
+    pub fn new(initial_version: u64) -> Self {
+        PublishState {
+            last_good: AtomicU64::new(initial_version),
+            consecutive_rejects: AtomicU64::new(0),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records a cutover: `version` is the new last-good and the
+    /// consecutive-failure count resets.
+    pub fn record_accept(&self, round: u64, version: u64, detail: impl Into<String>) {
+        self.last_good.store(version, Ordering::Relaxed);
+        self.consecutive_rejects.store(0, Ordering::Relaxed);
+        self.push(PublishEvent {
+            round,
+            version,
+            accepted: true,
+            reason: String::new(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a rejection (the pool stays on last-good).
+    pub fn record_reject(
+        &self,
+        round: u64,
+        version: u64,
+        reason: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.consecutive_rejects.fetch_add(1, Ordering::Relaxed);
+        self.push(PublishEvent {
+            round,
+            version,
+            accepted: false,
+            reason: reason.into(),
+            detail: detail.into(),
+        });
+    }
+
+    fn push(&self, event: PublishEvent) {
+        let mut h = self.history.lock().expect("publish history lock");
+        if h.len() == HISTORY_CAP {
+            h.remove(0);
+        }
+        h.push(event);
+    }
+
+    /// The version traffic is currently answered from.
+    pub fn last_good_version(&self) -> u64 {
+        self.last_good.load(Ordering::Relaxed)
+    }
+
+    /// Gate failures since the last accepted candidate.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.consecutive_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The `/healthz` body: `ok` while the most recent candidate was
+    /// accepted (or none was ever offered), otherwise a `degraded` line
+    /// naming the last-good version and the consecutive failure count.
+    pub fn healthz_body(&self) -> String {
+        match self.consecutive_failures() {
+            0 => "ok\n".to_string(),
+            n => format!(
+                "degraded last_good_version={} consecutive_gate_failures={n}\n",
+                self.last_good_version()
+            ),
+        }
+    }
+
+    /// The recorded verdicts, oldest first.
+    pub fn history(&self) -> Vec<PublishEvent> {
+        self.history.lock().expect("publish history lock").clone()
+    }
+
+    /// The `/publish` body: gate summary plus full verdict history, as
+    /// one JSON object.
+    pub fn history_json(&self) -> String {
+        let events = self.history();
+        let mut out = String::with_capacity(128 + events.len() * 96);
+        out.push_str(&format!(
+            "{{\"last_good_version\":{},\"consecutive_gate_failures\":{},\"events\":[",
+            self.last_good_version(),
+            self.consecutive_failures()
+        ));
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"round\":{},\"version\":{},\"accepted\":{},\"reason\":",
+                e.round, e.version, e.accepted
+            ));
+            push_json_str(&mut out, &e.reason);
+            out.push_str(",\"detail\":");
+            push_json_str(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthz_degrades_on_reject_and_recovers_on_accept() {
+        let state = PublishState::new(3);
+        assert_eq!(state.healthz_body(), "ok\n");
+        state.record_reject(4, 4, "digest", "checksum mismatch");
+        state.record_reject(5, 5, "nonfinite", "NaN in row");
+        assert_eq!(
+            state.healthz_body(),
+            "degraded last_good_version=3 consecutive_gate_failures=2\n"
+        );
+        state.record_accept(6, 6, "cutover");
+        assert_eq!(state.healthz_body(), "ok\n");
+        assert_eq!(state.last_good_version(), 6);
+        assert_eq!(state.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn history_json_is_well_formed_and_ordered() {
+        let state = PublishState::new(0);
+        state.record_accept(1, 1, "cutover");
+        state.record_reject(2, 2, "canary", "drift 0.3 > \"bound\" 0.1");
+        let json = state.history_json();
+        assert!(json.starts_with("{\"last_good_version\":1"), "{json}");
+        assert!(json.contains("\"consecutive_gate_failures\":1"), "{json}");
+        let accept_at = json.find("\"round\":1").unwrap();
+        let reject_at = json.find("\"round\":2").unwrap();
+        assert!(accept_at < reject_at, "oldest first: {json}");
+        assert!(json.contains("\\\"bound\\\""), "quotes escaped: {json}");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let state = PublishState::new(0);
+        for round in 0..(HISTORY_CAP as u64 + 10) {
+            state.record_reject(round, round, "digest", "");
+        }
+        let h = state.history();
+        assert_eq!(h.len(), HISTORY_CAP);
+        assert_eq!(h[0].round, 10, "oldest entries evicted first");
+    }
+}

@@ -4,10 +4,16 @@
 //!
 //! Routes:
 //!
-//! * `GET /healthz` — `200 ok` while the process is up.
+//! * `GET /healthz` — `200 ok` while the process is up. With a
+//!   [`PublishState`] attached, reports `degraded` (last-good version,
+//!   consecutive gate-failure count) when the publish gate rejected the
+//!   most recent candidate — still HTTP 200, because traffic is still
+//!   answered from the last-good snapshot.
 //! * `GET /metrics` — the registry's Prometheus text snapshot.
 //! * `GET /spans`   — the tracer's recent-span ring as JSON (`404` when
 //!   no tracer is attached).
+//! * `GET /publish` — the publish gate's verdict history as JSON (`404`
+//!   when no gate is attached).
 //!
 //! The server is deliberately minimal: one accept thread, one connection
 //! handled at a time, request line parsed and the rest of the request
@@ -16,6 +22,7 @@
 //! (atomic counters, the span ring) — so attaching it never perturbs
 //! results.
 
+use crate::health::PublishState;
 use crate::metrics::MetricsRegistry;
 use crate::trace::Tracer;
 use std::io::{BufRead, BufReader, Write};
@@ -44,6 +51,18 @@ impl IntrospectServer {
         registry: Arc<MetricsRegistry>,
         tracer: Option<Arc<Tracer>>,
     ) -> std::io::Result<IntrospectServer> {
+        Self::start_with_publish(addr, registry, tracer, None)
+    }
+
+    /// [`start`](Self::start) with a publish-gate state attached:
+    /// `/healthz` reflects gate degradation and `/publish` serves the
+    /// verdict history.
+    pub fn start_with_publish(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        tracer: Option<Arc<Tracer>>,
+        publish: Option<Arc<PublishState>>,
+    ) -> std::io::Result<IntrospectServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
@@ -51,7 +70,7 @@ impl IntrospectServer {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("mamdr-introspect".into())
-            .spawn(move || accept_loop(listener, registry, tracer, stop_flag))
+            .spawn(move || accept_loop(listener, registry, tracer, publish, stop_flag))
             .expect("spawn introspect thread");
         Ok(IntrospectServer { addr: bound, stop, handle: Some(handle) })
     }
@@ -84,6 +103,7 @@ fn accept_loop(
     listener: TcpListener,
     registry: Arc<MetricsRegistry>,
     tracer: Option<Arc<Tracer>>,
+    publish: Option<Arc<PublishState>>,
     stop: Arc<AtomicBool>,
 ) {
     while !stop.load(Ordering::SeqCst) {
@@ -91,7 +111,7 @@ fn accept_loop(
             Ok((stream, _)) => {
                 // Introspection is best-effort: a misbehaving client is
                 // dropped, never propagated into the host process.
-                let _ = handle_conn(stream, &registry, tracer.as_deref());
+                let _ = handle_conn(stream, &registry, tracer.as_deref(), publish.as_deref());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -105,6 +125,7 @@ fn handle_conn(
     stream: TcpStream,
     registry: &MetricsRegistry,
     tracer: Option<&Tracer>,
+    publish: Option<&PublishState>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
@@ -113,13 +134,23 @@ fn handle_conn(
     reader.read_line(&mut request_line)?;
     let path = parse_path(&request_line);
     let (status, content_type, body) = match path.as_deref() {
-        Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        Some("/healthz") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            publish.map_or_else(|| "ok\n".to_string(), PublishState::healthz_body),
+        ),
         Some("/metrics") => {
             ("200 OK", "text/plain; version=0.0.4; charset=utf-8", registry.render_prometheus())
         }
         Some("/spans") => match tracer {
             Some(t) => ("200 OK", "application/json", t.spans_json(SPANS_LIMIT)),
             None => ("404 Not Found", "text/plain; charset=utf-8", "no tracer attached\n".into()),
+        },
+        Some("/publish") => match publish {
+            Some(p) => ("200 OK", "application/json", p.history_json()),
+            None => {
+                ("404 Not Found", "text/plain; charset=utf-8", "no publish gate attached\n".into())
+            }
         },
         Some(_) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
         None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
@@ -189,6 +220,53 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
 
         server.stop();
+    }
+
+    #[test]
+    fn healthz_reports_gate_degradation_and_publish_dumps_history() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let state = Arc::new(PublishState::new(7));
+        let server = IntrospectServer::start_with_publish(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            None,
+            Some(Arc::clone(&state)),
+        )
+        .expect("start");
+        let addr = server.addr();
+
+        // Healthy gate: plain ok, exactly as without a gate.
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        // Rejected candidate: still 200 (traffic is served from
+        // last-good), body flips to degraded with version + failure count.
+        state.record_reject(8, 8, "digest", "checksum mismatch");
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK"), "{health}");
+        assert!(
+            health.ends_with("degraded last_good_version=7 consecutive_gate_failures=1\n"),
+            "{health}"
+        );
+
+        let publish = get(addr, "/publish");
+        assert!(publish.contains("HTTP/1.0 200 OK"), "{publish}");
+        assert!(publish.contains("\"reason\":\"digest\""), "{publish}");
+        assert!(publish.contains("\"last_good_version\":7"), "{publish}");
+
+        // An accepted candidate clears the degradation.
+        state.record_accept(9, 9, "cutover");
+        assert!(get(addr, "/healthz").ends_with("ok\n"));
+        server.stop();
+    }
+
+    #[test]
+    fn publish_route_is_404_without_gate() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = IntrospectServer::start("127.0.0.1:0", registry, None).expect("start");
+        let body = get(server.addr(), "/publish");
+        assert!(body.starts_with("HTTP/1.0 404"), "{body}");
     }
 
     #[test]

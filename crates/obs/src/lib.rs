@@ -22,6 +22,7 @@
 //!    and the Prometheus text format are small enough to own.
 
 mod events;
+mod health;
 mod histogram;
 mod introspect;
 mod metrics;
@@ -30,6 +31,7 @@ mod timer;
 mod trace;
 
 pub use events::{EventLog, Value};
+pub use health::{PublishEvent, PublishState};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use introspect::IntrospectServer;
 pub use metrics::{Counter, Gauge, MetricsRegistry};

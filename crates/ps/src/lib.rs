@@ -41,6 +41,7 @@ pub mod guard;
 pub mod journal;
 pub mod kv;
 pub mod model;
+pub mod publish;
 pub mod shard;
 pub mod trainer;
 
@@ -48,6 +49,10 @@ pub use cache::{CacheStats, StalenessStats, WorkerCache};
 pub use guard::{outer_grad_norm, GuardConfig, GuardRail, GuardVerdict};
 pub use journal::{latest_journal, JournalError, RoundJournal};
 pub use kv::{ParamKey, ParameterServer, RowSource, TimedRowSource, TrafficStats, WIRE_BATCH_KEYS};
+pub use publish::{
+    latest_snapshot, snapshot_path, write_atomic_bytes, ContinualPublisher, PublishOutcome,
+    PublisherFaults, SNAPSHOT_EXT,
+};
 pub use shard::{
     latest_manifest, load_manifest_state, merge_stores, route_chunks, shard_dir, ManifestError,
     ManifestState, ShardFiles, ShardManifest, ShardMap, MANIFEST_EXT,

@@ -56,19 +56,41 @@ pub struct FaultPlan {
     /// attempt fails, and the supervisor must restart the shard from its
     /// last committed checkpoint and replay the round.
     pub kill_shard: Vec<(u64, u32)>,
+    /// Rounds at which the continual *publisher* crashes mid-write: it
+    /// persists only a partial temp file (no fsync, no rename) and offers
+    /// nothing to the gate — the atomic-commit proof that a torn write can
+    /// never be swapped into serving. Publisher rounds are 1-based
+    /// completed-round counts: `kill_publish=2` faults the snapshot that
+    /// would have been published as version 2.
+    pub kill_publish: Vec<u64>,
+    /// Rounds whose committed snapshot file has one byte flipped after the
+    /// digest was computed — the gate's digest check must reject it.
+    /// 1-based, like [`FaultPlan::kill_publish`].
+    pub corrupt_snapshot: Vec<u64>,
+    /// Rounds whose outer gradients are poisoned with a NaN on *every*
+    /// worker — whole-round divergence. With the `ps::guard` rail armed
+    /// the trainer skips/rolls back the round; without it the NaN reaches
+    /// the store and the publish gate's finite check is the last line of
+    /// defense before traffic. Indices are 0-based epochs, matching the
+    /// per-worker `poison` schedule: `poison_round=4` taints the store
+    /// from the round published as snapshot version 5 onward.
+    pub poison_round: Vec<u64>,
 }
 
 impl FaultPlan {
     /// Parses the `dist_bench --fault-plan` spec string: comma-separated
     /// `key=value` fields. Keys: `seed`, `drop_send`, `drop_recv`,
     /// `dup`, `delay` (as `prob:micros`), `disconnect` (as `+`-separated
-    /// attempt indices), and the scheduled worker faults `kill`, `hang`
+    /// attempt indices), the scheduled worker faults `kill`, `hang`
     /// and `poison` (each `+`-separated `round:worker` pairs) plus
-    /// `hang_micros`. Example:
+    /// `hang_micros`, and the scheduled publisher faults `kill_publish`,
+    /// `corrupt_snapshot` and `poison_round` (each `+`-separated round
+    /// indices). Example:
     ///
     /// ```text
     /// seed=7,drop_send=0.05,drop_recv=0.05,delay=0.1:200,dup=0.05,disconnect=40+90
     /// kill=1:0+2:3,hang=1:2,hang_micros=200000,poison=2:1
+    /// kill_publish=2,corrupt_snapshot=3,poison_round=5
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
@@ -110,6 +132,11 @@ impl FaultPlan {
                 "kill_shard" => plan.kill_shard = parse_round_worker("kill_shard", value)?,
                 "hang" => plan.hang_worker = parse_round_worker("hang", value)?,
                 "poison" => plan.poison = parse_round_worker("poison", value)?,
+                "kill_publish" => plan.kill_publish = parse_rounds("kill_publish", value)?,
+                "corrupt_snapshot" => {
+                    plan.corrupt_snapshot = parse_rounds("corrupt_snapshot", value)?;
+                }
+                "poison_round" => plan.poison_round = parse_rounds("poison_round", value)?,
                 "hang_micros" => {
                     plan.hang_micros =
                         value.parse().map_err(|_| format!("fault-plan hang_micros: '{value}'"))?;
@@ -131,6 +158,9 @@ impl FaultPlan {
             && self.hang_worker.is_empty()
             && self.poison.is_empty()
             && self.kill_shard.is_empty()
+            && self.kill_publish.is_empty()
+            && self.corrupt_snapshot.is_empty()
+            && self.poison_round.is_empty()
     }
 
     /// True when `worker` is scheduled to crash in `round`. Consulted by
@@ -150,9 +180,23 @@ impl FaultPlan {
 
     /// True when `worker`'s round-`round` gradients are to be poisoned
     /// with a NaN (applies to restarts too: the poison models divergent
-    /// *data*, which a re-run reproduces).
+    /// *data*, which a re-run reproduces). A `poison_round` schedule
+    /// poisons *every* worker of that round the same way.
     pub fn should_poison(&self, round: u64, worker: u32) -> bool {
-        self.poison.contains(&(round, worker))
+        self.poison.contains(&(round, worker)) || self.poison_round.contains(&round)
+    }
+
+    /// True when the continual publisher is scheduled to crash mid-write
+    /// after round `round`. Like every scheduled fault, consulting this
+    /// consumes no RNG draws, so the wire-fault stream is unshifted.
+    pub fn should_kill_publish(&self, round: u64) -> bool {
+        self.kill_publish.contains(&round)
+    }
+
+    /// True when round `round`'s committed snapshot file is scheduled to
+    /// have one byte flipped (post-digest disk corruption).
+    pub fn should_corrupt_snapshot(&self, round: u64) -> bool {
+        self.corrupt_snapshot.contains(&round)
     }
 
     /// The server shards scheduled to die in `round`, in schedule order.
@@ -176,6 +220,14 @@ fn parse_round_worker(key: &str, value: &str) -> Result<Vec<(u64, u32)>, String>
             let worker = w.parse().map_err(|_| format!("fault-plan {key} worker: '{w}'"))?;
             Ok((round, worker))
         })
+        .collect()
+}
+
+/// Parses `+`-separated round indices (e.g. `2+5`).
+fn parse_rounds(key: &str, value: &str) -> Result<Vec<u64>, String> {
+    value
+        .split('+')
+        .map(|r| r.parse().map_err(|_| format!("fault-plan {key} round: '{r}'")))
         .collect()
 }
 
@@ -279,6 +331,24 @@ mod tests {
         assert!(FaultPlan::parse("kill=2").is_err());
         assert!(FaultPlan::parse("kill=x:0").is_err());
         assert!(FaultPlan::parse("hang_micros=soon").is_err());
+        assert!(FaultPlan::parse("kill_publish=x").is_err());
+        assert!(FaultPlan::parse("corrupt_snapshot=1:0").is_err());
+        assert!(FaultPlan::parse("poison_round=2+y").is_err());
+    }
+
+    #[test]
+    fn parse_scheduled_publisher_faults() {
+        let plan = FaultPlan::parse("kill_publish=2+5,corrupt_snapshot=3,poison_round=4").unwrap();
+        assert_eq!(plan.kill_publish, vec![2, 5]);
+        assert_eq!(plan.corrupt_snapshot, vec![3]);
+        assert_eq!(plan.poison_round, vec![4]);
+        assert!(!plan.is_noop());
+        assert!(plan.should_kill_publish(2) && plan.should_kill_publish(5));
+        assert!(!plan.should_kill_publish(3));
+        assert!(plan.should_corrupt_snapshot(3) && !plan.should_corrupt_snapshot(2));
+        // poison_round poisons every worker of that round.
+        assert!(plan.should_poison(4, 0) && plan.should_poison(4, 3));
+        assert!(!plan.should_poison(5, 0));
     }
 
     #[test]
@@ -317,6 +387,9 @@ mod tests {
         with_sched.hang_worker = vec![(2, 1)];
         with_sched.poison = vec![(0, 2)];
         with_sched.kill_shard = vec![(1, 1)];
+        with_sched.kill_publish = vec![2];
+        with_sched.corrupt_snapshot = vec![3];
+        with_sched.poison_round = vec![4];
         let run = |plan: &FaultPlan| -> Vec<FaultDecision> {
             let mut fs = FaultState::new(plan.clone(), 1);
             (0..100).map(|_| fs.decide()).collect()

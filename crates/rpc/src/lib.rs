@@ -27,4 +27,4 @@ pub use client::{
 pub use fault::{FaultDecision, FaultPlan, FaultState};
 pub use frame::{Frame, FrameError, OpCode, MAX_PAYLOAD, WIRE_VERSION};
 pub use server::PsServer;
-pub use trainer::{DistributedTrainer, LoopbackConfig, TrainerError, WorkerFailure};
+pub use trainer::{DistributedTrainer, LoopbackConfig, PublishHook, TrainerError, WorkerFailure};

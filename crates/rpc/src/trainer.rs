@@ -87,9 +87,9 @@ use mamdr_ps::trainer::{
 };
 use mamdr_ps::{
     checkpoint, latest_manifest, load_manifest_state, merge_stores, outer_grad_norm, shard_dir,
-    CacheStats, DistributedConfig, DistributedReport, GuardRail, GuardVerdict, ParamKey,
-    ParameterServer, ShardFiles, ShardManifest, ShardMap, SyncMode, TimedRowSource,
-    WIRE_BATCH_KEYS,
+    CacheStats, ContinualPublisher, DistributedConfig, DistributedReport, GuardRail, GuardVerdict,
+    ParamKey, ParameterServer, PublishOutcome, PublisherFaults, ShardFiles, ShardManifest,
+    ShardMap, SyncMode, TimedRowSource, WIRE_BATCH_KEYS,
 };
 use mamdr_tensor::pool;
 use mamdr_tensor::rng::derive_seed;
@@ -258,6 +258,15 @@ pub struct LoopbackConfig {
     /// RPC with its server-side handling parented across the wire.
     /// Training results are bit-identical with or without it.
     pub tracer: Option<Arc<Tracer>>,
+    /// Continual publication: when present, every
+    /// [`PublishHook::every`] rounds the merged store is encoded and
+    /// committed as a serving snapshot (atomic rename, faultable via the
+    /// plan's `kill_publish`/`corrupt_snapshot` schedules), and the
+    /// committed path is offered to the hook's callback — typically a
+    /// serve-side publish gate. Publication reads the stores *after* the
+    /// round's pushes flushed and never writes them, so training results
+    /// stay bit-identical with or without it.
+    pub publish: Option<PublishHook>,
 }
 
 impl LoopbackConfig {
@@ -276,7 +285,43 @@ impl LoopbackConfig {
             worker_deadline: Duration::from_secs(60),
             max_worker_retries: 2,
             tracer: None,
+            publish: None,
         }
+    }
+}
+
+/// The trainer half of the continual train→publish→serve loop: how often
+/// to publish, where the snapshot files go, and what to do with a
+/// committed file.
+///
+/// The hook is format-agnostic on purpose: the trainer hands the merged
+/// [`ParameterServer`] to `encode` and moves the returned bytes through
+/// [`mamdr_ps::ContinualPublisher`]; what those bytes *are* (a
+/// `ServingSnapshot`, in the standard wiring) is the caller's business, so
+/// this crate never depends on the serving stack.
+#[derive(Clone)]
+pub struct PublishHook {
+    /// Publish after every this many completed rounds (0 disables).
+    pub every: usize,
+    /// Directory the snapshot files are committed into.
+    pub dir: PathBuf,
+    /// Encodes the merged store of round `round` into snapshot bytes.
+    /// An `Err` fails training — a snapshot that cannot even be encoded
+    /// means the store is in a state the caller never expected.
+    #[allow(clippy::type_complexity)]
+    pub encode: Arc<dyn Fn(u64, &ParameterServer) -> Result<Vec<u8>, String> + Send + Sync>,
+    /// Called with each *committed* snapshot file (never a killed,
+    /// half-written staging file) — the offer to the serving gate.
+    #[allow(clippy::type_complexity)]
+    pub on_commit: Arc<dyn Fn(u64, &Path) + Send + Sync>,
+}
+
+impl std::fmt::Debug for PublishHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishHook")
+            .field("every", &self.every)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
     }
 }
 
@@ -769,6 +814,25 @@ impl DistributedTrainer {
         let mut drivers: Vec<WorkerClient> =
             (0..n_sh).map(|s| self.make_client(0, 0xD0, s)).collect();
         let tracer = self.cfg.tracer.clone();
+        // The continual publisher: one per run, so its fault schedule and
+        // counters span every round. Faults come from the same plan as the
+        // wire faults but consume no RNG draws — scheduling a publisher
+        // fault never shifts the wire fault stream.
+        let publisher = match &self.cfg.publish {
+            Some(hook) if hook.every > 0 => {
+                let faults = self
+                    .cfg
+                    .fault
+                    .as_ref()
+                    .map(|p| PublisherFaults {
+                        kill_at: p.kill_publish.clone(),
+                        corrupt_at: p.corrupt_snapshot.clone(),
+                    })
+                    .unwrap_or_default();
+                Some((hook.clone(), ContinualPublisher::new(&hook.dir, faults, &self.metrics)?))
+            }
+            _ => None,
+        };
         for epoch in start_epoch..cfg.epochs {
             let round_span = {
                 let mut span = maybe_span(&tracer, "round");
@@ -901,6 +965,27 @@ impl DistributedTrainer {
                         &round_losses,
                         &guard,
                     )?;
+                }
+            }
+            if let Some((hook, publisher)) = &publisher {
+                if rounds_done % hook.every == 0 {
+                    let mut span = maybe_child(&tracer, "publish.build", round_ctx);
+                    let round = rounds_done as u64;
+                    // Reads only: the merged view is a fresh store, so
+                    // encoding can never perturb training state.
+                    let merged = self.merged_store();
+                    let bytes = (hook.encode)(round, &merged).map_err(TrainerError::Driver)?;
+                    if let Some(s) = &mut span {
+                        s.attr("round", round);
+                        s.attr("bytes", bytes.len() as u64);
+                    }
+                    match publisher.commit(round, &bytes)? {
+                        PublishOutcome::Committed(path) => (hook.on_commit)(round, &path),
+                        // A killed publisher left a half-written staging
+                        // file and offered nothing; the next scheduled
+                        // round is the "restart".
+                        PublishOutcome::Killed(_) => {}
+                    }
                 }
             }
         }

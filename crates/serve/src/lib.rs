@@ -25,6 +25,11 @@
 //!   snapshot allocation, routed by FNV-1a over the user id (the
 //!   `ShardMap` discipline: reproducible, feedback-free), with hot swap
 //!   propagated to every replica under one pool lock.
+//! * [`PublishGate`] — the continual-publishing validation chain in front
+//!   of the pool: digest → version → structure → finite → probe
+//!   divergence → optional live canary slice, with byte-exact rollback to
+//!   the last-good `Arc` and typed `publish_rejected_total{reason=...}`
+//!   counters on every verdict.
 //!
 //! All serve-side telemetry (serve_* counters, queue-depth gauge, latency
 //! and batch-size histograms) flows through `mamdr-obs`'s
@@ -32,6 +37,7 @@
 
 mod batcher;
 mod engine;
+mod gate;
 mod replica;
 mod request;
 mod server;
@@ -39,6 +45,7 @@ mod snapshot;
 
 pub use batcher::{BatchPolicy, SpeedupPredictor};
 pub use engine::{ScoringEngine, ServeMetrics};
+pub use gate::{GateConfig, GateReject, PublishGate, GATE_REASONS};
 pub use replica::{replica_of, ReplicatedServer};
 pub use request::{Response, ScoreRequest, ServeResult, SloClass, SubmitError};
 pub use server::{Pending, ServeConfig, Server};

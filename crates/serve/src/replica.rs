@@ -121,7 +121,14 @@ impl ReplicatedServer {
     /// the pool lock, so all replicas always converge to the same current
     /// version.
     pub fn publish(&self, snapshot: ServingSnapshot) -> u64 {
-        let next = Arc::new(snapshot);
+        self.publish_arc(Arc::new(snapshot))
+    }
+
+    /// [`publish`](Self::publish) for an already-shared snapshot: the gate
+    /// keeps its last-good `Arc` and can re-publish *that exact
+    /// allocation* on rollback — byte-exact by construction, no re-decode,
+    /// no re-materialization.
+    pub fn publish_arc(&self, next: Arc<ServingSnapshot>) -> u64 {
         let _guard = self.swap_lock.lock().expect("swap lock");
         let mut retired = 0;
         for server in &self.replicas {
@@ -130,8 +137,27 @@ impl ReplicatedServer {
         retired
     }
 
+    /// Publishes `next` to the first `n_canary` replicas only, leaving the
+    /// rest on the incumbent. Because routing is a pure hash of the user
+    /// id, this exposes a *deterministic user-hash slice* of traffic to
+    /// the candidate: exactly the users with `replica_of(user, n) <
+    /// n_canary`, the same slice in every run. Held under the pool lock so
+    /// a canary and a full publish never interleave per-replica swaps.
+    /// Returns the number of replicas actually swapped (clamped to the
+    /// pool size).
+    pub fn publish_canary(&self, next: Arc<ServingSnapshot>, n_canary: usize) -> usize {
+        let n = n_canary.min(self.replicas.len());
+        let _guard = self.swap_lock.lock().expect("swap lock");
+        for server in &self.replicas[..n] {
+            server.engine().publish_shared(Arc::clone(&next));
+        }
+        n
+    }
+
     /// Version currently served (identical across replicas outside a
-    /// publish, which the pool lock makes non-interleaving).
+    /// publish, which the pool lock makes non-interleaving). During a
+    /// canary phase replica 0 is in the canary slice, so this reports the
+    /// *candidate* version until the gate cuts over or rolls back.
     pub fn current_version(&self) -> u64 {
         self.replicas[0].engine().current_version()
     }

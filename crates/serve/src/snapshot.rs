@@ -358,6 +358,113 @@ impl ServingSnapshot {
         Self::read_from(std::io::BufReader::new(std::fs::File::open(path)?))
     }
 
+    /// Publisher-side atomic write: the snapshot is serialized into a
+    /// same-directory `<name>.tmp` sibling, fsynced, and renamed into
+    /// place. The rename is the sole commit point — a publisher crash at
+    /// any earlier byte leaves only the temp file, which no loader or
+    /// watcher ever opens, so a half-written snapshot can never be served.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = tmp_sibling(path);
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(file);
+            self.write_to(&mut w)?;
+            w.flush()?;
+            // Data must be durable *before* the rename: otherwise a crash
+            // after the rename but before writeback could expose a
+            // committed path with unsynced (torn) contents.
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Verifies every served parameter is finite. This is the gate-side
+    /// twin of `ps::guard`'s non-finite update check: a poisoned round
+    /// that slipped past (or ran without) the training guard is caught
+    /// here, before the snapshot can reach traffic.
+    pub fn check_finite(&self) -> Result<(), String> {
+        match &self.backend {
+            Backend::Dense { spec, trained, .. } => {
+                if let Some(i) = trained.shared.iter().position(|v| !v.is_finite()) {
+                    return Err(format!("shared parameter {i} is not finite"));
+                }
+                for d in 0..spec.n_domains {
+                    if let Some(i) = trained.flat_for(d).iter().position(|v| !v.is_finite()) {
+                        return Err(format!("domain {d} parameter {i} is not finite"));
+                    }
+                }
+            }
+            Backend::Embedding { rows, .. } => {
+                for (k, v) in rows {
+                    if v.iter().any(|x| !x.is_finite()) {
+                        return Err(format!(
+                            "row (table {}, row {}) has non-finite values",
+                            k.table, k.row
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A fixed probe set derived from `seed`: `per_domain` requests per
+    /// domain, every one valid against this snapshot's feature spaces.
+    /// Purely a function of `(seed, feature spaces)`, so two snapshots with
+    /// the same spec yield the *same* requests — the publish gate scores
+    /// one set on both candidate and incumbent and bounds the divergence.
+    pub fn probe_requests(&self, seed: u64, per_domain: usize) -> Vec<ScoreRequest> {
+        let (n_users, n_items, n_groups, n_cats, dense_dim) = match &self.backend {
+            Backend::Dense { spec, .. } => {
+                let f = &spec.features;
+                (
+                    f.n_users as u32,
+                    f.n_items as u32,
+                    f.n_user_groups as u32,
+                    f.n_item_cats as u32,
+                    f.dense_dim,
+                )
+            }
+            // The embedding scorer has no id bounds (cold rows score as
+            // zeros); a fixed synthetic space keeps probes deterministic.
+            Backend::Embedding { .. } => (1 << 20, 1 << 20, 64, 64, 0),
+        };
+        let mix = |d: usize, k: usize, salt: u64| -> u32 {
+            let mut c = Checksum::new();
+            c.update(&seed.to_le_bytes());
+            c.update(&(d as u64).to_le_bytes());
+            c.update(&(k as u64).to_le_bytes());
+            c.update(&salt.to_le_bytes());
+            (c.digest() & 0xffff_ffff) as u32
+        };
+        let mut out = Vec::with_capacity(self.n_domains() * per_domain);
+        for d in 0..self.n_domains() {
+            for k in 0..per_domain {
+                let mut req = ScoreRequest::new(
+                    d,
+                    mix(d, k, 1) % n_users.max(1),
+                    mix(d, k, 2) % n_items.max(1),
+                    mix(d, k, 3) % n_groups.max(1),
+                    mix(d, k, 4) % n_cats.max(1),
+                );
+                if dense_dim > 0 {
+                    let dense = |salt0: u64| {
+                        (0..dense_dim)
+                            .map(|j| {
+                                mix(d, k, salt0 + j as u64) as f32 / u32::MAX as f32 * 2.0 - 1.0
+                            })
+                            .collect::<Vec<f32>>()
+                    };
+                    req.dense_user = Some(dense(1000));
+                    req.dense_item = Some(dense(2000));
+                }
+                out.push(req);
+            }
+        }
+        out
+    }
+
     fn encode_payload(&self) -> Result<Vec<u8>, SnapshotError> {
         let mut out = Vec::new();
         match &self.backend {
@@ -537,6 +644,15 @@ fn assemble_batch(features: &FeatureConfig, domain: usize, reqs: &[ScoreRequest]
     }
 }
 
+/// The same-directory temp path `write_atomic` stages into: the file name
+/// with `.tmp` appended (never a replaced extension, so distinct snapshot
+/// files can never share a staging path by extension collision).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 fn kind_id(kind: ModelKind) -> u8 {
     ModelKind::ALL.iter().position(|&k| k == kind).expect("kind in registry") as u8
 }
@@ -699,6 +815,108 @@ mod tests {
         let mut short = buf.clone();
         short.truncate(buf.len() - 9);
         assert!(ServingSnapshot::read_from(short.as_slice()).is_err());
+    }
+
+    /// A deliberately tiny embedding snapshot (~150 bytes on disk) so the
+    /// every-byte-offset property tests below stay O(n²)-cheap.
+    fn tiny_embedding_snapshot(version: u64) -> ServingSnapshot {
+        let ps = ParameterServer::new(1, 2);
+        for t in 0..2u32 {
+            for row in 0..3u32 {
+                ps.init_row(ParamKey::new(t, row), vec![0.25 * t as f32, 0.1 * row as f32]);
+            }
+        }
+        ServingSnapshot::from_ps(version, &ps, 2)
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected_at_every_byte_offset() {
+        // Property over ALL partial-write shapes: a publisher (or disk)
+        // that persists any strict prefix of the file must be rejected by
+        // the loader — there is no prefix length at which a torn write
+        // parses as a valid snapshot.
+        let snap = tiny_embedding_snapshot(5);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        for len in 0..buf.len() {
+            assert!(
+                ServingSnapshot::read_from(&buf[..len]).is_err(),
+                "truncation to {len} of {} bytes went undetected",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected_at_every_byte_offset() {
+        // Stronger form of `any_corrupted_byte_is_detected`: exhaustive
+        // over every offset, on a fixture small enough to afford it.
+        let snap = tiny_embedding_snapshot(6);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        for pos in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                ServingSnapshot::read_from(bad.as_slice()).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn write_atomic_commits_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("mamdr-serve-write-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.mamdrsv");
+        tiny_embedding_snapshot(1).write_atomic(&path).unwrap();
+        assert_eq!(ServingSnapshot::load_from_path(&path).unwrap().version(), 1);
+        assert!(!super::tmp_sibling(&path).exists(), "temp sibling must be renamed away");
+        // Overwriting an existing snapshot is atomic too: the old file
+        // stays valid until the rename lands the new one.
+        tiny_embedding_snapshot(2).write_atomic(&path).unwrap();
+        assert_eq!(ServingSnapshot::load_from_path(&path).unwrap().version(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn probe_requests_are_deterministic_and_valid() {
+        let spec = spec(2);
+        let tm = trained(&spec, 7);
+        let snap = ServingSnapshot::from_trained(1, spec, tm).unwrap();
+        let a = snap.probe_requests(0xC0FFEE, 8);
+        let b = snap.probe_requests(0xC0FFEE, 8);
+        assert_eq!(a, b, "probe set must be a pure function of the seed");
+        assert_eq!(a.len(), 16);
+        for req in &a {
+            snap.validate(req).expect("every probe is in the feature space");
+        }
+        let other = snap.probe_requests(0xBEEF, 8);
+        assert_ne!(a, other, "different seeds probe different points");
+        // The embedding backend yields probes too (unbounded id space).
+        let emb = tiny_embedding_snapshot(3);
+        for req in emb.probe_requests(1, 4) {
+            emb.validate(&req).unwrap();
+        }
+    }
+
+    #[test]
+    fn check_finite_flags_poisoned_parameters() {
+        let spec2 = spec(2);
+        let tm = trained(&spec2, 9);
+        let good = ServingSnapshot::from_trained(1, spec2, tm).unwrap();
+        good.check_finite().expect("trained fixture is finite");
+
+        let spec2 = spec(2);
+        let mut tm = trained(&spec2, 9);
+        tm.shared[3] = f32::NAN;
+        let bad = ServingSnapshot::from_trained(2, spec2, tm).unwrap();
+        assert!(bad.check_finite().is_err(), "NaN in shared params must be flagged");
+
+        let ps = ParameterServer::new(1, 2);
+        ps.init_row(ParamKey::new(0, 0), vec![0.5, f32::INFINITY]);
+        let bad = ServingSnapshot::from_ps(3, &ps, 1);
+        assert!(bad.check_finite().is_err(), "Inf in an embedding row must be flagged");
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! user-id routing.
 
 use mamdr::prelude::*;
-use mamdr::serve::{replica_of, ModelSpec, ReplicatedServer, ScoreRequest, ServeResult};
+use mamdr::serve::{
+    replica_of, ModelSpec, ReplicatedServer, ScoreRequest, ServeResult, SloClass, SubmitError,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn dataset() -> MdrDataset {
     let mut gen = GeneratorConfig::base("replica-e2e", 80, 50, 17);
@@ -152,4 +155,148 @@ fn replicated_pool_swaps_with_zero_loss_and_bit_identical_scores() {
         }
     }
     assert!(compared > reqs.len() / 2, "too few comparable requests ({compared})");
+}
+
+/// What one submitter thread observed, client side.
+#[derive(Default)]
+struct ClientTally {
+    submitted: u64,
+    admitted: u64,
+    shed: [u64; SloClass::COUNT],
+    rejected: u64,
+    closed: u64,
+    scored: u64,
+    other: u64,
+    versions: std::collections::BTreeSet<u64>,
+}
+
+/// A version swap racing per-class shed under sustained overload must not
+/// lose a single submission from the accounting: client-side,
+/// `submitted = admitted + shed + rejected + closed` per class by
+/// construction, and every one of those outcomes must land in exactly one
+/// server-side counter — across the publish, with the bulk class
+/// shedding the whole time.
+#[test]
+fn publish_racing_shed_conserves_every_submission() {
+    let ds = dataset();
+    let (spec, tm1) = trained_pair(&ds, 3);
+    let (_, tm2) = trained_pair(&ds, 11);
+    let fc = spec.features;
+    let v1 = ServingSnapshot::from_trained(1, spec.clone(), tm1).unwrap();
+    let v2 = Arc::new(ServingSnapshot::from_trained(2, spec, tm2).unwrap());
+
+    // A deliberately starved pool: one slow-flushing worker per replica
+    // and a bulk cap of 2, so bulk traffic sheds almost immediately while
+    // interactive traffic keeps landing under the global cap.
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait_us: 2_000,
+        queue_cap: 64,
+        class_caps: {
+            let mut c = [0; SloClass::COUNT];
+            c[SloClass::Bulk.index()] = 2;
+            c
+        },
+        n_workers: 1,
+        ..ServeConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let pool = Arc::new(ReplicatedServer::start(v1, 2, cfg, &registry, None));
+
+    // Pin a few v1 responses before the storm so both versions provably
+    // answered traffic in this run.
+    let warmup = requests(&fc, 4);
+    for r in &warmup {
+        match pool.submit(r.clone(), None).unwrap().wait() {
+            ServeResult::Scored(resp) => assert_eq!(resp.snapshot_version, 1),
+            other => panic!("warmup request failed: {other:?}"),
+        }
+    }
+
+    let reqs = requests(&fc, 64);
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let reqs = reqs.clone();
+            std::thread::spawn(move || {
+                let mut tally = ClientTally::default();
+                for i in 0..400usize {
+                    let class =
+                        if (t + i) % 3 == 0 { SloClass::Interactive } else { SloClass::Bulk };
+                    let req = reqs[(t * 31 + i) % reqs.len()].clone();
+                    tally.submitted += 1;
+                    match pool.submit_class(req, None, class) {
+                        Ok(pending) => {
+                            tally.admitted += 1;
+                            match pending.wait() {
+                                ServeResult::Scored(r) => {
+                                    tally.scored += 1;
+                                    tally.versions.insert(r.snapshot_version);
+                                }
+                                _ => tally.other += 1,
+                            }
+                        }
+                        Err(SubmitError::ShedOverload(c)) => tally.shed[c.index()] += 1,
+                        Err(SubmitError::QueueFull) => tally.rejected += 1,
+                        Err(SubmitError::Closed) => tally.closed += 1,
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    // Land the swap squarely inside the overload window.
+    std::thread::sleep(std::time::Duration::from_millis(3));
+    assert_eq!(pool.publish_arc(Arc::clone(&v2)), 1, "swap must retire exactly version 1");
+
+    let mut total = ClientTally::default();
+    for w in workers {
+        let t = w.join().unwrap();
+        total.submitted += t.submitted;
+        total.admitted += t.admitted;
+        for c in 0..SloClass::COUNT {
+            total.shed[c] += t.shed[c];
+        }
+        total.rejected += t.rejected;
+        total.closed += t.closed;
+        total.scored += t.scored;
+        total.other += t.other;
+        total.versions.extend(t.versions);
+    }
+    Arc::try_unwrap(pool).ok().expect("pool unshared after joins").shutdown();
+
+    // The storm must actually have raced the swap: bulk shed fired, and
+    // traffic scored on both the retired and the new version.
+    assert!(total.shed[SloClass::Bulk.index()] > 0, "bulk class never shed — no overload");
+    assert!(total.versions.contains(&2), "no request ever saw the published version");
+    assert!(total.versions.iter().all(|v| [1, 2].contains(v)), "unknown version served");
+
+    // Client-side conservation: every submission took exactly one exit.
+    let shed_total: u64 = total.shed.iter().sum();
+    assert_eq!(
+        total.submitted,
+        total.admitted + shed_total + total.rejected + total.closed,
+        "a submission fell out of the accounting"
+    );
+    assert_eq!(total.closed, 0, "pool reported Closed while still running");
+    // Every admitted request resolved (no deadline was set, so all score).
+    assert_eq!(total.scored + total.other, total.admitted);
+    assert_eq!(total.other, 0, "an admitted request with no deadline failed to score");
+
+    // Server-side counters agree exactly with the client tallies — the
+    // swap neither double-counted nor dropped an admission, a shed, or a
+    // rejection in any class.
+    let warm = warmup.len() as u64;
+    assert_eq!(registry.counter("serve_requests_total").get(), total.admitted + warm);
+    assert_eq!(registry.counter("serve_responses_total").get(), total.scored + warm);
+    assert_eq!(registry.counter("serve_rejected_total").get(), total.rejected);
+    for class in SloClass::ALL {
+        assert_eq!(
+            registry.counter(&format!("serve_shed_total{{class=\"{}\"}}", class.label())).get(),
+            total.shed[class.index()],
+            "shed counter for class {} diverged from client observations",
+            class.label()
+        );
+    }
 }
